@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseThreads(t *testing.T) {
+	cases := map[string][]int{
+		"2":          {2},
+		"2,4,8":      {2, 4, 8},
+		" 2 , 4 ":    {2, 4},
+		"16,2":       {16, 2},
+		"2,,4":       {2, 4},
+		"not-number": nil,
+		"0":          nil,
+		"-3":         nil,
+		"":           nil,
+	}
+	for in, want := range cases {
+		got, err := parseThreads(in)
+		if want == nil {
+			if err == nil {
+				t.Errorf("parseThreads(%q) succeeded with %v", in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseThreads(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parseThreads(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parseThreads(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no -experiment accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := run([]string{"-experiment", "fig3-uniform", "-mode", "hybrid"}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestRunBadThreads(t *testing.T) {
+	if err := run([]string{"-experiment", "fig3-uniform", "-threads", "x"}); err == nil {
+		t.Fatal("bad threads accepted")
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	// One tiny sim point, text and CSV paths.
+	args := []string{"-experiment", "tr-balance", "-runs", "1", "-threads", "2", "-cycles", "30000000"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-csv")); err != nil {
+		t.Fatal(err)
+	}
+}

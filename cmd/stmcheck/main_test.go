@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestChecksPassWithDefaults(t *testing.T) {
+	if err := run([]string{"-ops", "300", "-goroutines", "2", "-manager", "polka"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksPassAggressive(t *testing.T) {
+	if err := run([]string{"-ops", "200", "-goroutines", "3", "-manager", "aggressive"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownManagerRejected(t *testing.T) {
+	if err := run([]string{"-manager", "zen"}); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestChecksRegistry(t *testing.T) {
+	cs := checks()
+	if len(cs) < 5 {
+		t.Fatalf("only %d checks", len(cs))
+	}
+	for _, c := range cs {
+		if c.name == "" || c.run == nil {
+			t.Errorf("incomplete check %+v", c)
+		}
+	}
+}

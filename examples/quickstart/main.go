@@ -1,0 +1,98 @@
+// Quickstart: transactional memory basics and a first executor run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kstm"
+)
+
+func main() {
+	// --- STM in three steps -------------------------------------------
+	s := kstm.New() // Polka contention manager by default
+	balance := kstm.NewBox(100)
+	th := s.NewThread()
+
+	// Atomic retries until the transaction commits.
+	err := th.Atomic(func(tx *kstm.Tx) error {
+		v, err := balance.Write(tx)
+		if err != nil {
+			return err
+		}
+		*v += 23
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx := th.Begin()
+	v, err := balance.Read(tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balance after atomic update: %d\n", *v)
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- A transactional dictionary -----------------------------------
+	table := kstm.NewHashTable(0) // 0 = the paper's 30031 buckets
+	for _, key := range []uint32{7, 42, 30031 + 7} {
+		added, err := table.Insert(th, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("insert %5d: added=%v (bucket %d)\n", key, added, table.Hash(key))
+	}
+
+	// --- The key-based executor ----------------------------------------
+	// Producers generate insert/delete tasks; the adaptive scheduler
+	// samples the key distribution and partitions the key space so that
+	// similar keys always run on the same worker.
+	sched, err := kstm.NewScheduler(kstm.SchedAdaptive, 0, uint64(table.Buckets()-1), 4,
+		kstm.WithThreshold(2000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := kstm.NewPool(kstm.Config{
+		STM: s,
+		Workload: kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
+			var err error
+			if t.Op == kstm.OpInsert {
+				_, err = table.Insert(th, t.Arg)
+			} else {
+				_, err = table.Delete(th, t.Arg)
+			}
+			return err
+		}),
+		NewSource: func(p int) kstm.TaskSource {
+			src := kstm.NewUniform(uint64(p) + 1)
+			return kstm.SourceFunc(func() kstm.Task {
+				key, insert := kstm.SplitKey(src.Next())
+				op := kstm.OpInsert
+				if !insert {
+					op = kstm.OpDelete
+				}
+				// The transaction key is the hash output, not the
+				// dictionary key (paper §4.2).
+				return kstm.Task{Key: uint64(table.Hash(key)), Op: op, Arg: key}
+			})
+		},
+		Workers:   4,
+		Producers: 2,
+		Scheduler: sched,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pool.RunCount(20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecutor: %s\n", res)
+	fmt.Printf("per-worker completions: %v\n", res.PerWorker)
+	fmt.Printf("STM over the run: %s\n", res.STM)
+}

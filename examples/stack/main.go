@@ -1,0 +1,71 @@
+// Stack: the paper's §3.1 example of a constant transaction key. Every
+// push/pop starts at the top-of-stack element, so the right scheduling hint
+// is the same key for every operation — the executor then recognizes that
+// stack transactions all race for the same data and runs them on a single
+// worker, eliminating conflicts entirely, while a keyless round-robin
+// scheduler spreads them across workers and pays for every collision.
+//
+//	go run ./examples/stack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kstm"
+)
+
+const ops = 20000
+
+func main() {
+	for _, kind := range []kstm.SchedulerKind{kstm.SchedRoundRobin, kstm.SchedFixed} {
+		s := kstm.New()
+		stack := kstm.NewStack()
+		workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
+			if t.Op == kstm.OpInsert {
+				return stack.Push(th, t.Arg)
+			}
+			_, _, err := stack.Pop(th)
+			return err
+		})
+		newSource := func(p int) kstm.TaskSource {
+			src := kstm.NewUniform(uint64(p) + 1)
+			return kstm.SourceFunc(func() kstm.Task {
+				key, insert := kstm.SplitKey(src.Next())
+				op := kstm.OpInsert
+				if !insert {
+					op = kstm.OpDelete // pop
+				}
+				// §3.1: the key is constant — every stack access
+				// races for the top element.
+				return kstm.Task{Key: uint64(stack.Key()), Op: op, Arg: key}
+			})
+		}
+		sched, err := kstm.NewScheduler(kind, 0, kstm.MaxKey, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool, err := kstm.NewPool(kstm.Config{
+			STM:       s,
+			Workload:  workload,
+			NewSource: newSource,
+			Workers:   4,
+			Producers: 2,
+			Scheduler: sched,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pool.RunCount(ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.STM
+		fmt.Printf("%-10s: conflicts %6d, aborts %6d, per-worker %v\n",
+			kind, st.Conflicts, st.Aborts(), res.PerWorker)
+	}
+	fmt.Println()
+	fmt.Println("With a key-based scheduler and the stack's constant key, every operation")
+	fmt.Println("lands on one worker: zero conflicts. Round robin spreads the same stream")
+	fmt.Println("across four workers that all fight for the top-of-stack element.")
+}

@@ -1,0 +1,131 @@
+// Package cachesim models a per-processor set-associative LRU cache with a
+// simple coherence approximation, standing in for the SunFire 6800's 8 MB
+// per-processor L2 caches in the discrete-event simulator (DESIGN.md §4).
+//
+// Coherence is modelled with block versions: every write to a block bumps a
+// global version counter, and a cached copy hits only if its stored version
+// is current. A block repeatedly written by one processor therefore stays
+// hot in that processor's cache, while a block written from many processors
+// misses almost every time — exactly the invalidation traffic that makes the
+// paper's round-robin executor slow and its key-partitioned executors fast.
+package cachesim
+
+import "math/bits"
+
+// Cache is one processor's cache. It is not safe for concurrent use; the
+// simulator gives each simulated processor its own instance and runs
+// single-threaded.
+type Cache struct {
+	setMask uint32
+	ways    int
+	// tags and versions are sets*ways entries, way-major within a set.
+	// tag 0 means empty; stored tags are block+1.
+	tags     []uint32
+	versions []uint32
+	hits     uint64
+	misses   uint64
+}
+
+// New returns a cache with the given total line count and associativity.
+// lines is rounded up to a power of two; ways is clamped to [1, lines].
+func New(lines, ways int) *Cache {
+	if lines <= 0 {
+		lines = 1
+	}
+	if ways <= 0 {
+		ways = 1
+	}
+	if ways > lines {
+		ways = lines
+	}
+	l := 1 << uint(bits.Len(uint(lines-1)))
+	if l < lines {
+		l = lines
+	}
+	sets := l / ways
+	if sets == 0 {
+		sets = 1
+	}
+	// Sets must be a power of two for the mask; round down.
+	sets = 1 << uint(bits.Len(uint(sets))-1)
+	return &Cache{
+		setMask:  uint32(sets - 1),
+		ways:     ways,
+		tags:     make([]uint32, sets*ways),
+		versions: make([]uint32, sets*ways),
+	}
+}
+
+// Access looks up the block with the given current version. A hit requires
+// the block to be cached with a matching version (a stale copy counts as a
+// coherence miss). The block is installed/promoted to most-recently-used
+// either way, with its current version.
+func (c *Cache) Access(block uint32, version uint32) bool {
+	set := int(block&c.setMask) * c.ways
+	tag := block + 1
+	for i := 0; i < c.ways; i++ {
+		if c.tags[set+i] == tag {
+			hit := c.versions[set+i] == version
+			// Promote to MRU (slot set+0) by shifting the earlier
+			// entries down.
+			t, v := c.tags[set+i], version
+			copy(c.tags[set+1:set+i+1], c.tags[set:set+i])
+			copy(c.versions[set+1:set+i+1], c.versions[set:set+i])
+			c.tags[set], c.versions[set] = t, v
+			if hit {
+				c.hits++
+			} else {
+				c.misses++
+			}
+			return hit
+		}
+	}
+	// Miss: evict LRU (last way), install as MRU.
+	copy(c.tags[set+1:set+c.ways], c.tags[set:set+c.ways-1])
+	copy(c.versions[set+1:set+c.ways], c.versions[set:set+c.ways-1])
+	c.tags[set], c.versions[set] = tag, version
+	c.misses++
+	return false
+}
+
+// Install places the block with the given version without charging a hit or
+// a miss. The simulator uses it for write-after-read upgrades: the read
+// already paid the coherence transfer, and the store merely upgrades the
+// line to modified state.
+func (c *Cache) Install(block uint32, version uint32) {
+	set := int(block&c.setMask) * c.ways
+	tag := block + 1
+	for i := 0; i < c.ways; i++ {
+		if c.tags[set+i] == tag {
+			t := c.tags[set+i]
+			copy(c.tags[set+1:set+i+1], c.tags[set:set+i])
+			copy(c.versions[set+1:set+i+1], c.versions[set:set+i])
+			c.tags[set], c.versions[set] = t, version
+			return
+		}
+	}
+	copy(c.tags[set+1:set+c.ways], c.tags[set:set+c.ways-1])
+	copy(c.versions[set+1:set+c.ways], c.versions[set:set+c.ways-1])
+	c.tags[set], c.versions[set] = tag, version
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns hits / accesses, or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.versions[i] = 0
+	}
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,160 @@
+package cachesim
+
+import (
+	"testing"
+
+	"kstm/internal/rng"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(64, 4)
+	if c.Access(10, 0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(10, 0) {
+		t.Fatal("warm access missed")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d,%d)", hits, misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", c.HitRate())
+	}
+}
+
+func TestVersionMismatchIsCoherenceMiss(t *testing.T) {
+	c := New(64, 4)
+	c.Access(10, 0)
+	if c.Access(10, 1) {
+		t.Fatal("stale version hit")
+	}
+	if !c.Access(10, 1) {
+		t.Fatal("refreshed version missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4 lines, 4 ways = one set. Fill it, touch the oldest, insert a new
+	// block: the LRU (not the recently touched) must be evicted.
+	c := New(4, 4)
+	for b := uint32(0); b < 4; b++ {
+		c.Access(b, 0)
+	}
+	c.Access(0, 0) // promote block 0
+	c.Access(9, 0) // evicts block 1 (LRU)
+	if !c.Access(0, 0) {
+		t.Error("recently used block 0 was evicted")
+	}
+	if c.Access(1, 0) {
+		t.Error("LRU block 1 survived eviction")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	// Blocks in different sets must not evict one another.
+	c := New(8, 1) // 8 direct-mapped sets
+	c.Access(0, 0)
+	c.Access(1, 0)
+	if !c.Access(0, 0) || !c.Access(1, 0) {
+		t.Error("different sets interfered")
+	}
+	// Same set (0 and 8 with 8 sets) conflict in a direct-mapped cache.
+	c.Access(8, 0)
+	if c.Access(0, 0) {
+		t.Error("direct-mapped conflict did not evict")
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for _, c := range []*Cache{New(0, 0), New(1, 1), New(3, 8), New(5, 2)} {
+		if c.Access(42, 0) {
+			t.Error("cold hit on degenerate cache")
+		}
+		if !c.Access(42, 0) {
+			t.Error("warm miss on degenerate cache")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(16, 2)
+	c.Access(1, 0)
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("stats not reset")
+	}
+	if c.Access(1, 0) {
+		t.Fatal("contents not reset")
+	}
+	if c.HitRate() != 0 {
+		t.Fatal("HitRate after reset != 0")
+	}
+}
+
+func TestWorkingSetBehaviour(t *testing.T) {
+	// A working set smaller than the cache converges to ~100% hits; one
+	// much larger stays mostly misses.
+	small := New(1024, 8)
+	r := rng.New(1)
+	for i := 0; i < 20000; i++ {
+		small.Access(uint32(r.Uint64n(512)), 0)
+	}
+	if small.HitRate() < 0.9 {
+		t.Errorf("small working set hit rate = %v", small.HitRate())
+	}
+	big := New(1024, 8)
+	for i := 0; i < 20000; i++ {
+		big.Access(uint32(r.Uint64n(1<<17)), 0)
+	}
+	if big.HitRate() > 0.2 {
+		t.Errorf("huge working set hit rate = %v", big.HitRate())
+	}
+}
+
+func TestCoherencePingPong(t *testing.T) {
+	// Two processors alternately writing the same block: with versions
+	// bumped on every write, both always miss — the invalidation traffic
+	// the executor removes by key partitioning.
+	a, b := New(64, 4), New(64, 4)
+	version := uint32(0)
+	missesA, missesB := 0, 0
+	for i := 0; i < 100; i++ {
+		version++
+		if !a.Access(7, version) {
+			missesA++
+		}
+		version++
+		if !b.Access(7, version) {
+			missesB++
+		}
+	}
+	if missesA != 100 || missesB != 100 {
+		t.Errorf("ping-pong misses = %d/%d, want 100/100", missesA, missesB)
+	}
+	// Single-owner writes: after the first, always hits.
+	solo := New(64, 4)
+	version = 0
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if !solo.Access(7, version) {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("single-owner misses = %d, want 1", misses)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(1<<17, 8)
+	r := rng.New(1)
+	blocks := make([]uint32, 4096)
+	for i := range blocks {
+		blocks[i] = uint32(r.Uint64n(1 << 18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(blocks[i&4095], 0)
+	}
+}

@@ -1,0 +1,55 @@
+package cachesim
+
+import "testing"
+
+func TestInstallDoesNotCountStats(t *testing.T) {
+	c := New(64, 4)
+	c.Install(5, 1)
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("Install counted stats: %d/%d", h, m)
+	}
+	// The installed line must hit at the installed version.
+	if !c.Access(5, 1) {
+		t.Fatal("installed line missed")
+	}
+}
+
+func TestInstallRefreshesExistingLine(t *testing.T) {
+	c := New(64, 4)
+	c.Access(5, 1) // miss, install v1
+	c.Install(5, 2)
+	if !c.Access(5, 2) {
+		t.Fatal("refreshed version missed")
+	}
+	if c.Access(5, 1) {
+		t.Fatal("stale version hit after refresh")
+	}
+}
+
+func TestInstallPromotesToMRU(t *testing.T) {
+	c := New(4, 4) // single set
+	for b := uint32(0); b < 4; b++ {
+		c.Access(b, 0)
+	}
+	c.Install(0, 0) // promote block 0
+	c.Access(9, 0)  // evict LRU (block 1)
+	if !c.Access(0, 0) {
+		t.Fatal("Install did not promote block 0")
+	}
+	if c.Access(1, 0) {
+		t.Fatal("expected block 1 evicted")
+	}
+}
+
+func TestInstallEvictsLRUOnMiss(t *testing.T) {
+	c := New(2, 2) // one set, two ways
+	c.Access(1, 0)
+	c.Access(2, 0)
+	c.Install(3, 0) // evicts block 1
+	if c.Access(1, 0) {
+		t.Fatal("LRU survived Install eviction")
+	}
+	if !c.Access(3, 0) {
+		t.Fatal("installed block missing")
+	}
+}

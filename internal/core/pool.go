@@ -1,0 +1,479 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm/internal/queue"
+	"kstm/internal/stm"
+)
+
+// Model selects the executor architecture of Figure 1.
+type Model string
+
+// The three executor models.
+const (
+	// ModelNoExecutor: each thread generates and synchronously executes
+	// its own transactions (Figure 1a). No queuing overhead; no load
+	// balancing; parallelism limited to the producer count.
+	ModelNoExecutor Model = "noexecutor"
+	// ModelCentral: a single executor thread takes tasks from all
+	// producers and dispatches to workers (Figure 1b).
+	ModelCentral Model = "central"
+	// ModelParallel: the executor runs inline in every producer thread
+	// (Figure 1c) — the model used for all the paper's measurements.
+	ModelParallel Model = "parallel"
+)
+
+// Models lists the executor models.
+func Models() []Model { return []Model{ModelNoExecutor, ModelCentral, ModelParallel} }
+
+// defaultMaxQueueDepth bounds per-worker queues so that a fast producer
+// cannot consume unbounded memory during a timed run; producers spin-yield
+// at the bound. The paper's 10-second Java runs relied on producers and
+// workers being roughly matched.
+const defaultMaxQueueDepth = 8192
+
+// Config describes one executor experiment.
+type Config struct {
+	// STM is the transactional memory instance shared by the workers.
+	STM *stm.STM
+	// Workload executes tasks on worker threads.
+	Workload Workload
+	// NewSource returns producer p's private task stream.
+	NewSource func(producer int) TaskSource
+	// Workers is the worker-thread count (w in the paper).
+	Workers int
+	// Producers is the producer-thread count (the paper uses 4, or 8 for
+	// the hash table "to prevent worker threads being hungry").
+	Producers int
+	// Model selects the executor architecture; default ModelParallel.
+	Model Model
+	// Scheduler maps keys to workers. Required unless Model is
+	// ModelNoExecutor.
+	Scheduler Scheduler
+	// QueueKind selects the task-queue implementation; default mscq.
+	QueueKind queue.Kind
+	// MaxQueueDepth applies producer backpressure; <0 disables, 0 means
+	// the default.
+	MaxQueueDepth int
+	// WorkSteal lets an idle worker take tasks from other queues — the
+	// §2 "load balancing" alternative; off in the paper's experiments.
+	WorkSteal bool
+	// SortBatch > 1 makes each worker drain up to that many tasks and
+	// execute them in ascending key order — the §2 capability of
+	// reordering a worker's buffer ("the executor could also control the
+	// order in which the worker will execute waiting transactions,
+	// though we do not use this capability"). Batching by key improves
+	// temporal locality within a worker at the cost of latency.
+	SortBatch int
+}
+
+// Pool is a reusable executor harness for one Config; each Run builds fresh
+// queues and goroutines.
+type Pool struct {
+	cfg      Config
+	maxDepth int
+}
+
+// NewPool validates the configuration.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.STM == nil {
+		return nil, fmt.Errorf("core: Config.STM is required")
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("core: Config.Workload is required")
+	}
+	if cfg.NewSource == nil {
+		return nil, fmt.Errorf("core: Config.NewSource is required")
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("core: Config.Workers = %d, want > 0", cfg.Workers)
+	}
+	if cfg.Model == "" {
+		cfg.Model = ModelParallel
+	}
+	switch cfg.Model {
+	case ModelNoExecutor:
+		// Scheduler and producers are unused; workers self-produce.
+	case ModelCentral, ModelParallel:
+		if cfg.Producers <= 0 {
+			return nil, fmt.Errorf("core: Config.Producers = %d, want > 0", cfg.Producers)
+		}
+		if cfg.Scheduler == nil {
+			return nil, fmt.Errorf("core: Config.Scheduler is required for model %q", cfg.Model)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown model %q", cfg.Model)
+	}
+	if cfg.QueueKind == "" {
+		cfg.QueueKind = queue.KindMSCQ
+	}
+	maxDepth := cfg.MaxQueueDepth
+	switch {
+	case maxDepth < 0:
+		maxDepth = 0
+	case maxDepth == 0:
+		maxDepth = defaultMaxQueueDepth
+	}
+	return &Pool{cfg: cfg, maxDepth: maxDepth}, nil
+}
+
+// run-scoped state.
+type run struct {
+	p         *Pool
+	counted   bool
+	queues    []queue.Queue[Task]
+	stop      atomic.Bool
+	produced  atomic.Uint64
+	remaining atomic.Int64 // count mode: tasks left to produce
+	done      atomic.Int64 // count mode: tasks left to complete
+	completed []paddedCounter
+	empty     atomic.Uint64
+	steals    atomic.Uint64
+	workErr   atomic.Pointer[error]
+}
+
+// paddedCounter avoids false sharing between per-worker counters, which
+// would otherwise serialize the very cache traffic the executor exists to
+// remove.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Run executes the workload for roughly d — the paper's timed-driver shape:
+// start producers and workers, run the window, stop everything, report.
+func (p *Pool) Run(d time.Duration) (Result, error) {
+	if d <= 0 {
+		return Result{}, fmt.Errorf("core: non-positive run duration %v", d)
+	}
+	return p.execute(d, -1)
+}
+
+// RunCount executes exactly n tasks and reports the elapsed time; used by
+// deterministic tests and testing.B benchmarks.
+func (p *Pool) RunCount(n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("core: non-positive task count %d", n)
+	}
+	return p.execute(0, int64(n))
+}
+
+func (p *Pool) execute(d time.Duration, count int64) (Result, error) {
+	r := &run{p: p, completed: make([]paddedCounter, p.cfg.Workers)}
+	counted := count > 0
+	r.counted = counted
+	if counted {
+		r.remaining.Store(count)
+		r.done.Store(count)
+	}
+	if p.cfg.Model != ModelNoExecutor {
+		r.queues = make([]queue.Queue[Task], p.cfg.Workers)
+		for i := range r.queues {
+			q, err := queue.New[Task](p.cfg.QueueKind)
+			if err != nil {
+				return Result{}, err
+			}
+			r.queues[i] = q
+		}
+	}
+
+	stmBefore := p.cfg.STM.Stats()
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	switch p.cfg.Model {
+	case ModelNoExecutor:
+		for i := 0; i < p.cfg.Workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.selfProducer(i)
+			}(i)
+		}
+	case ModelParallel:
+		for i := 0; i < p.cfg.Producers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.parallelProducer(i)
+			}(i)
+		}
+		for i := 0; i < p.cfg.Workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.worker(i, counted)
+			}(i)
+		}
+	case ModelCentral:
+		inbox, err := queue.New[Task](p.cfg.QueueKind)
+		if err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < p.cfg.Producers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.centralProducer(i, inbox)
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.dispatcher(inbox)
+		}()
+		for i := 0; i < p.cfg.Workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.worker(i, counted)
+			}(i)
+		}
+	}
+
+	if counted {
+		// Completion of the last task sets stop; just join.
+		wg.Wait()
+	} else {
+		time.Sleep(d)
+		r.stop.Store(true)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	res := Result{
+		Model:      p.cfg.Model,
+		Workers:    p.cfg.Workers,
+		Producers:  p.cfg.Producers,
+		QueueKind:  p.cfg.QueueKind,
+		WorkSteal:  p.cfg.WorkSteal,
+		Elapsed:    elapsed,
+		Produced:   r.produced.Load(),
+		PerWorker:  make([]uint64, p.cfg.Workers),
+		EmptyPolls: r.empty.Load(),
+		Steals:     r.steals.Load(),
+		STM:        p.cfg.STM.Stats().Sub(stmBefore),
+	}
+	if p.cfg.Scheduler != nil {
+		res.Scheduler = p.cfg.Scheduler.Name()
+	} else {
+		res.Scheduler = "none"
+	}
+	for i := range r.completed {
+		res.PerWorker[i] = r.completed[i].n.Load()
+		res.Completed += res.PerWorker[i]
+	}
+	if errp := r.workErr.Load(); errp != nil {
+		return res, *errp
+	}
+	return res, nil
+}
+
+// fail records the first hard workload error and stops the run.
+func (r *run) fail(err error) {
+	e := err
+	if r.workErr.CompareAndSwap(nil, &e) {
+		r.stop.Store(true)
+	}
+}
+
+// claim reserves one task to produce in count mode; it returns false when
+// the quota is exhausted. In timed mode it always succeeds.
+func (r *run) claim() bool {
+	if !r.counted {
+		return true
+	}
+	return r.remaining.Add(-1) >= 0
+}
+
+// pick maps a task to a worker queue, clamping a scheduler that was built
+// for a different worker count (a configuration mismatch) into range rather
+// than crashing mid-run.
+func (r *run) pick(key uint64) int {
+	w := r.p.cfg.Scheduler.Pick(key)
+	if w < 0 || w >= len(r.queues) {
+		w = ((w % len(r.queues)) + len(r.queues)) % len(r.queues)
+	}
+	return w
+}
+
+// selfProducer is Figure 1a: generate and execute in the same thread.
+func (r *run) selfProducer(i int) {
+	src := r.p.cfg.NewSource(i)
+	th := r.p.cfg.STM.NewThread()
+	for !r.stop.Load() {
+		if !r.claim() {
+			return
+		}
+		t := src.Next()
+		r.produced.Add(1)
+		if err := r.p.cfg.Workload.Execute(th, t); err != nil {
+			r.fail(err)
+			return
+		}
+		r.completed[i].n.Add(1)
+		if r.counted && r.done.Add(-1) == 0 {
+			r.stop.Store(true)
+			return
+		}
+	}
+}
+
+// parallelProducer is Figure 1c: the producer dispatches inline.
+func (r *run) parallelProducer(i int) {
+	src := r.p.cfg.NewSource(i)
+	for !r.stop.Load() {
+		if !r.claim() {
+			return
+		}
+		t := src.Next()
+		r.enqueue(r.pick(t.Key), t)
+	}
+}
+
+// centralProducer feeds the shared inbox (Figure 1b).
+func (r *run) centralProducer(i int, inbox queue.Queue[Task]) {
+	src := r.p.cfg.NewSource(i)
+	for !r.stop.Load() {
+		if !r.claim() {
+			return
+		}
+		t := src.Next()
+		if r.p.maxDepth > 0 {
+			for inbox.Len() >= r.p.maxDepth && !r.stop.Load() {
+				runtime.Gosched()
+			}
+		}
+		inbox.Put(t)
+		r.produced.Add(1)
+	}
+}
+
+// dispatcher is the centralized executor thread (Figure 1b).
+func (r *run) dispatcher(inbox queue.Queue[Task]) {
+	for {
+		t, ok := inbox.Get()
+		if !ok {
+			if r.stop.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		r.enqueueDirect(r.pick(t.Key), t)
+	}
+}
+
+// enqueue adds a task to worker w's queue with backpressure, and counts it
+// as produced.
+func (r *run) enqueue(w int, t Task) {
+	if r.p.maxDepth > 0 {
+		for r.queues[w].Len() >= r.p.maxDepth && !r.stop.Load() {
+			runtime.Gosched()
+		}
+	}
+	r.queues[w].Put(t)
+	r.produced.Add(1)
+}
+
+// enqueueDirect adds without counting (the central producer already counted
+// it at the inbox).
+func (r *run) enqueueDirect(w int, t Task) {
+	if r.p.maxDepth > 0 {
+		for r.queues[w].Len() >= r.p.maxDepth && !r.stop.Load() {
+			runtime.Gosched()
+		}
+	}
+	r.queues[w].Put(t)
+}
+
+// worker follows the paper's regimen (§4.1): get the next transaction,
+// execute it (the workload retries until success), bump the local counter.
+// With SortBatch set, the worker drains a batch and executes it in key
+// order (§2's buffer-reordering capability).
+func (r *run) worker(i int, counted bool) {
+	th := r.p.cfg.STM.NewThread()
+	w := r.p.cfg.Workload
+	var batch []Task
+	if r.p.cfg.SortBatch > 1 {
+		batch = make([]Task, 0, r.p.cfg.SortBatch)
+	}
+	for {
+		t, ok := r.queues[i].Get()
+		if !ok && r.p.cfg.WorkSteal {
+			t, ok = r.steal(i)
+		}
+		if !ok {
+			if r.stop.Load() {
+				if counted {
+					// Other workers may still be filling; only
+					// exit once the quota is done or a failure
+					// stopped the run.
+					if r.done.Load() <= 0 || r.workErr.Load() != nil {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				return
+			}
+			r.empty.Add(1)
+			runtime.Gosched()
+			continue
+		}
+		if batch == nil {
+			if !r.execOne(i, th, w, t, counted) {
+				return
+			}
+			continue
+		}
+		// Batch mode: drain up to SortBatch tasks, order by key.
+		batch = append(batch[:0], t)
+		for len(batch) < r.p.cfg.SortBatch {
+			more, ok := r.queues[i].Get()
+			if !ok {
+				break
+			}
+			batch = append(batch, more)
+		}
+		sort.Slice(batch, func(a, b int) bool { return batch[a].Key < batch[b].Key })
+		for _, bt := range batch {
+			if !r.execOne(i, th, w, bt, counted) {
+				return
+			}
+		}
+	}
+}
+
+// execOne executes a single task and updates completion accounting; it
+// reports whether the worker should keep running.
+func (r *run) execOne(i int, th *stm.Thread, w Workload, t Task, counted bool) bool {
+	if err := w.Execute(th, t); err != nil {
+		r.fail(err)
+		return false
+	}
+	r.completed[i].n.Add(1)
+	if counted && r.done.Add(-1) == 0 {
+		r.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// steal takes one task from another worker's queue.
+func (r *run) steal(i int) (Task, bool) {
+	n := len(r.queues)
+	for off := 1; off < n; off++ {
+		if t, ok := r.queues[(i+off)%n].Get(); ok {
+			r.steals.Add(1)
+			return t, true
+		}
+	}
+	return Task{}, false
+}

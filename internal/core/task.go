@@ -1,0 +1,87 @@
+// Package core implements the paper's primary contribution: the key-based
+// transactional-memory executor (§2–§3). Producer threads generate
+// transactions as parameter records; an executor dispatches each record to
+// one of w worker threads by its transaction key; workers execute the
+// transactions inside the STM, retrying until they commit.
+//
+// Three dispatch policies are provided, matching §3.2: round-robin
+// (keyless), fixed equal-width key ranges, and the adaptive PD-partition
+// that samples the key distribution and equalizes per-worker probability
+// mass. Three executor models are provided, matching Figure 1: no executor,
+// a centralized executor thread, and parallel executors inlined in the
+// producers (the configuration used for the paper's results).
+package core
+
+import (
+	"fmt"
+
+	"kstm/internal/stm"
+)
+
+// Op is a workload-defined opcode carried in a task. The dictionary
+// workloads use OpInsert and OpDelete; Fig. 4's overhead test uses OpNoop.
+type Op uint8
+
+// Operations of the dictionary microbenchmarks.
+const (
+	OpInsert Op = iota
+	OpDelete
+	OpLookup
+	OpNoop
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	case OpNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Task is one transaction's parameter record. As in the paper's
+// implementation (§4.1), the executor enqueues parameters, not closures:
+// the worker reconstructs and runs the transaction from the record.
+type Task struct {
+	// Key is the transaction key used for scheduling (§3.1). It need not
+	// equal the dictionary key: for the hash-table workload it is the
+	// hash function's output.
+	Key uint64
+	// Op selects the operation.
+	Op Op
+	// Arg is the operation argument — for dictionaries, the 16-bit
+	// search key.
+	Arg uint32
+}
+
+// TaskSource generates a producer's task stream. Implementations need not
+// be safe for concurrent use; every producer owns a private source.
+type TaskSource interface {
+	Next() Task
+}
+
+// SourceFunc adapts a function to TaskSource.
+type SourceFunc func() Task
+
+// Next implements TaskSource.
+func (f SourceFunc) Next() Task { return f() }
+
+// Workload executes tasks on a worker's STM thread. Execute must retry
+// internally until the transaction commits (the IntSet operations already
+// behave this way) and return only hard errors.
+type Workload interface {
+	Execute(th *stm.Thread, t Task) error
+}
+
+// WorkloadFunc adapts a function to Workload.
+type WorkloadFunc func(th *stm.Thread, t Task) error
+
+// Execute implements Workload.
+func (f WorkloadFunc) Execute(th *stm.Thread, t Task) error { return f(th, t) }

@@ -1,0 +1,405 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kstm/internal/core"
+	"kstm/internal/dist"
+	"kstm/internal/stm"
+	"kstm/internal/txds"
+)
+
+// fastOptions keep harness tests quick: 1 run, short horizon, few points.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Runs = 1
+	o.Threads = []int{2, 8}
+	o.DurationCycles = 40_000_000
+	o.RealTasks = 2000
+	return o
+}
+
+func TestTableRenderAndSeries(t *testing.T) {
+	tb := &Table{
+		ID:    "demo",
+		Title: "Demo",
+		Cols:  []string{"x", "y"},
+		Rows:  [][]float64{{1, 2.5}, {2, 3.25}},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "Demo", "x", "y", "2.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tb.RenderCSV(&buf)
+	if !strings.HasPrefix(buf.String(), "x,y\n1,2.5\n") {
+		t.Errorf("csv = %q", buf.String())
+	}
+	ys, err := tb.Series("y")
+	if err != nil || len(ys) != 2 || ys[1] != 3.25 {
+		t.Fatalf("Series = %v, %v", ys, err)
+	}
+	if _, err := tb.Series("z"); err == nil {
+		t.Error("Series(z) succeeded")
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if formatCell(3) != "3" {
+		t.Errorf("formatCell(3) = %q", formatCell(3))
+	}
+	if formatCell(3.14159) != "3.142" {
+		t.Errorf("formatCell(pi) = %q", formatCell(3.14159))
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 10 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"fig3-uniform", "fig3-gaussian", "fig3-exponential", "fig4-overhead", "tr-contention"} {
+		if !seen[id] {
+			t.Errorf("missing required experiment %q", id)
+		}
+	}
+	if _, err := ByID("fig3-uniform"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func TestFig3UniformShape(t *testing.T) {
+	e, err := ByID("fig3-uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOptions()
+	o.DurationCycles = 0 // default horizon: needed for warm caches
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	tb := tables[0]
+	rr, _ := tb.Series("roundrobin")
+	ad, _ := tb.Series("adaptive")
+	for i := range rr {
+		if ad[i] <= rr[i] {
+			t.Errorf("row %d: adaptive %.3g <= roundrobin %.3g", i, ad[i], rr[i])
+		}
+	}
+}
+
+func TestFig3ExponentialShape(t *testing.T) {
+	e, err := ByID("fig3-exponential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOptions()
+	o.DurationCycles = 0
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	fx, _ := tb.Series("fixed")
+	ad, _ := tb.Series("adaptive")
+	// Fixed flat: last point not much above first; adaptive clearly above
+	// fixed at high worker counts.
+	if fx[len(fx)-1] > fx[0]*1.4 {
+		t.Errorf("fixed not flat under exponential: %v", fx)
+	}
+	if ad[len(ad)-1] < fx[len(fx)-1]*1.5 {
+		t.Errorf("adaptive (%v) not well above fixed (%v) at high workers", ad, fx)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	e, _ := ByID("fig4-overhead")
+	o := fastOptions()
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	ratios, _ := tb.Series("ratio")
+	if ratios[0] < 1.2 {
+		t.Errorf("overhead ratio at 2 threads = %.2f, want > 1.2", ratios[0])
+	}
+	if ratios[len(ratios)-1] > ratios[0] {
+		t.Errorf("ratio did not shrink with threads: %v", ratios)
+	}
+}
+
+func TestContentionExperiment(t *testing.T) {
+	e, _ := ByID("tr-contention")
+	o := fastOptions()
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 9 { // 3 structures x 3 distributions
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	rr, _ := tb.Series("roundrobin")
+	// Hash-table rows (structure index 0) must show negligible contention.
+	for i, row := range tb.Rows {
+		if row[0] == 0 && rr[i] > 0.02 {
+			t.Errorf("hashtable contention %.4f > 0.02 (row %d)", rr[i], i)
+		}
+	}
+}
+
+func TestBalanceExperiment(t *testing.T) {
+	e, _ := ByID("tr-balance")
+	tables, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	fx, _ := tb.Series("fixed")
+	ad, _ := tb.Series("adaptive")
+	// Exponential row (index 2): fixed severely imbalanced, adaptive not.
+	if fx[2] < 3 {
+		t.Errorf("fixed imbalance under exponential = %.2f", fx[2])
+	}
+	if ad[2] > 2 {
+		t.Errorf("adaptive imbalance under exponential = %.2f", ad[2])
+	}
+}
+
+func TestThresholdAblation(t *testing.T) {
+	e, _ := ByID("ablation-threshold")
+	tables, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 4 {
+		t.Fatalf("rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestStealAblation(t *testing.T) {
+	e, _ := ByID("ablation-steal")
+	o := fastOptions()
+	o.Threads = []int{8}
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	off, _ := tb.Series("nosteal")
+	on, _ := tb.Series("steal")
+	if on[0] <= off[0] {
+		t.Errorf("stealing did not help fixed under skew: %v vs %v", on[0], off[0])
+	}
+}
+
+func TestReAdaptAblation(t *testing.T) {
+	e, _ := ByID("ablation-readapt")
+	tables, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	imb, _ := tb.Series("imbalance")
+	if imb[1] >= imb[0] {
+		t.Errorf("re-adaptation (%.2f) not better balanced than one-shot (%.2f) under drift", imb[1], imb[0])
+	}
+}
+
+func TestQueueAblationReal(t *testing.T) {
+	e, _ := ByID("ablation-queue")
+	tables, err := e.Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, _ := tables[0].Series("throughput")
+	for i, v := range thr {
+		if v <= 0 {
+			t.Errorf("queue kind %d throughput %v", i, v)
+		}
+	}
+}
+
+func TestSortBatchAblationReal(t *testing.T) {
+	e, _ := ByID("ablation-sortbatch")
+	o := fastOptions()
+	o.RealTasks = 1500
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, _ := tables[0].Series("throughput")
+	if len(thr) != 4 {
+		t.Fatalf("rows = %d", len(thr))
+	}
+	for i, v := range thr {
+		if v <= 0 {
+			t.Errorf("batch row %d throughput %v", i, v)
+		}
+	}
+}
+
+func TestCMAblationReal(t *testing.T) {
+	e, _ := ByID("ablation-cm")
+	o := fastOptions()
+	o.RealTasks = 1000
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, _ := tables[0].Series("throughput")
+	if len(thr) < 10 {
+		t.Fatalf("only %d managers measured", len(thr))
+	}
+}
+
+func TestRealModeFig3Point(t *testing.T) {
+	// Real mode end-to-end: hash table on the actual STM through the
+	// executor (scaling is not asserted — single-CPU hosts).
+	o := fastOptions()
+	o.Mode = ModeReal
+	o.Threads = []int{2}
+	tb, err := schedulerSweep(o, txds.KindHashTable, "uniform", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"roundrobin", "fixed", "adaptive"} {
+		s, err := tb.Series(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s[0] <= 0 {
+			t.Errorf("%s real throughput = %v", col, s[0])
+		}
+	}
+}
+
+func TestRealModeRBTreePoint(t *testing.T) {
+	o := fastOptions()
+	o.Mode = ModeReal
+	o.RealTasks = 800
+	thr, res, err := realPoint(o, txds.KindRBTree, "gaussian", core.SchedAdaptive, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 0 || res.Completed == 0 {
+		t.Fatalf("rbtree real: thr=%v res=%+v", thr, res)
+	}
+}
+
+func TestRealModeSortedListCapped(t *testing.T) {
+	o := fastOptions()
+	o.Mode = ModeReal
+	o.RealTasks = 100000 // should be capped internally for the list
+	thr, _, err := realPoint(o, txds.KindSortedList, "exponential", core.SchedRoundRobin, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 0 {
+		t.Fatal("list real throughput <= 0")
+	}
+}
+
+func TestDictSourceSplitsOps(t *testing.T) {
+	src := NewDictSource(dist.NewUniform(1), nil)
+	inserts, deletes := 0, 0
+	for i := 0; i < 1000; i++ {
+		task := src.Next()
+		switch task.Op {
+		case core.OpInsert:
+			inserts++
+		case core.OpDelete:
+			deletes++
+		default:
+			t.Fatalf("unexpected op %v", task.Op)
+		}
+		if task.Key != uint64(task.Arg) {
+			t.Fatal("nil keyFn should use identity")
+		}
+	}
+	if inserts == 0 || deletes == 0 {
+		t.Fatalf("ops not mixed: %d/%d", inserts, deletes)
+	}
+}
+
+func TestNewRealConfigHashKeyFn(t *testing.T) {
+	cfg, err := NewRealConfig(txds.KindHashTable, "uniform", core.SchedFixed, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := cfg.NewSource(0)
+	for i := 0; i < 100; i++ {
+		task := src.Next()
+		if task.Key >= txds.DefaultBuckets {
+			t.Fatalf("hash txn key %d outside bucket space", task.Key)
+		}
+	}
+	if _, err := NewRealConfig(txds.KindHashTable, "pareto", core.SchedFixed, 2, 2, 1); err == nil {
+		t.Error("bad dist accepted")
+	}
+	if _, err := NewRealConfig("btree", "uniform", core.SchedFixed, 2, 2, 1); err == nil {
+		t.Error("bad structure accepted")
+	}
+}
+
+func TestDictWorkloadOps(t *testing.T) {
+	set := txds.NewHashTable(16)
+	w := NewDictWorkload(set)
+	th := stm.New().NewThread()
+	for _, op := range []core.Op{core.OpInsert, core.OpLookup, core.OpDelete, core.OpNoop} {
+		if err := w.Execute(th, core.Task{Op: op, Arg: 3}); err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+	}
+	if err := w.Execute(th, core.Task{Op: core.Op(99)}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow")
+	}
+	o := fastOptions()
+	o.Threads = []int{2}
+	o.RealTasks = 500
+	tables, err := RunAll(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 12 {
+		t.Fatalf("RunAll produced %d tables", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		tb.Render(&buf)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no rendered output")
+	}
+}

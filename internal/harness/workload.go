@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+
+	"kstm/internal/core"
+	"kstm/internal/dist"
+	"kstm/internal/stm"
+	"kstm/internal/txds"
+)
+
+// DictSource adapts a key-distribution source into the executor's task
+// stream: each 17-bit draw splits into a 16-bit dictionary key and an
+// insert/delete bit (§4.4), and the transaction key is derived with keyFn
+// (the hash output for hash tables, the identity otherwise — §4.2).
+type DictSource struct {
+	src   dist.Source
+	keyFn func(uint32) uint64
+}
+
+// NewDictSource builds a task source; a nil keyFn uses the dictionary key
+// itself as the transaction key.
+func NewDictSource(src dist.Source, keyFn func(uint32) uint64) *DictSource {
+	if keyFn == nil {
+		keyFn = func(k uint32) uint64 { return uint64(k) }
+	}
+	return &DictSource{src: src, keyFn: keyFn}
+}
+
+// Next implements core.TaskSource.
+func (d *DictSource) Next() core.Task {
+	key, insert := dist.Split(d.src.Next())
+	op := core.OpDelete
+	if insert {
+		op = core.OpInsert
+	}
+	return core.Task{Key: d.keyFn(key), Op: op, Arg: key}
+}
+
+// DictWorkload executes dictionary tasks against an IntSet — the worker-side
+// binding for real-mode experiments.
+type DictWorkload struct {
+	set txds.IntSet
+}
+
+// NewDictWorkload wraps an IntSet as a core.Workload.
+func NewDictWorkload(set txds.IntSet) *DictWorkload {
+	return &DictWorkload{set: set}
+}
+
+// Execute implements core.Workload.
+func (d *DictWorkload) Execute(th *stm.Thread, t core.Task) error {
+	var err error
+	switch t.Op {
+	case core.OpInsert:
+		_, err = d.set.Insert(th, t.Arg)
+	case core.OpDelete:
+		_, err = d.set.Delete(th, t.Arg)
+	case core.OpLookup:
+		_, err = d.set.Contains(th, t.Arg)
+	case core.OpNoop:
+		// Trivial transaction (Figure 4): nothing to do.
+	default:
+		err = fmt.Errorf("harness: unknown op %v", t.Op)
+	}
+	return err
+}
+
+// NewRealConfig assembles a real-mode executor config for a benchmark
+// structure: fresh STM, the structure, its transaction-key function, per-
+// producer sources split from seed, and the requested scheduler.
+func NewRealConfig(kind txds.Kind, distName string, sched core.SchedulerKind, workers, producers int, seed uint64) (core.Config, error) {
+	set, err := txds.New(kind)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var keyFn func(uint32) uint64
+	maxKey := uint64(dist.MaxKey)
+	if ht, ok := set.(*txds.HashTable); ok {
+		keyFn = func(k uint32) uint64 { return uint64(ht.Hash(k)) }
+		maxKey = uint64(ht.Buckets() - 1)
+	}
+	scheduler, err := core.NewScheduler(sched, 0, maxKey, workers)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		STM:      stm.New(),
+		Workload: NewDictWorkload(set),
+		NewSource: func(p int) core.TaskSource {
+			src, err := dist.ByName(distName, seed+uint64(p)*0x9e37)
+			if err != nil {
+				// Validated below before use; return a constant
+				// stream to keep the signature simple.
+				return core.SourceFunc(func() core.Task { return core.Task{} })
+			}
+			return NewDictSource(src, keyFn)
+		},
+		Workers:   workers,
+		Producers: producers,
+		Model:     core.ModelParallel,
+		Scheduler: scheduler,
+	}, validateDist(distName)
+}
+
+func validateDist(name string) error {
+	_, err := dist.ByName(name, 0)
+	return err
+}

@@ -1,0 +1,393 @@
+// Package hist implements the probability-distribution machinery behind the
+// paper's adaptive scheduler (§3.2, Figure 2): an equal-width sample
+// histogram, a piecewise-linear estimate of the cumulative distribution
+// function, and the PD-partition that converts the estimated CDF into
+// equal-probability key ranges (Shen & Ding, ICPP'04; Janus & Lamagna,
+// IEEE ToC 1985).
+//
+// It also implements the multinomial-proportion sample-size bound the paper
+// cites: 10,000 samples guarantee with 95% confidence that the estimated CDF
+// is 99% accurate.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts samples in equal-width cells over the closed key range
+// [min, max]. Add is safe for concurrent use (atomic per-cell counters), so
+// parallel producers can sample into a shared histogram without locks, as
+// the parallel-executor model requires.
+type Histogram struct {
+	min, max uint64
+	width    float64 // cell width in key units
+	cells    []atomic.Uint64
+	total    atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given number of cells over
+// [min, max]. It panics if cells <= 0 or max < min; these are programming
+// errors, not runtime conditions.
+func NewHistogram(min, max uint64, cells int) *Histogram {
+	if cells <= 0 {
+		panic("hist: NewHistogram with non-positive cell count")
+	}
+	if max < min {
+		panic("hist: NewHistogram with max < min")
+	}
+	return &Histogram{
+		min:   min,
+		max:   max,
+		width: float64(max-min+1) / float64(cells),
+		cells: make([]atomic.Uint64, cells),
+	}
+}
+
+// Cells returns the number of cells.
+func (h *Histogram) Cells() int { return len(h.cells) }
+
+// Range returns the key range covered.
+func (h *Histogram) Range() (min, max uint64) { return h.min, h.max }
+
+// cellOf maps a key to its cell index, clamping out-of-range keys to the
+// boundary cells so that stray samples never panic mid-experiment.
+func (h *Histogram) cellOf(key uint64) int {
+	if key <= h.min {
+		return 0
+	}
+	if key >= h.max {
+		return len(h.cells) - 1
+	}
+	i := int(float64(key-h.min) / h.width)
+	if i >= len(h.cells) {
+		i = len(h.cells) - 1
+	}
+	return i
+}
+
+// Add records one sample.
+func (h *Histogram) Add(key uint64) {
+	h.cells[h.cellOf(key)].Add(1)
+	h.total.Add(1)
+}
+
+// Total returns the number of samples recorded so far.
+func (h *Histogram) Total() uint64 { return h.total.Load() }
+
+// Count returns the count in cell i.
+func (h *Histogram) Count(i int) uint64 { return h.cells[i].Load() }
+
+// Snapshot copies the current counts. The copy is internally consistent
+// enough for partitioning: each counter is read once, monotonically.
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, len(h.cells))
+	for i := range h.cells {
+		out[i] = h.cells[i].Load()
+	}
+	return out
+}
+
+// Reset zeroes all counters. Used by the re-adaptation extension between
+// sampling windows; not concurrent-safe with Add.
+func (h *Histogram) Reset() {
+	for i := range h.cells {
+		h.cells[i].Store(0)
+	}
+	h.total.Store(0)
+}
+
+// CDF is a piecewise-linear estimate of the cumulative distribution function
+// over [min, max], built from a histogram snapshot — step (d) of Figure 2.
+// cum[i] is the estimated probability that a key falls in cells 0..i.
+type CDF struct {
+	min, max uint64
+	width    float64
+	cum      []float64
+	total    uint64
+}
+
+// NewCDF builds a CDF from a histogram. It returns an error if the
+// histogram has no samples, since an empty CDF defines no partition.
+func NewCDF(h *Histogram) (*CDF, error) {
+	return newCDF(h.min, h.max, h.width, h.Snapshot())
+}
+
+// NewCDFFromCounts builds a CDF from raw cell counts over [min, max]; it is
+// the testable core of NewCDF.
+func NewCDFFromCounts(min, max uint64, counts []uint64) (*CDF, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("hist: no cells")
+	}
+	width := float64(max-min+1) / float64(len(counts))
+	return newCDF(min, max, width, counts)
+}
+
+func newCDF(min, max uint64, width float64, counts []uint64) (*CDF, error) {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("hist: cannot estimate CDF from zero samples")
+	}
+	cum := make([]float64, len(counts))
+	var running uint64
+	for i, c := range counts {
+		running += c
+		cum[i] = float64(running) / float64(total)
+	}
+	return &CDF{min: min, max: max, width: width, cum: cum, total: total}, nil
+}
+
+// Total returns the number of samples the estimate is based on.
+func (c *CDF) Total() uint64 { return c.total }
+
+// At returns the estimated P(key <= x), interpolating linearly within a
+// cell, matching the piecewise-linear approximation of Figure 2(d).
+func (c *CDF) At(x uint64) float64 {
+	if x < c.min {
+		return 0
+	}
+	if x >= c.max {
+		return 1
+	}
+	pos := float64(x-c.min+1) / c.width // in units of cells
+	i := int(pos)
+	if i >= len(c.cum) {
+		return 1
+	}
+	frac := pos - float64(i)
+	lo := 0.0
+	if i > 0 {
+		lo = c.cum[i-1]
+	}
+	return lo + frac*(c.cum[i]-lo)
+}
+
+// Quantile returns the smallest key x such that the estimated P(key <= x)
+// is at least p — the "project down onto the x axis" step of Figure 2(e).
+// p is clamped to [0, 1].
+func (c *CDF) Quantile(p float64) uint64 {
+	if p <= 0 {
+		return c.min
+	}
+	if p >= 1 {
+		return c.max
+	}
+	// Binary search for the first cell whose cumulative probability
+	// reaches p, then interpolate linearly inside it.
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cellStart := 0.0
+	if lo > 0 {
+		cellStart = c.cum[lo-1]
+	}
+	cellMass := c.cum[lo] - cellStart
+	frac := 1.0
+	if cellMass > 0 {
+		frac = (p - cellStart) / cellMass
+	}
+	key := float64(c.min) + (float64(lo)+frac)*c.width
+	k := uint64(key)
+	if k > c.max {
+		k = c.max
+	}
+	if k < c.min {
+		k = c.min
+	}
+	return k
+}
+
+// Partition is the output of PD-partitioning: w contiguous key ranges with
+// approximately equal probability mass. Bounds holds the w-1 interior
+// boundaries; range i is [Bounds[i-1]+1, Bounds[i]] with the outer edges at
+// min and max. Lookup is by binary search.
+type Partition struct {
+	min, max uint64
+	bounds   []uint64 // len w-1, strictly increasing
+}
+
+// PDPartition divides the key space into w equal-probability ranges using
+// the estimated CDF — the complete Figure 2 pipeline. It returns an error
+// if w <= 0.
+func PDPartition(c *CDF, w int) (*Partition, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("hist: PDPartition with %d workers", w)
+	}
+	bounds := make([]uint64, 0, w-1)
+	prev := c.min
+	for i := 1; i < w; i++ {
+		b := c.Quantile(float64(i) / float64(w))
+		// Keep boundaries strictly increasing so every range is
+		// non-empty even under degenerate (point-mass) distributions.
+		if b <= prev {
+			b = prev + 1
+		}
+		if b > c.max {
+			b = c.max
+		}
+		bounds = append(bounds, b)
+		prev = b
+	}
+	return &Partition{min: c.min, max: c.max, bounds: bounds}, nil
+}
+
+// UniformPartition returns the fixed scheduler's partition: w equal-width
+// ranges over [min, max].
+func UniformPartition(min, max uint64, w int) (*Partition, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("hist: UniformPartition with %d workers", w)
+	}
+	if max < min {
+		return nil, fmt.Errorf("hist: UniformPartition with max < min")
+	}
+	span := float64(max-min+1) / float64(w)
+	bounds := make([]uint64, 0, w-1)
+	prev := min
+	for i := 1; i < w; i++ {
+		b := min + uint64(span*float64(i)) - 1
+		if b <= prev {
+			b = prev + 1
+		}
+		if b > max {
+			b = max
+		}
+		bounds = append(bounds, b)
+		prev = b
+	}
+	return &Partition{min: min, max: max, bounds: bounds}, nil
+}
+
+// Workers returns the number of ranges.
+func (p *Partition) Workers() int { return len(p.bounds) + 1 }
+
+// Pick returns the index of the range containing key, clamping out-of-range
+// keys to the edge ranges.
+func (p *Partition) Pick(key uint64) int {
+	// Binary search over bounds: the answer is the first bound >= key.
+	lo, hi := 0, len(p.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.bounds[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Bounds returns a copy of the interior boundaries.
+func (p *Partition) Bounds() []uint64 {
+	out := make([]uint64, len(p.bounds))
+	copy(out, p.bounds)
+	return out
+}
+
+// RangeOf returns the closed key range assigned to worker i.
+func (p *Partition) RangeOf(i int) (lo, hi uint64) {
+	if i < 0 || i >= p.Workers() {
+		panic(fmt.Sprintf("hist: RangeOf(%d) with %d workers", i, p.Workers()))
+	}
+	lo, hi = p.min, p.max
+	if i > 0 {
+		lo = p.bounds[i-1] + 1
+	}
+	if i < len(p.bounds) {
+		hi = p.bounds[i]
+	}
+	return lo, hi
+}
+
+// String renders the partition compactly for logs and reports.
+func (p *Partition) String() string {
+	s := "["
+	for i := 0; i < p.Workers(); i++ {
+		lo, hi := p.RangeOf(i)
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d..%d", i, lo, hi)
+	}
+	return s + "]"
+}
+
+// Imbalance measures how far a partition is from perfectly balancing the
+// given sample counts: it returns max over ranges of (range mass / ideal
+// mass). 1.0 is perfect balance; the fixed partition under the paper's
+// exponential distribution scores near w.
+func (p *Partition) Imbalance(keys []uint64) float64 {
+	if len(keys) == 0 {
+		return 1
+	}
+	loads := make([]int, p.Workers())
+	for _, k := range keys {
+		loads[p.Pick(k)]++
+	}
+	ideal := float64(len(keys)) / float64(p.Workers())
+	worst := 0.0
+	for _, l := range loads {
+		if r := float64(l) / ideal; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// SampleSize returns the number of samples needed so that, with the given
+// confidence, every estimated CDF value is within (1-accuracy) of the truth.
+// This is the multinomial/binomial proportion estimation bound the paper
+// cites from Shen & Ding: using the worst-case variance p(1-p) <= 1/4 and
+// the normal approximation,
+//
+//	n >= z^2 / (4 d^2),  z = Phi^-1(1 - alpha/2),  d = 1 - accuracy.
+//
+// With confidence 0.95 and accuracy 0.99 it yields 9,604, which the paper
+// rounds up to its 10,000-sample threshold.
+func SampleSize(confidence, accuracy float64) (int, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("hist: confidence %v out of (0,1)", confidence)
+	}
+	if accuracy <= 0 || accuracy >= 1 {
+		return 0, fmt.Errorf("hist: accuracy %v out of (0,1)", accuracy)
+	}
+	alpha := 1 - confidence
+	d := 1 - accuracy
+	z := normQuantile(1 - alpha/2)
+	n := z * z / (4 * d * d)
+	return int(math.Ceil(n)), nil
+}
+
+// SampleSizeBonferroni is the stricter simultaneous bound: it Bonferroni-
+// corrects across histogram cells so that all cell proportions are accurate
+// at once. It is used by the threshold ablation to show the paper's simple
+// bound is already adequate in practice.
+func SampleSizeBonferroni(confidence, accuracy float64, cells int) (int, error) {
+	if cells <= 0 {
+		return 0, fmt.Errorf("hist: %d cells", cells)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("hist: confidence %v out of (0,1)", confidence)
+	}
+	alpha := (1 - confidence) / float64(cells)
+	return SampleSize(1-alpha, accuracy)
+}
+
+// DefaultSampleThreshold is the paper's confidence threshold: 10,000 samples
+// guarantee with 95% confidence a 99%-accurate CDF.
+const DefaultSampleThreshold = 10000
+
+// normQuantile returns the p-quantile of the standard normal distribution
+// via the inverse error function.
+func normQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}

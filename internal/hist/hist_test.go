@@ -1,0 +1,480 @@
+package hist
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kstm/internal/dist"
+	"kstm/internal/rng"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 99, 10)
+	if h.Cells() != 10 {
+		t.Fatalf("Cells = %d", h.Cells())
+	}
+	for i := uint64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if c := h.Count(i); c != 10 {
+			t.Errorf("cell %d = %d, want 10", i, c)
+		}
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(10, 19, 2)
+	h.Add(0)    // below min -> cell 0
+	h.Add(1000) // above max -> last cell
+	if h.Count(0) != 1 || h.Count(1) != 1 {
+		t.Errorf("clamping failed: counts %d,%d", h.Count(0), h.Count(1))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero cells": func() { NewHistogram(0, 9, 0) },
+		"max<min":    func() { NewHistogram(9, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramConcurrentAdd(t *testing.T) {
+	h := NewHistogram(0, 1023, 16)
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for i := 0; i < per; i++ {
+				h.Add(r.Uint64n(1024))
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if h.Total() != workers*per {
+		t.Fatalf("Total = %d, want %d", h.Total(), workers*per)
+	}
+	var sum uint64
+	for i := 0; i < h.Cells(); i++ {
+		sum += h.Count(i)
+	}
+	if sum != workers*per {
+		t.Fatalf("cell sum = %d, want %d", sum, workers*per)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 9, 2)
+	h.Add(1)
+	h.Reset()
+	if h.Total() != 0 || h.Count(0) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestCDFRejectsEmpty(t *testing.T) {
+	h := NewHistogram(0, 9, 2)
+	if _, err := NewCDF(h); err == nil {
+		t.Error("NewCDF on empty histogram succeeded")
+	}
+	if _, err := NewCDFFromCounts(0, 9, nil); err == nil {
+		t.Error("NewCDFFromCounts with no cells succeeded")
+	}
+}
+
+func TestCDFUniformAt(t *testing.T) {
+	counts := []uint64{10, 10, 10, 10}
+	c, err := NewCDFFromCounts(0, 99, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    uint64
+		want float64
+	}{
+		{24, 0.25}, {49, 0.5}, {74, 0.75}, {99, 1}, {0, 0.01},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 0.02 {
+			t.Errorf("At(%d) = %v, want ~%v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.At(1000); got != 1 {
+		t.Errorf("At(beyond max) = %v, want 1", got)
+	}
+}
+
+func TestCDFQuantileMonotone(t *testing.T) {
+	counts := []uint64{1, 0, 0, 50, 3, 0, 10, 7}
+	c, err := NewCDFFromCounts(0, 799, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := c.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone at p=%v: %d < %d", p, q, prev)
+		}
+		prev = q
+	}
+	if c.Quantile(-1) != 0 || c.Quantile(2) != 799 {
+		t.Error("Quantile clamping broken")
+	}
+}
+
+func TestQuantileInvertsAt(t *testing.T) {
+	// On a distribution with no empty cells, Quantile should approximately
+	// invert At.
+	counts := []uint64{5, 9, 21, 40, 13, 7, 3, 2}
+	c, err := NewCDFFromCounts(0, 7999, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		q := c.Quantile(p)
+		if got := c.At(q); math.Abs(got-p) > 0.01 {
+			t.Errorf("At(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestPDPartitionBalancesSkew(t *testing.T) {
+	// Build a histogram from the paper's exponential distribution and
+	// check that the PD-partition balances it while the uniform partition
+	// does not.
+	src := dist.NewExponentialDefault(9)
+	// 256 cells: the exponential packs ~87% of its key mass below 1024,
+	// so coarse cells leave the piecewise-linear CDF too blunt to balance.
+	h := NewHistogram(0, dist.MaxKey, 256)
+	keys := make([]uint64, 0, DefaultSampleThreshold)
+	for i := 0; i < DefaultSampleThreshold; i++ {
+		key, _ := dist.Split(src.Next())
+		k := uint64(key)
+		h.Add(k)
+		keys = append(keys, k)
+	}
+	c, err := NewCDF(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 8
+	adaptive, err := PDPartition(c, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := UniformPartition(0, dist.MaxKey, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := adaptive.Imbalance(keys)
+	fi := fixed.Imbalance(keys)
+	if ai > 1.6 {
+		t.Errorf("adaptive imbalance = %v, want near 1", ai)
+	}
+	if fi < 6 {
+		t.Errorf("fixed imbalance under exponential = %v, want near %d", fi, w)
+	}
+	if ai >= fi {
+		t.Errorf("adaptive (%v) not better than fixed (%v)", ai, fi)
+	}
+}
+
+func TestPDPartitionUniformMatchesFixed(t *testing.T) {
+	// Under a uniform distribution the adaptive boundaries should be close
+	// to the equal-width ones.
+	src := dist.NewUniform(10)
+	h := NewHistogram(0, dist.MaxKey, 64)
+	for i := 0; i < 50000; i++ {
+		key, _ := dist.Split(src.Next())
+		h.Add(uint64(key))
+	}
+	c, _ := NewCDF(h)
+	const w = 4
+	adaptive, _ := PDPartition(c, w)
+	fixed, _ := UniformPartition(0, dist.MaxKey, w)
+	ab, fb := adaptive.Bounds(), fixed.Bounds()
+	for i := range ab {
+		diff := math.Abs(float64(ab[i]) - float64(fb[i]))
+		if diff > float64(dist.MaxKey)/20 {
+			t.Errorf("bound %d: adaptive %d vs fixed %d (diff %v)", i, ab[i], fb[i], diff)
+		}
+	}
+}
+
+func TestPartitionPick(t *testing.T) {
+	p, err := UniformPartition(0, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0, 0}, {24, 0}, {25, 1}, {49, 1}, {50, 2}, {74, 2}, {75, 3}, {99, 3}, {1000, 3},
+	}
+	for _, c := range cases {
+		if got := p.Pick(c.key); got != c.want {
+			t.Errorf("Pick(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestPartitionRangesCoverSpace(t *testing.T) {
+	p, err := UniformPartition(0, 65535, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevHi := uint64(0)
+	for i := 0; i < p.Workers(); i++ {
+		lo, hi := p.RangeOf(i)
+		if i == 0 && lo != 0 {
+			t.Errorf("first range starts at %d", lo)
+		}
+		if i > 0 && lo != prevHi+1 {
+			t.Errorf("range %d starts at %d, want %d", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Errorf("range %d inverted: %d..%d", i, lo, hi)
+		}
+		prevHi = hi
+	}
+	if prevHi != 65535 {
+		t.Errorf("last range ends at %d", prevHi)
+	}
+}
+
+func TestPartitionSingleWorker(t *testing.T) {
+	p, err := UniformPartition(0, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	if p.Pick(50) != 0 {
+		t.Error("single-worker Pick != 0")
+	}
+}
+
+func TestPDPartitionPointMass(t *testing.T) {
+	// All samples on one key: boundaries must still be strictly increasing
+	// and Pick must be total.
+	counts := make([]uint64, 16)
+	counts[3] = 1000
+	c, err := NewCDFFromCounts(0, 1599, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PDPartition(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bounds()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", b)
+		}
+	}
+	for k := uint64(0); k < 1600; k += 7 {
+		w := p.Pick(k)
+		if w < 0 || w >= 8 {
+			t.Fatalf("Pick(%d) = %d", k, w)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	c, _ := NewCDFFromCounts(0, 9, []uint64{1})
+	if _, err := PDPartition(c, 0); err == nil {
+		t.Error("PDPartition(w=0) succeeded")
+	}
+	if _, err := UniformPartition(0, 9, 0); err == nil {
+		t.Error("UniformPartition(w=0) succeeded")
+	}
+	if _, err := UniformPartition(9, 0, 2); err == nil {
+		t.Error("UniformPartition(max<min) succeeded")
+	}
+}
+
+func TestRangeOfPanicsOutOfBounds(t *testing.T) {
+	p, _ := UniformPartition(0, 9, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RangeOf(5) did not panic")
+		}
+	}()
+	p.RangeOf(5)
+}
+
+func TestPartitionString(t *testing.T) {
+	p, _ := UniformPartition(0, 99, 2)
+	if s := p.String(); s == "" || s[0] != '[' {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSampleSizePaperThreshold(t *testing.T) {
+	// The paper: 10,000 samples give 95% confidence of a 99%-accurate
+	// CDF. The Shen & Ding bound evaluates to 9,604, which the paper
+	// rounds up to 10,000.
+	n, err := SampleSize(0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 9500 || n > DefaultSampleThreshold {
+		t.Errorf("SampleSize(0.95, 0.99) = %d, want 9604 (paper rounds to %d)", n, DefaultSampleThreshold)
+	}
+}
+
+func TestSampleSizeMonotonicity(t *testing.T) {
+	n1, _ := SampleSize(0.95, 0.99)
+	n2, _ := SampleSize(0.99, 0.99) // more confidence -> more samples
+	n3, _ := SampleSize(0.95, 0.999)
+	if n2 <= n1 {
+		t.Errorf("higher confidence needs %d <= %d samples", n2, n1)
+	}
+	if n3 <= n1 {
+		t.Errorf("higher accuracy needs %d <= %d samples", n3, n1)
+	}
+}
+
+func TestSampleSizeBonferroniStricter(t *testing.T) {
+	n1, _ := SampleSize(0.95, 0.99)
+	n2, err := SampleSizeBonferroni(0.95, 0.99, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 <= n1 {
+		t.Errorf("Bonferroni bound %d not stricter than simple bound %d", n2, n1)
+	}
+	if _, err := SampleSizeBonferroni(0.95, 0.99, 0); err == nil {
+		t.Error("SampleSizeBonferroni(cells=0) succeeded")
+	}
+}
+
+func TestSampleSizeErrors(t *testing.T) {
+	for _, c := range []struct {
+		conf, acc float64
+	}{
+		{0, 0.99}, {1, 0.99}, {0.95, 0}, {0.95, 1},
+	} {
+		if _, err := SampleSize(c.conf, c.acc); err == nil {
+			t.Errorf("SampleSize(%v,%v) succeeded", c.conf, c.acc)
+		}
+	}
+}
+
+func TestQuickPartitionPickMatchesLinearScan(t *testing.T) {
+	p, err := UniformPartition(0, 1<<16-1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := p.Bounds()
+	f := func(key uint16) bool {
+		k := uint64(key)
+		want := sort.Search(len(bounds), func(i int) bool { return bounds[i] >= k })
+		return p.Pick(k) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPDPartitionBalanced(t *testing.T) {
+	// Property: for random histograms with plenty of mass, the adaptive
+	// partition's imbalance on the sampled keys is bounded.
+	r := rng.New(123)
+	f := func(seed uint32) bool {
+		gen := rng.New(uint64(seed))
+		h := NewHistogram(0, 1<<16-1, 64)
+		keys := make([]uint64, 0, 20000)
+		// Random mixture: a point mass region plus uniform noise.
+		center := gen.Uint64n(1 << 16)
+		for i := 0; i < 20000; i++ {
+			var k uint64
+			if gen.Float64() < 0.7 {
+				k = center + gen.Uint64n(1024)
+				if k > 1<<16-1 {
+					k = 1<<16 - 1
+				}
+			} else {
+				k = gen.Uint64n(1 << 16)
+			}
+			h.Add(k)
+			keys = append(keys, k)
+		}
+		c, err := NewCDF(h)
+		if err != nil {
+			return false
+		}
+		w := 2 + int(r.Uint64n(14))
+		p, err := PDPartition(c, w)
+		if err != nil {
+			return false
+		}
+		// With 70% of mass inside a 1024-wide band that spans many
+		// histogram cells, a balanced partition keeps the max range
+		// within a factor ~3 of ideal (cell granularity limits it).
+		return p.Imbalance(keys) < 3.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram(0, dist.MaxKey, 64)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(r.Uint64n(1 << 16))
+	}
+}
+
+func BenchmarkPartitionPick(b *testing.B) {
+	src := dist.NewExponentialDefault(1)
+	h := NewHistogram(0, dist.MaxKey, 64)
+	for i := 0; i < 10000; i++ {
+		key, _ := dist.Split(src.Next())
+		h.Add(uint64(key))
+	}
+	c, _ := NewCDF(h)
+	p, _ := PDPartition(c, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Pick(uint64(i) & dist.KeyMask)
+	}
+}
+
+func BenchmarkPDPartitionBuild(b *testing.B) {
+	src := dist.NewGaussianDefault(1)
+	h := NewHistogram(0, dist.MaxKey, 64)
+	for i := 0; i < 10000; i++ {
+		key, _ := dist.Split(src.Next())
+		h.Add(uint64(key))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := NewCDF(h)
+		_, _ = PDPartition(c, 16)
+	}
+}

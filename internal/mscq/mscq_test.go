@@ -1,0 +1,256 @@
+package mscq
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int]()
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("Dequeue on empty returned (%d, true)", v)
+	}
+	if !q.Empty() {
+		t.Error("Empty() = false on new queue")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len() = %d on new queue", q.Len())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	if q.Empty() {
+		t.Fatal("Empty() = true after enqueues")
+	}
+	if q.Len() != n {
+		t.Errorf("Len() = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("Dequeue %d failed", i)
+		}
+		if v != i {
+			t.Fatalf("Dequeue %d = %d (FIFO violated)", i, v)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("queue not empty after draining")
+	}
+}
+
+func TestInterleavedOps(t *testing.T) {
+	q := New[string]()
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, _ := q.Dequeue(); v != "a" {
+		t.Fatalf("got %q", v)
+	}
+	q.Enqueue("c")
+	if v, _ := q.Dequeue(); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := q.Dequeue(); v != "c" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestMPMCAllDelivered(t *testing.T) {
+	q := New[int]()
+	const producers, consumers, perProducer = 8, 8, 5000
+	total := producers * perProducer
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(base + i)
+			}
+		}(p * perProducer)
+	}
+
+	results := make(chan int, total)
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if v, ok := q.Dequeue(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after producers finish.
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	close(results)
+
+	seen := make(map[int]bool, total)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d values, want %d", len(seen), total)
+	}
+}
+
+func TestPerProducerFIFO(t *testing.T) {
+	// Linearizability of MS queue implies per-producer order is preserved.
+	q := New[[2]int]() // [producer, seq]
+	const producers, per = 4, 3000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue([2]int{id, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		p, seq := v[0], v[1]
+		if seq <= lastSeq[p] {
+			t.Fatalf("producer %d: seq %d after %d", p, seq, lastSeq[p])
+		}
+		lastSeq[p] = seq
+	}
+	for p, s := range lastSeq {
+		if s != per-1 {
+			t.Errorf("producer %d: last seq %d, want %d", p, s, per-1)
+		}
+	}
+}
+
+func TestConcurrentEnqueueDequeuePairs(t *testing.T) {
+	// Each goroutine enqueues then dequeues; the queue must conserve
+	// elements (what goes in comes out exactly once).
+	q := New[int]()
+	const goroutines, rounds = 16, 2000
+	var got [goroutines][]int
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q.Enqueue(id*rounds + i)
+				if v, ok := q.Dequeue(); ok {
+					got[id] = append(got[id], v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Drain leftovers.
+	var leftovers []int
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		leftovers = append(leftovers, v)
+	}
+	all := append([]int{}, leftovers...)
+	for g := range got {
+		all = append(all, got[g]...)
+	}
+	if len(all) != goroutines*rounds {
+		t.Fatalf("conservation violated: %d elements, want %d", len(all), goroutines*rounds)
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("element %d missing or duplicated (saw %d)", i, v)
+		}
+	}
+}
+
+func TestQuickSequentialMatchesSlice(t *testing.T) {
+	// Property: any sequence of enqueue/dequeue matches a slice-based
+	// model queue.
+	type op struct {
+		Enq bool
+		V   int8
+	}
+	f := func(ops []op) bool {
+		q := New[int8]()
+		var model []int8
+		for _, o := range ops {
+			if o.Enq {
+				q.Enqueue(o.V)
+				model = append(model, o.V)
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+			q.Dequeue()
+		}
+	})
+}
+
+func BenchmarkEnqueueOnly(b *testing.B) {
+	q := New[int]()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+	}
+}

@@ -1,0 +1,214 @@
+// Package queue provides the task-queue abstraction between the executor
+// and its workers, with three interchangeable implementations used by the
+// queue ablation study:
+//
+//   - "mscq": the lock-free Michael & Scott queue, matching the paper's use
+//     of java.util.concurrent.ConcurrentLinkedQueue;
+//   - "mutex": a mutex-protected ring buffer (the "obvious" alternative);
+//   - "chan": a buffered Go channel.
+//
+// All implementations are unbounded from the producer's point of view (the
+// channel variant grows by chaining), multi-producer and multi-consumer.
+package queue
+
+import (
+	"fmt"
+	"sync"
+
+	"kstm/internal/mscq"
+)
+
+// Queue is the executor's task transport. Implementations must be safe for
+// concurrent use by multiple producers and consumers.
+type Queue[T any] interface {
+	// Put appends v.
+	Put(v T)
+	// Get removes the oldest element; ok is false if empty.
+	Get() (v T, ok bool)
+	// Len returns the approximate queue depth (for load statistics).
+	Len() int
+}
+
+// Kind selects a queue implementation by name.
+type Kind string
+
+// Available queue kinds.
+const (
+	KindMSCQ  Kind = "mscq"
+	KindMutex Kind = "mutex"
+	KindChan  Kind = "chan"
+)
+
+// Kinds lists all implementations, M&S first (the paper's configuration).
+func Kinds() []Kind { return []Kind{KindMSCQ, KindMutex, KindChan} }
+
+// New constructs a queue of the given kind. It returns an error for unknown
+// kinds so the CLI can report bad flags cleanly.
+func New[T any](k Kind) (Queue[T], error) {
+	switch k {
+	case KindMSCQ:
+		return NewMS[T](), nil
+	case KindMutex:
+		return NewMutex[T](), nil
+	case KindChan:
+		return NewChan[T](defaultChanCapacity), nil
+	default:
+		return nil, fmt.Errorf("queue: unknown kind %q (want mscq, mutex or chan)", k)
+	}
+}
+
+// MS adapts mscq.Queue to the Queue interface.
+type MS[T any] struct {
+	q *mscq.Queue[T]
+}
+
+// NewMS returns a lock-free Michael & Scott backed queue.
+func NewMS[T any]() *MS[T] { return &MS[T]{q: mscq.New[T]()} }
+
+// Put implements Queue.
+func (m *MS[T]) Put(v T) { m.q.Enqueue(v) }
+
+// Get implements Queue.
+func (m *MS[T]) Get() (T, bool) { return m.q.Dequeue() }
+
+// Len implements Queue.
+func (m *MS[T]) Len() int { return m.q.Len() }
+
+// Mutex is a mutex-protected growable ring buffer.
+type Mutex[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	head int // index of oldest element
+	n    int // number of elements
+}
+
+// NewMutex returns an empty mutex-protected queue.
+func NewMutex[T any]() *Mutex[T] {
+	return &Mutex[T]{buf: make([]T, 16)}
+}
+
+// Put implements Queue.
+func (q *Mutex[T]) Put(v T) {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.mu.Unlock()
+}
+
+// grow doubles the buffer; caller holds the lock.
+func (q *Mutex[T]) grow() {
+	newBuf := make([]T, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		newBuf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = newBuf
+	q.head = 0
+}
+
+// Get implements Queue.
+func (q *Mutex[T]) Get() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.n == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// Len implements Queue.
+func (q *Mutex[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+const defaultChanCapacity = 1 << 16
+
+// Chan wraps a buffered channel. Put falls back to a mutex-protected
+// overflow list if the channel fills, keeping the producer non-blocking like
+// the other implementations (the executor model assumes unbounded queues).
+type Chan[T any] struct {
+	ch       chan T
+	mu       sync.Mutex
+	overflow []T
+}
+
+// NewChan returns a channel-backed queue with the given buffer capacity.
+func NewChan[T any](capacity int) *Chan[T] {
+	if capacity <= 0 {
+		capacity = defaultChanCapacity
+	}
+	return &Chan[T]{ch: make(chan T, capacity)}
+}
+
+// Put implements Queue.
+func (q *Chan[T]) Put(v T) {
+	// Preserve FIFO: once anything has overflowed, keep appending to the
+	// overflow list until it has drained back into the channel.
+	q.mu.Lock()
+	if len(q.overflow) > 0 {
+		q.overflow = append(q.overflow, v)
+		q.refillLocked()
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+		q.mu.Lock()
+		q.overflow = append(q.overflow, v)
+		q.mu.Unlock()
+	}
+}
+
+// refillLocked moves overflow entries into the channel while space permits.
+func (q *Chan[T]) refillLocked() {
+	for len(q.overflow) > 0 {
+		select {
+		case q.ch <- q.overflow[0]:
+			q.overflow = q.overflow[1:]
+		default:
+			return
+		}
+	}
+}
+
+// Get implements Queue.
+func (q *Chan[T]) Get() (T, bool) {
+	select {
+	case v := <-q.ch:
+		q.mu.Lock()
+		q.refillLocked()
+		q.mu.Unlock()
+		return v, true
+	default:
+	}
+	// Channel looked empty; check overflow.
+	q.mu.Lock()
+	q.refillLocked()
+	q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Len implements Queue.
+func (q *Chan[T]) Len() int {
+	q.mu.Lock()
+	n := len(q.overflow)
+	q.mu.Unlock()
+	return len(q.ch) + n
+}

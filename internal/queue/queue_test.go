@@ -1,0 +1,189 @@
+package queue
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func allKinds(t *testing.T) map[Kind]Queue[int] {
+	t.Helper()
+	out := map[Kind]Queue[int]{}
+	for _, k := range Kinds() {
+		q, err := New[int](k)
+		if err != nil {
+			t.Fatalf("New(%q): %v", k, err)
+		}
+		out[k] = q
+	}
+	return out
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New[int](Kind("bogus")); err == nil {
+		t.Fatal("New(bogus) succeeded")
+	}
+}
+
+func TestFIFOAllKinds(t *testing.T) {
+	for k, q := range allKinds(t) {
+		const n = 500
+		for i := 0; i < n; i++ {
+			q.Put(i)
+		}
+		if q.Len() != n {
+			t.Errorf("%s: Len = %d, want %d", k, q.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			v, ok := q.Get()
+			if !ok || v != i {
+				t.Fatalf("%s: Get %d = (%d,%v)", k, i, v, ok)
+			}
+		}
+		if _, ok := q.Get(); ok {
+			t.Errorf("%s: not empty after drain", k)
+		}
+	}
+}
+
+func TestEmptyGetAllKinds(t *testing.T) {
+	for k, q := range allKinds(t) {
+		if v, ok := q.Get(); ok {
+			t.Errorf("%s: Get on empty = (%d,true)", k, v)
+		}
+		if q.Len() != 0 {
+			t.Errorf("%s: Len on empty = %d", k, q.Len())
+		}
+	}
+}
+
+func TestMutexRingGrowth(t *testing.T) {
+	q := NewMutex[int]()
+	// Interleave puts and gets so head is non-zero when growth happens.
+	for i := 0; i < 10; i++ {
+		q.Put(i)
+	}
+	for i := 0; i < 5; i++ {
+		q.Get()
+	}
+	for i := 10; i < 200; i++ {
+		q.Put(i)
+	}
+	for want := 5; want < 200; want++ {
+		v, ok := q.Get()
+		if !ok || v != want {
+			t.Fatalf("after growth: Get = (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+func TestChanOverflowPreservesFIFO(t *testing.T) {
+	q := NewChan[int](4) // tiny buffer forces the overflow path
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Put(i)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Get()
+		if !ok || v != i {
+			t.Fatalf("overflowed chan: Get %d = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestChanDefaultCapacity(t *testing.T) {
+	q := NewChan[int](0)
+	q.Put(7)
+	if v, ok := q.Get(); !ok || v != 7 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+}
+
+func TestMPMCConservationAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			t.Parallel()
+			q, err := New[int](k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers, per = 4, 3000
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(base int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Put(base + i)
+					}
+				}(p * per)
+			}
+			var mu sync.Mutex
+			var got []int
+			var cwg sync.WaitGroup
+			done := make(chan struct{})
+			for c := 0; c < 4; c++ {
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					for {
+						v, ok := q.Get()
+						if ok {
+							mu.Lock()
+							got = append(got, v)
+							mu.Unlock()
+							continue
+						}
+						select {
+						case <-done:
+							for {
+								v, ok := q.Get()
+								if !ok {
+									return
+								}
+								mu.Lock()
+								got = append(got, v)
+								mu.Unlock()
+							}
+						default:
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(done)
+			cwg.Wait()
+			if len(got) != producers*per {
+				t.Fatalf("got %d elements, want %d", len(got), producers*per)
+			}
+			sort.Ints(got)
+			for i, v := range got {
+				if v != i {
+					t.Fatalf("element %d missing or duplicated", i)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueues(b *testing.B) {
+	for _, k := range Kinds() {
+		k := k
+		b.Run(string(k), func(b *testing.B) {
+			q, err := New[int](k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q.Put(1)
+					q.Get()
+				}
+			})
+		})
+	}
+}

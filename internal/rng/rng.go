@@ -1,0 +1,153 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the reproduction.
+//
+// The paper's workload generators must be reproducible across runs and across
+// machines so that the harness can compare schedulers on identical task
+// streams. math/rand's global state is shared and lockful; these generators
+// are value types that each producer owns privately, seeded from a single
+// experiment seed via SplitMix64 stream splitting.
+package rng
+
+import "math"
+
+// SplitMix64 is the 64-bit state splitter from Steele, Lea & Flood
+// (OOPSLA'14). It is used both as a standalone generator and to seed the
+// larger-state xoshiro generator, so that nearby seeds yield independent
+// streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** by Blackman & Vigna. It has 256 bits of
+// state, passes BigCrush, and is the workhorse generator for the workload
+// producers.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 seeded from seed via SplitMix64, per the authors'
+// recommendation. Distinct seeds give statistically independent streams.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// An all-zero state would be absorbing; SplitMix64 cannot produce four
+	// consecutive zeros from any seed, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64-bit value.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32-bit value (upper bits of Uint64, which are the
+// strongest bits of xoshiro256**).
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Rejection sampling on the top bits: unbiased and branch-cheap.
+	mask := ^uint64(0)
+	if n&(n-1) == 0 { // power of two
+		return x.Uint64() & (n - 1)
+	}
+	limit := mask - mask%n
+	for {
+		v := x.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Box–Muller
+// transform. Box–Muller is exact (no tail truncation) and needs no tables,
+// which keeps the generator allocation-free and portable.
+func (x *Xoshiro256) NormFloat64() float64 {
+	// Draw u1 in (0,1] so that Log never sees zero.
+	u1 := 1.0 - x.Float64()
+	u2 := x.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 via inverse-CDF,
+// matching the paper's generator: -log(1-r).
+func (x *Xoshiro256) ExpFloat64() float64 {
+	return -math.Log(1.0 - x.Float64())
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
+// Uint64. It is used to derive non-overlapping parallel substreams from a
+// single seeded generator.
+func (x *Xoshiro256) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// Split returns a new generator whose stream does not overlap with x's next
+// 2^128 outputs; x itself is advanced past the returned substream.
+func (x *Xoshiro256) Split() *Xoshiro256 {
+	child := *x
+	x.Jump()
+	return &child
+}

@@ -1,0 +1,237 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the public-domain reference
+	// implementation (Vigna).
+	s := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("SplitMix64(1234567) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical outputs of 100", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(7)
+	for _, n := range []int{1, 2, 3, 7, 100, 30031, 1 << 16} {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	x := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := x.Uint64n(1 << 10); v >= 1<<10 {
+			t.Fatalf("Uint64n(1024) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(11)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	x := New(17)
+	const n = 400000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := x.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Moments(t *testing.T) {
+	x := New(23)
+	const n = 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := x.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential variate %v < 0", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	parent := New(77)
+	child := parent.Split()
+	// The child must replay what the parent would have produced, and the
+	// parent must now be 2^128 steps ahead (different stream).
+	ref := New(77)
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != ref.Uint64() {
+			t.Fatalf("child stream diverged from pre-split parent at %d", i)
+		}
+	}
+	same := 0
+	childCopy := New(77)
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == childCopy.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("parent after Jump overlaps child stream: %d/100 equal", same)
+	}
+}
+
+func TestJumpChangesState(t *testing.T) {
+	x := New(7)
+	before := *x
+	x.Jump()
+	if x.s == before.s {
+		t.Fatal("Jump left state unchanged")
+	}
+}
+
+func TestUint32MatchesTopBits(t *testing.T) {
+	a, b := New(13), New(13)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Uint32(), uint32(b.Uint64()>>32); got != want {
+			t.Fatalf("Uint32 = %#x, want top bits %#x", got, want)
+		}
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	x := New(31)
+	f := func(n uint16) bool {
+		m := int(n%10000) + 1
+		v := x.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square-ish check: 8 cells, 80k draws, each cell should be close
+	// to 10k.
+	x := New(41)
+	var cells [8]int
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		cells[x.Uint64n(8)]++
+	}
+	for i, c := range cells {
+		if c < 9500 || c > 10500 {
+			t.Errorf("cell %d has %d draws, want ~10000", i, c)
+		}
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	x := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += x.NormFloat64()
+	}
+	_ = sink
+}

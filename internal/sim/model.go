@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kstm/internal/rng"
+	"kstm/internal/txds"
+)
+
+// Block-ID layout for the simulator's 2^18-entry version table. Each model
+// maps its logical structure into a disjoint region so coherence state never
+// aliases across structures.
+const (
+	blockSpaceBits = 19
+	// BlockSpace is the number of distinct cache blocks the simulator
+	// models.
+	BlockSpace = 1 << blockSpaceBits
+
+	hashArrayBase = 0x00000 // bucket-array headers, 4 per line
+	hashLocBase   = 0x10000 // per-bucket DSTM locator (CASed on every open-for-write)
+	hashChainBase = 0x20000 // one chain block per bucket
+	treeBase      = 0x40000 // binary-prefix node ids (spans 2^17)
+	listBase      = 0x60000 // list nodes laid out in key order
+)
+
+// accessPlan describes one transaction's memory behaviour: which blocks it
+// reads and writes (for caching), which reads remain conflict-relevant at
+// any instant (the DSTM read set after early release — for the sorted list
+// this is just the traversal window, not the whole prefix), and the
+// non-memory base cost in cycles.
+type accessPlan struct {
+	reads     []uint32
+	writes    []uint32
+	confReads []uint32 // reads that participate in conflict detection
+	baseCost  uint64
+}
+
+// accessModel turns a dictionary operation into an access plan and tracks
+// the abstract set's state (membership, size) so costs evolve as the
+// structure fills — e.g. list traversal length grows with the list.
+type accessModel interface {
+	// plan computes the access plan for op(dictKey) and applies the
+	// logical effect to the model's state. The returned slices are valid
+	// until the next call.
+	plan(dictKey uint32, insert bool) accessPlan
+	// txnKey maps the dictionary key to the transaction key handed to
+	// the scheduler — the hash output for the hash table (§4.2), the
+	// dictionary key itself otherwise.
+	txnKey(dictKey uint32) uint64
+	name() string
+}
+
+// newModel builds the access model for a benchmark structure.
+func newModel(kind txds.Kind, seed uint64) (accessModel, error) {
+	switch kind {
+	case txds.KindHashTable:
+		return newHashModel(), nil
+	case txds.KindRBTree:
+		return newTreeModel(seed), nil
+	case txds.KindSortedList:
+		return newListModel(), nil
+	case emptyKind:
+		return &emptyModel{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown model kind %q", kind)
+	}
+}
+
+// emptyKind selects the trivial transaction of the Figure 4 overhead test.
+const emptyKind txds.Kind = "empty"
+
+// membership tracks which of the 2^16 keys are present.
+type membership struct {
+	bits [1 << 16 / 64]uint64
+	size int
+}
+
+func (m *membership) has(k uint32) bool { return m.bits[k>>6]&(1<<(k&63)) != 0 }
+
+// set inserts or removes k; it reports whether the operation changed state.
+func (m *membership) set(k uint32, present bool) bool {
+	if m.has(k) == present {
+		return false
+	}
+	m.bits[k>>6] ^= 1 << (k & 63)
+	if present {
+		m.size++
+	} else {
+		m.size--
+	}
+	return true
+}
+
+// hashModel: the paper's 30031-bucket chained table over DSTM. An operation
+// reads the bucket-array header, then opens the bucket's transactional
+// object for writing — as the DSTM IntSet benchmarks do for both inserts and
+// deletes, whether or not the key turns out to be present — which CASes the
+// bucket's locator line and rewrites the chain version. Conflict granularity
+// is the bucket (§4.2); the two written lines are the coherence traffic that
+// key partitioning eliminates.
+type hashModel struct {
+	plans planBuf
+}
+
+// costs in cycles (1.2 GHz UltraSPARC III scale): hash + compare + DSTM
+// open/commit logic.
+const hashBaseCost = 250
+
+func newHashModel() *hashModel { return &hashModel{} }
+
+func (h *hashModel) name() string { return string(txds.KindHashTable) }
+
+func (h *hashModel) txnKey(dictKey uint32) uint64 {
+	return uint64(dictKey % txds.DefaultBuckets)
+}
+
+func (h *hashModel) plan(dictKey uint32, insert bool) accessPlan {
+	bucket := dictKey % txds.DefaultBuckets
+	h.plans.reset()
+	h.plans.read(hashArrayBase + bucket/4)
+	h.plans.read(hashLocBase + bucket)
+	h.plans.read(hashChainBase + bucket)
+	h.plans.write(hashLocBase + bucket)
+	h.plans.write(hashChainBase + bucket)
+	return h.plans.plan(hashBaseCost)
+}
+
+// treeModel: a balanced binary tree over the present keys. A node at depth d
+// is identified by the d-bit prefix of the key, so near keys share deep path
+// nodes — the mechanism that makes key proximity predict both locality and
+// conflicts for the red-black tree (§4.4). Structural writes climb from the
+// leaf with geometrically decreasing probability (rotation fixups), and
+// every descent recolours path nodes with a small independent probability
+// (the colour flips of red-black insertion), which is what gives the tree
+// its visible contention in the paper — writes near the root collide with
+// everyone's search path.
+type treeModel struct {
+	mem   membership
+	r     *rng.Xoshiro256
+	plans planBuf
+}
+
+const (
+	treeBaseCost    = 350
+	treePerLevel    = 25
+	rebalanceChance = 0.35  // geometric climb probability per level
+	flipChance      = 0.012 // independent recolour probability per path level
+)
+
+func newTreeModel(seed uint64) *treeModel { return &treeModel{r: rng.New(seed)} }
+
+func (t *treeModel) name() string { return string(txds.KindRBTree) }
+
+func (t *treeModel) txnKey(dictKey uint32) uint64 { return uint64(dictKey) }
+
+// depth returns the current expected search depth: log2(size) bounded to
+// the 16-bit prefix space.
+func (t *treeModel) depth() int {
+	d := bits.Len(uint(t.mem.size))
+	if d < 1 {
+		d = 1
+	}
+	if d > 16 {
+		d = 16
+	}
+	return d
+}
+
+// nodeBlock maps the depth-d prefix of key to a block id.
+func nodeBlock(key uint32, d int) uint32 {
+	return treeBase + 1<<uint(d) + key>>uint(16-d)
+}
+
+func (t *treeModel) plan(dictKey uint32, insert bool) accessPlan {
+	d := t.depth()
+	t.plans.reset()
+	for lvl := 0; lvl <= d; lvl++ {
+		t.plans.read(nodeBlock(dictKey, lvl))
+		// Top-down colour flips: occasional recolouring of interior
+		// path nodes on any mutating descent. The top two levels are
+		// exempt: in a red-black tree the root is pinned black and its
+		// children recolour rarely, and exempting them keeps simulated
+		// contention inside the paper's "fewer than one in four
+		// transactions" bound.
+		if lvl >= 2 && lvl < d && t.r.Float64() < flipChance {
+			t.plans.write(nodeBlock(dictKey, lvl))
+		}
+	}
+	if t.mem.set(dictKey, insert) {
+		// Structural change at the leaf, with rebalancing writes
+		// climbing while the geometric coin keeps coming up heads.
+		lvl := d
+		t.plans.write(nodeBlock(dictKey, lvl))
+		for lvl > 0 && t.r.Float64() < rebalanceChance {
+			lvl--
+			t.plans.write(nodeBlock(dictKey, lvl))
+		}
+	}
+	return t.plans.plan(treeBaseCost + uint64(d)*treePerLevel)
+}
+
+// listModel: a sorted linked list with DSTM early release. Traversal visits
+// every node with a smaller key, so service time is proportional to the
+// key's rank among present keys (ranks come from a Fenwick tree); the cache
+// is charged for the whole traversal, but only the final window — the
+// predecessor — stays in the read set for conflict purposes, exactly as
+// early release leaves it (§2 of Herlihy et al.; txds.SortedList).
+type listModel struct {
+	mem   membership
+	fen   fenwick
+	plans planBuf
+}
+
+const (
+	listBaseCost    = 200
+	listPerNode     = 12  // CPU cycles per node visited (compare + next)
+	listNodesPerBlk = 16  // nodes sampled per cached block touched
+	listMaxBlocks   = 192 // cap on modelled blocks per traversal
+)
+
+func newListModel() *listModel { return &listModel{} }
+
+func (l *listModel) name() string { return string(txds.KindSortedList) }
+
+func (l *listModel) txnKey(dictKey uint32) uint64 { return uint64(dictKey) }
+
+func (l *listModel) plan(dictKey uint32, insert bool) accessPlan {
+	rank := l.fen.prefix(dictKey) // nodes strictly before dictKey
+	l.plans.reset()
+	// Sample traversal blocks in key order up to the target; one block
+	// per listNodesPerBlk visited nodes, capped.
+	nblocks := rank/listNodesPerBlk + 1
+	if nblocks > listMaxBlocks {
+		nblocks = listMaxBlocks
+	}
+	for j := 0; j < nblocks; j++ {
+		// Position of the j-th sampled node, spread over [0, dictKey).
+		pos := uint32(uint64(dictKey) * uint64(j) / uint64(nblocks))
+		l.plans.read(listBase + pos/4)
+	}
+	predBlock := listBase + dictKey/4
+	l.plans.read(predBlock)
+	// Early release: only the window stays conflict-relevant.
+	l.plans.confRead(predBlock)
+	if l.mem.set(dictKey, insert) {
+		l.plans.write(predBlock)
+		if insert {
+			l.fen.add(dictKey, 1)
+		} else {
+			l.fen.add(dictKey, -1)
+		}
+	}
+	return l.plans.plan(listBaseCost + uint64(rank)*listPerNode)
+}
+
+// emptyModel: the trivial transaction of the Figure 4 overhead experiment —
+// fixed small cost, no shared data.
+type emptyModel struct{ plans planBuf }
+
+const emptyBaseCost = 400
+
+func (e *emptyModel) name() string { return "empty" }
+
+func (e *emptyModel) txnKey(dictKey uint32) uint64 { return uint64(dictKey) }
+
+func (e *emptyModel) plan(dictKey uint32, insert bool) accessPlan {
+	e.plans.reset()
+	return e.plans.plan(emptyBaseCost)
+}
+
+// planBuf reuses read/write slices across plan calls.
+type planBuf struct {
+	readsBuf  []uint32
+	writesBuf []uint32
+	confBuf   []uint32
+	confSet   bool
+}
+
+func (p *planBuf) reset() {
+	p.readsBuf = p.readsBuf[:0]
+	p.writesBuf = p.writesBuf[:0]
+	p.confBuf = p.confBuf[:0]
+	p.confSet = false
+}
+
+func (p *planBuf) read(b uint32)  { p.readsBuf = append(p.readsBuf, b%BlockSpace) }
+func (p *planBuf) write(b uint32) { p.writesBuf = append(p.writesBuf, b%BlockSpace) }
+
+// confRead marks a block as conflict-relevant; once used, only explicitly
+// marked reads participate in conflict detection (early-release semantics).
+func (p *planBuf) confRead(b uint32) {
+	p.confBuf = append(p.confBuf, b%BlockSpace)
+	p.confSet = true
+}
+
+func (p *planBuf) plan(base uint64) accessPlan {
+	conf := p.readsBuf
+	if p.confSet {
+		conf = p.confBuf
+	}
+	return accessPlan{reads: p.readsBuf, writes: p.writesBuf, confReads: conf, baseCost: base}
+}
+
+// fenwick is a binary indexed tree over the 16-bit key space, giving
+// O(log n) rank queries for the list model.
+type fenwick struct {
+	tree [1<<16 + 1]int32
+}
+
+// add adds delta at key.
+func (f *fenwick) add(key uint32, delta int32) {
+	for i := key + 1; i <= 1<<16; i += i & (^i + 1) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the number of present keys strictly less than key.
+func (f *fenwick) prefix(key uint32) int {
+	var sum int32
+	for i := key; i > 0; i -= i & (^i + 1) {
+		sum += f.tree[i]
+	}
+	return int(sum)
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+
+	"kstm/internal/txds"
+)
+
+func TestNewModelKinds(t *testing.T) {
+	for _, kind := range []txds.Kind{txds.KindHashTable, txds.KindRBTree, txds.KindSortedList, emptyKind} {
+		m, err := newModel(kind, 1)
+		if err != nil {
+			t.Fatalf("newModel(%q): %v", kind, err)
+		}
+		if m.name() == "" {
+			t.Errorf("%q: empty name", kind)
+		}
+		p := m.plan(100, true)
+		if p.baseCost == 0 && kind != emptyKind {
+			t.Errorf("%q: zero base cost", kind)
+		}
+		for _, b := range append(append([]uint32{}, p.reads...), p.writes...) {
+			if b >= BlockSpace {
+				t.Errorf("%q: block %#x outside space", kind, b)
+			}
+		}
+	}
+	if _, err := newModel("btree", 1); err == nil {
+		t.Error("newModel(btree) succeeded")
+	}
+}
+
+func TestEmptyModelHasNoBlocks(t *testing.T) {
+	m := &emptyModel{}
+	p := m.plan(42, true)
+	if len(p.reads) != 0 || len(p.writes) != 0 || len(p.confReads) != 0 {
+		t.Fatalf("empty model touched blocks: %+v", p)
+	}
+	if p.baseCost == 0 {
+		t.Fatal("empty model has zero cost")
+	}
+	if m.txnKey(7) != 7 {
+		t.Fatal("empty txnKey not identity")
+	}
+}
+
+func TestHashModelTxnKeyIsHashOutput(t *testing.T) {
+	m := newHashModel()
+	if got := m.txnKey(txds.DefaultBuckets + 5); got != 5 {
+		t.Fatalf("txnKey = %d, want 5 (bucket index)", got)
+	}
+}
+
+func TestTreeModelFlipsWriteInteriorNodes(t *testing.T) {
+	m := newTreeModel(3)
+	for k := uint32(0); k < 4096; k++ {
+		m.plan(k*16, true)
+	}
+	// Over many read-mostly descents (duplicate inserts are logical
+	// no-ops), colour flips must still produce occasional interior
+	// writes.
+	writes := 0
+	ops := 3000
+	for i := 0; i < ops; i++ {
+		p := m.plan(uint32(i%4096)*16, true) // all present: no structural change
+		writes += len(p.writes)
+	}
+	if writes == 0 {
+		t.Fatal("no colour-flip writes on read-mostly descents")
+	}
+	if writes > ops {
+		t.Fatalf("flip writes %d out of %d descents — far too many", writes, ops)
+	}
+}
+
+func TestTreeModelDepthGrowsWithSize(t *testing.T) {
+	m := newTreeModel(1)
+	small := m.plan(1000, true)
+	for k := uint32(0); k < 30000; k++ {
+		m.plan(k*2, true)
+	}
+	big := m.plan(1001, true)
+	if len(big.reads) <= len(small.reads) {
+		t.Errorf("path length did not grow with tree size: %d vs %d", len(big.reads), len(small.reads))
+	}
+}
+
+func TestListModelConflictWindowIsPredOnly(t *testing.T) {
+	m := newListModel()
+	for k := uint32(0); k < 4000; k += 2 {
+		m.plan(k, true)
+	}
+	p := m.plan(3999, true) // long traversal
+	if len(p.reads) < 10 {
+		t.Fatalf("traversal reads = %d, expected a long prefix", len(p.reads))
+	}
+	if len(p.confReads) != 1 {
+		t.Fatalf("conflict window = %d blocks, want 1 (early release)", len(p.confReads))
+	}
+	if p.confReads[0] != listBase+3999/4 {
+		t.Fatalf("conflict window block %#x, want pred block", p.confReads[0])
+	}
+}
+
+func TestListModelRankMaintainedAcrossDeletes(t *testing.T) {
+	m := newListModel()
+	for k := uint32(0); k < 1000; k++ {
+		m.plan(k, true)
+	}
+	before := m.plan(1001, false) // rank ~1000
+	for k := uint32(0); k < 1000; k += 2 {
+		m.plan(k, false) // delete half
+	}
+	after := m.plan(1001, false)
+	if after.baseCost >= before.baseCost {
+		t.Errorf("rank cost did not drop after deletes: %d -> %d", before.baseCost, after.baseCost)
+	}
+}
+
+func TestOverlapsBernstein(t *testing.T) {
+	w := &simWorker{curReads: []uint32{10, 11}, curWrites: []uint32{20}}
+	cases := []struct {
+		plan accessPlan
+		want bool
+	}{
+		{accessPlan{writes: []uint32{20}}, true},                              // write/write
+		{accessPlan{writes: []uint32{10}}, true},                              // write vs their read
+		{accessPlan{confReads: []uint32{20}}, true},                           // read vs their write
+		{accessPlan{confReads: []uint32{10}}, false},                          // read/read
+		{accessPlan{writes: []uint32{30}, confReads: []uint32{31}}, false},    // disjoint
+		{accessPlan{}, false},                                                 // empty
+		{accessPlan{writes: []uint32{11}, confReads: []uint32{999}}, true},    // second read hit
+		{accessPlan{confReads: []uint32{999, 20}, writes: []uint32{5}}, true}, // late conflict
+	}
+	for i, c := range cases {
+		if got := overlaps(c.plan, w); got != c.want {
+			t.Errorf("case %d: overlaps = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestListContentionShapeMatchesPaper(t *testing.T) {
+	// §4.4: "In the hash table and the uniform and Gaussian distributions
+	// of the sorted list, the total number of contention instances is
+	// small (less than 1/100th the number of completed transactions)...
+	// in the exponential distribution of the sorted list, fewer than one
+	// in four transactions encounters contention."
+	p := DefaultParams()
+	p.Structure = txds.KindSortedList
+	p.Workers = 8
+	p.Producers = 4
+	p.Scheduler = "roundrobin"
+	p.Dist = "uniform"
+	uni, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.ContentionRate() > 0.05 {
+		t.Errorf("uniform list contention = %.4f, want small", uni.ContentionRate())
+	}
+	p.Dist = "exponential"
+	exp, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ContentionRate() <= uni.ContentionRate() {
+		t.Errorf("exponential list contention (%.4f) not above uniform (%.4f)",
+			exp.ContentionRate(), uni.ContentionRate())
+	}
+	if exp.ContentionRate() > 0.5 {
+		t.Errorf("exponential list contention = %.4f, paper says < 1/4", exp.ContentionRate())
+	}
+}

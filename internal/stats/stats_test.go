@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.Stdev-want) > 1e-12 {
+		t.Errorf("Stdev = %v, want %v", s.Stdev, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Stdev != 0 || s.CI95() != 0 || s.Median != 7 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Errorf("Median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	a := Summarize([]float64{1, 2, 3, 4})
+	b := Summarize([]float64{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4})
+	if b.CI95() >= a.CI95() {
+		t.Errorf("CI did not shrink: %v -> %v", a.CI95(), b.CI95())
+	}
+}
+
+func TestRelStdev(t *testing.T) {
+	s := Summary{Mean: 10, Stdev: 1}
+	if s.RelStdev() != 0.1 {
+		t.Errorf("RelStdev = %v", s.RelStdev())
+	}
+	if (Summary{}).RelStdev() != 0 {
+		t.Error("zero-mean RelStdev != 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(2, 6) != 3 {
+		t.Error("Speedup(2,6) != 3")
+	}
+	if Speedup(0, 6) != 0 {
+		t.Error("Speedup(0,6) != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Errorf("GeoMean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{2, 8, 0, -3}); g != 4 {
+		t.Errorf("GeoMean with skips = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v", g)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min && s.Mean <= s.Max && s.Median >= s.Min && s.Median <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,461 @@
+package stm
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"time"
+
+	"kstm/internal/rng"
+)
+
+// Decision is a contention manager's verdict on a conflict between the
+// calling transaction ("me") and an enemy that holds an object me wants.
+type Decision int
+
+const (
+	// Wait means the manager has already delayed the caller (backoff,
+	// spin); the open loop should re-examine the object.
+	Wait Decision = iota
+	// AbortOther tells the caller to abort the enemy and take the object.
+	AbortOther
+	// AbortSelf tells the caller to abort itself; the surrounding Atomic
+	// loop will retry the whole transaction.
+	AbortSelf
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Wait:
+		return "wait"
+	case AbortOther:
+		return "abort-other"
+	case AbortSelf:
+		return "abort-self"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// ContentionManager arbitrates conflicts between transactions, in the style
+// of Scherer & Scott (PODC'05). Each worker thread owns a private instance;
+// methods are invoked only by that thread, but they may read other
+// transactions' atomic fields (Priority, Waiting, Timestamp).
+type ContentionManager interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// ResolveConflict is called when me, which is active, finds the
+	// active enemy other holding an object me needs. The manager may
+	// block (backoff) before returning its decision.
+	ResolveConflict(me, other *Tx) Decision
+	// BeginTransaction notifies that tx has started (first attempt or
+	// retry).
+	BeginTransaction(tx *Tx)
+	// OpenSucceeded notifies that tx acquired an object.
+	OpenSucceeded(tx *Tx)
+	// TransactionCommitted notifies that tx committed.
+	TransactionCommitted(tx *Tx)
+	// TransactionAborted notifies that tx aborted (self or enemy).
+	TransactionAborted(tx *Tx)
+}
+
+// backoff sleeps for roughly base<<attempt nanoseconds, capped, optionally
+// randomized. Short waits spin-yield instead of sleeping because the Go
+// runtime cannot sleep for tens of nanoseconds.
+func backoff(r *rng.Xoshiro256, attempt int, randomize bool) {
+	const (
+		baseNs = 1 << 7  // 128ns
+		capNs  = 1 << 18 // ~262µs
+	)
+	shift := attempt
+	if shift > 11 {
+		shift = 11
+	}
+	ns := int64(baseNs << uint(shift))
+	if ns > capNs {
+		ns = capNs
+	}
+	if randomize && r != nil {
+		ns = int64(r.Uint64n(uint64(ns))) + 1
+	}
+	if ns < 10_000 {
+		// Too short for the scheduler; yield a proportional number of
+		// times instead.
+		spins := int(ns/200) + 1
+		for i := 0; i < spins; i++ {
+			runtime.Gosched()
+		}
+		return
+	}
+	time.Sleep(time.Duration(ns))
+}
+
+// nilNotify provides no-op notification methods for managers that do not
+// track transaction lifecycle.
+type nilNotify struct{}
+
+func (nilNotify) BeginTransaction(*Tx)     {}
+func (nilNotify) OpenSucceeded(*Tx)        {}
+func (nilNotify) TransactionCommitted(*Tx) {}
+func (nilNotify) TransactionAborted(*Tx)   {}
+
+// Aggressive always aborts the enemy. It is the simplest manager and the
+// usual worst case under contention (mutual aborts, livelock risk bounded
+// only by scheduling noise).
+type Aggressive struct{ nilNotify }
+
+// NewAggressive returns the Aggressive manager.
+func NewAggressive() ContentionManager { return &Aggressive{} }
+
+// Name implements ContentionManager.
+func (*Aggressive) Name() string { return "aggressive" }
+
+// ResolveConflict implements ContentionManager.
+func (*Aggressive) ResolveConflict(me, other *Tx) Decision { return AbortOther }
+
+// Timid always aborts itself, deferring to any enemy. It never wastes an
+// enemy's work but starves easily; useful as a lower bound in ablations.
+type Timid struct{ nilNotify }
+
+// NewTimid returns the Timid manager.
+func NewTimid() ContentionManager { return &Timid{} }
+
+// Name implements ContentionManager.
+func (*Timid) Name() string { return "timid" }
+
+// ResolveConflict implements ContentionManager.
+func (*Timid) ResolveConflict(me, other *Tx) Decision { return AbortSelf }
+
+// Polite backs off with randomized exponential delay a bounded number of
+// times, then aborts the enemy.
+type Polite struct {
+	nilNotify
+	r        *rng.Xoshiro256
+	attempts int
+}
+
+// politeMaxAttempts is DSTM's classic bound of backoff rounds.
+const politeMaxAttempts = 8
+
+// NewPolite returns the Polite manager.
+func NewPolite() ContentionManager { return &Polite{r: rng.New(uint64(time.Now().UnixNano()))} }
+
+// Name implements ContentionManager.
+func (*Polite) Name() string { return "polite" }
+
+// ResolveConflict implements ContentionManager.
+func (p *Polite) ResolveConflict(me, other *Tx) Decision {
+	if p.attempts >= politeMaxAttempts {
+		p.attempts = 0
+		return AbortOther
+	}
+	backoff(p.r, p.attempts, true)
+	p.attempts++
+	return Wait
+}
+
+// OpenSucceeded resets the backoff ladder once the conflict clears.
+func (p *Polite) OpenSucceeded(*Tx) { p.attempts = 0 }
+
+// Randomized flips a coin between aborting the enemy and aborting itself.
+type Randomized struct {
+	nilNotify
+	r *rng.Xoshiro256
+}
+
+// NewRandomized returns the Randomized manager.
+func NewRandomized() ContentionManager {
+	return &Randomized{r: rng.New(uint64(time.Now().UnixNano()))}
+}
+
+// Name implements ContentionManager.
+func (*Randomized) Name() string { return "randomized" }
+
+// ResolveConflict implements ContentionManager.
+func (m *Randomized) ResolveConflict(me, other *Tx) Decision {
+	if m.r.Uint64()&1 == 0 {
+		return AbortOther
+	}
+	return AbortSelf
+}
+
+// Karma accumulates priority — one point per object opened — that persists
+// across aborts, so a transaction that keeps losing eventually outranks its
+// killers. On conflict it compares priorities: if the enemy's karma is not
+// higher, abort it; otherwise wait one fixed-length beat per point of
+// difference before giving up and aborting the enemy anyway.
+type Karma struct {
+	r        *rng.Xoshiro256
+	carried  int64 // karma preserved across aborted attempts
+	attempts int
+}
+
+// NewKarma returns the Karma manager.
+func NewKarma() ContentionManager { return &Karma{r: rng.New(uint64(time.Now().UnixNano()))} }
+
+// Name implements ContentionManager.
+func (*Karma) Name() string { return "karma" }
+
+// BeginTransaction seeds the transaction with carried karma.
+func (k *Karma) BeginTransaction(tx *Tx) {
+	tx.priority.Store(k.carried)
+	k.attempts = 0
+}
+
+// OpenSucceeded implements ContentionManager (priority is bumped by the STM
+// core itself; nothing extra to do).
+func (k *Karma) OpenSucceeded(*Tx) {}
+
+// TransactionCommitted implements ContentionManager: spent karma is reset.
+func (k *Karma) TransactionCommitted(tx *Tx) { k.carried = 0 }
+
+// TransactionAborted implements ContentionManager: karma survives aborts.
+func (k *Karma) TransactionAborted(tx *Tx) { k.carried = tx.priority.Load() }
+
+// ResolveConflict implements ContentionManager.
+func (k *Karma) ResolveConflict(me, other *Tx) Decision {
+	diff := other.Priority() - me.Priority()
+	if diff <= 0 || int64(k.attempts) > diff {
+		k.attempts = 0
+		return AbortOther
+	}
+	backoff(k.r, 0, false) // fixed short beat
+	k.attempts++
+	return Wait
+}
+
+// Polka is Karma with randomized exponential (rather than fixed) backoff
+// between the priority-gap beats — the manager used for all experiments in
+// the paper (§4.3; Scherer & Scott call it their overall best).
+type Polka struct {
+	r        *rng.Xoshiro256
+	carried  int64
+	attempts int
+}
+
+// NewPolka returns the Polka manager.
+func NewPolka() ContentionManager { return &Polka{r: rng.New(uint64(time.Now().UnixNano()))} }
+
+// Name implements ContentionManager.
+func (*Polka) Name() string { return "polka" }
+
+// BeginTransaction seeds the transaction with carried karma.
+func (p *Polka) BeginTransaction(tx *Tx) {
+	tx.priority.Store(p.carried)
+	p.attempts = 0
+}
+
+// OpenSucceeded implements ContentionManager.
+func (p *Polka) OpenSucceeded(*Tx) {}
+
+// TransactionCommitted implements ContentionManager.
+func (p *Polka) TransactionCommitted(tx *Tx) { p.carried = 0 }
+
+// TransactionAborted implements ContentionManager.
+func (p *Polka) TransactionAborted(tx *Tx) { p.carried = tx.priority.Load() }
+
+// ResolveConflict implements ContentionManager.
+func (p *Polka) ResolveConflict(me, other *Tx) Decision {
+	diff := other.Priority() - me.Priority()
+	if diff <= 0 || int64(p.attempts) > diff {
+		p.attempts = 0
+		return AbortOther
+	}
+	backoff(p.r, p.attempts, true)
+	p.attempts++
+	return Wait
+}
+
+// Eruption adds the blocked transaction's priority to the blocker
+// ("momentum"), so hot spots resolve quickly: a transaction blocking many
+// others erupts through its own conflicts.
+type Eruption struct {
+	r        *rng.Xoshiro256
+	attempts int
+}
+
+// NewEruption returns the Eruption manager.
+func NewEruption() ContentionManager { return &Eruption{r: rng.New(uint64(time.Now().UnixNano()))} }
+
+// Name implements ContentionManager.
+func (*Eruption) Name() string { return "eruption" }
+
+// BeginTransaction implements ContentionManager.
+func (e *Eruption) BeginTransaction(tx *Tx) { e.attempts = 0 }
+
+// OpenSucceeded implements ContentionManager.
+func (e *Eruption) OpenSucceeded(*Tx) {}
+
+// TransactionCommitted implements ContentionManager.
+func (e *Eruption) TransactionCommitted(*Tx) {}
+
+// TransactionAborted implements ContentionManager.
+func (e *Eruption) TransactionAborted(*Tx) {}
+
+// ResolveConflict implements ContentionManager.
+func (e *Eruption) ResolveConflict(me, other *Tx) Decision {
+	diff := other.Priority() - me.Priority()
+	if diff <= 0 || e.attempts > 10 {
+		e.attempts = 0
+		return AbortOther
+	}
+	// Transfer momentum: our priority pushes the blocker forward.
+	other.priority.Add(me.Priority() + 1)
+	backoff(e.r, e.attempts, true)
+	e.attempts++
+	return Wait
+}
+
+// Kindergarten enforces sharing: the first time we meet a particular enemy
+// thread we politely step aside (abort self); if the same thread blocks us
+// again on a later attempt, it has had its turn and we abort it.
+type Kindergarten struct {
+	r *rng.Xoshiro256
+	// hits counts conflicts per enemy thread for the current task.
+	hits map[int64]int
+}
+
+// NewKindergarten returns the Kindergarten manager.
+func NewKindergarten() ContentionManager {
+	return &Kindergarten{r: rng.New(uint64(time.Now().UnixNano())), hits: map[int64]int{}}
+}
+
+// Name implements ContentionManager.
+func (*Kindergarten) Name() string { return "kindergarten" }
+
+// BeginTransaction implements ContentionManager.
+func (k *Kindergarten) BeginTransaction(*Tx) {}
+
+// OpenSucceeded implements ContentionManager.
+func (k *Kindergarten) OpenSucceeded(*Tx) {}
+
+// TransactionCommitted clears the sharing ledger for the next task.
+func (k *Kindergarten) TransactionCommitted(*Tx) { clear(k.hits) }
+
+// TransactionAborted implements ContentionManager (ledger survives retries
+// of the same task — that is the point).
+func (k *Kindergarten) TransactionAborted(*Tx) {}
+
+// ResolveConflict implements ContentionManager.
+func (k *Kindergarten) ResolveConflict(me, other *Tx) Decision {
+	id := other.ThreadID()
+	k.hits[id]++
+	if k.hits[id] > 1 {
+		k.hits[id] = 0
+		return AbortOther
+	}
+	backoff(k.r, 2, true)
+	return AbortSelf
+}
+
+// Timestamp lets the older task win: a transaction aborts enemies younger
+// than itself and waits (boundedly) for older ones. Because timestamps are
+// retained across retries, every task eventually becomes the oldest and
+// completes — this gives livelock freedom.
+type Timestamp struct {
+	r        *rng.Xoshiro256
+	attempts int
+}
+
+// timestampMaxWaits bounds politeness toward older transactions.
+const timestampMaxWaits = 16
+
+// NewTimestamp returns the Timestamp manager.
+func NewTimestamp() ContentionManager { return &Timestamp{r: rng.New(uint64(time.Now().UnixNano()))} }
+
+// Name implements ContentionManager.
+func (*Timestamp) Name() string { return "timestamp" }
+
+// BeginTransaction implements ContentionManager.
+func (t *Timestamp) BeginTransaction(*Tx) { t.attempts = 0 }
+
+// OpenSucceeded implements ContentionManager.
+func (t *Timestamp) OpenSucceeded(*Tx) { t.attempts = 0 }
+
+// TransactionCommitted implements ContentionManager.
+func (t *Timestamp) TransactionCommitted(*Tx) {}
+
+// TransactionAborted implements ContentionManager.
+func (t *Timestamp) TransactionAborted(*Tx) {}
+
+// ResolveConflict implements ContentionManager.
+func (t *Timestamp) ResolveConflict(me, other *Tx) Decision {
+	if me.Timestamp() < other.Timestamp() {
+		return AbortOther
+	}
+	if t.attempts >= timestampMaxWaits {
+		t.attempts = 0
+		return AbortOther
+	}
+	backoff(t.r, t.attempts, false)
+	t.attempts++
+	return Wait
+}
+
+// Greedy (Guerraoui, Herlihy & Pochon, PODC'05) aborts the enemy if it is
+// younger or itself waiting; otherwise it waits. Unlike Timestamp it never
+// aborts an older, running enemy, which yields provable progress bounds.
+type Greedy struct{ nilNotify }
+
+// NewGreedy returns the Greedy manager.
+func NewGreedy() ContentionManager { return &Greedy{} }
+
+// Name implements ContentionManager.
+func (*Greedy) Name() string { return "greedy" }
+
+// ResolveConflict implements ContentionManager.
+func (*Greedy) ResolveConflict(me, other *Tx) Decision {
+	if me.Timestamp() < other.Timestamp() || other.Waiting() {
+		return AbortOther
+	}
+	// Busy-wait one beat; the Wait decision loops us back here.
+	runtime.Gosched()
+	return Wait
+}
+
+// Managers maps manager names to factories; kbench flags and the contention
+// ablation iterate over it. Polka first — the paper's choice.
+func Managers() []struct {
+	Name string
+	New  func() ContentionManager
+} {
+	return []struct {
+		Name string
+		New  func() ContentionManager
+	}{
+		{"polka", NewPolka},
+		{"karma", NewKarma},
+		{"eruption", NewEruption},
+		{"kindergarten", NewKindergarten},
+		{"timestamp", NewTimestamp},
+		{"greedy", NewGreedy},
+		{"polite", NewPolite},
+		{"randomized", NewRandomized},
+		{"aggressive", NewAggressive},
+		{"timid", NewTimid},
+	}
+}
+
+// ManagerByName returns the factory for a named manager, or an error listing
+// the valid names.
+func ManagerByName(name string) (func() ContentionManager, error) {
+	for _, m := range Managers() {
+		if m.Name == name {
+			return m.New, nil
+		}
+	}
+	names := make([]string, 0, len(Managers()))
+	for _, m := range Managers() {
+		names = append(names, m.Name)
+	}
+	return nil, fmt.Errorf("stm: unknown contention manager %q (want one of %v)", name, names)
+}
+
+// nextPow2 rounds up to a power of two; used by tests sizing backoff tables.
+func nextPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(v-1))
+}

@@ -1,0 +1,264 @@
+package stm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDecisionString(t *testing.T) {
+	cases := map[Decision]string{
+		Wait:        "wait",
+		AbortOther:  "abort-other",
+		AbortSelf:   "abort-self",
+		Decision(9): "Decision(9)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestManagerByName(t *testing.T) {
+	for _, m := range Managers() {
+		f, err := ManagerByName(m.Name)
+		if err != nil {
+			t.Fatalf("ManagerByName(%q): %v", m.Name, err)
+		}
+		if got := f().Name(); got != m.Name {
+			t.Errorf("factory for %q built %q", m.Name, got)
+		}
+	}
+	if _, err := ManagerByName("nope"); err == nil {
+		t.Error("ManagerByName(nope) succeeded")
+	}
+}
+
+func TestAggressiveAlwaysAbortsOther(t *testing.T) {
+	m := NewAggressive()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	for i := 0; i < 3; i++ {
+		if d := m.ResolveConflict(me, other); d != AbortOther {
+			t.Fatalf("decision = %v", d)
+		}
+	}
+}
+
+func TestTimidAlwaysAbortsSelf(t *testing.T) {
+	m := NewTimid()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	if d := m.ResolveConflict(me, other); d != AbortSelf {
+		t.Fatalf("decision = %v", d)
+	}
+}
+
+func TestPoliteEventuallyAbortsOther(t *testing.T) {
+	m := NewPolite()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	waits := 0
+	for i := 0; i < politeMaxAttempts+1; i++ {
+		switch m.ResolveConflict(me, other) {
+		case Wait:
+			waits++
+		case AbortOther:
+			if waits != politeMaxAttempts {
+				t.Fatalf("aborted other after %d waits, want %d", waits, politeMaxAttempts)
+			}
+			return
+		default:
+			t.Fatal("polite aborted self")
+		}
+	}
+	t.Fatal("polite never aborted other")
+}
+
+func TestKarmaPriorityComparison(t *testing.T) {
+	m := NewKarma()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	me.priority.Store(10)
+	other.priority.Store(5)
+	// Enemy has lower karma: immediate abort-other.
+	if d := m.ResolveConflict(me, other); d != AbortOther {
+		t.Fatalf("decision vs weaker enemy = %v", d)
+	}
+	// Enemy much stronger: wait (bounded by gap).
+	other.priority.Store(1000)
+	if d := m.ResolveConflict(me, other); d != Wait {
+		t.Fatalf("decision vs stronger enemy = %v", d)
+	}
+}
+
+func TestKarmaCarriesAcrossAborts(t *testing.T) {
+	km := NewKarma().(*Karma)
+	s := New(WithContentionManager(NewKarma))
+	_ = s
+	tx := &Tx{}
+	tx.priority.Store(7)
+	km.TransactionAborted(tx)
+	tx2 := &Tx{}
+	km.BeginTransaction(tx2)
+	if got := tx2.Priority(); got != 7 {
+		t.Fatalf("carried karma = %d, want 7", got)
+	}
+	km.TransactionCommitted(tx2)
+	tx3 := &Tx{}
+	km.BeginTransaction(tx3)
+	if got := tx3.Priority(); got != 0 {
+		t.Fatalf("karma after commit = %d, want 0", got)
+	}
+}
+
+func TestPolkaCarriesAcrossAborts(t *testing.T) {
+	pm := NewPolka().(*Polka)
+	tx := &Tx{}
+	tx.priority.Store(3)
+	pm.TransactionAborted(tx)
+	tx2 := &Tx{}
+	pm.BeginTransaction(tx2)
+	if got := tx2.Priority(); got != 3 {
+		t.Fatalf("carried polka priority = %d, want 3", got)
+	}
+}
+
+func TestPolkaBoundedWaiting(t *testing.T) {
+	m := NewPolka()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	other.priority.Store(2) // gap of 2: at most 3 waits
+	aborts := 0
+	for i := 0; i < 10; i++ {
+		if m.ResolveConflict(me, other) == AbortOther {
+			aborts++
+			break
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("polka waited forever despite small gap")
+	}
+}
+
+func TestEruptionTransfersMomentum(t *testing.T) {
+	m := NewEruption()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	me.priority.Store(5)
+	other.priority.Store(100)
+	before := other.Priority()
+	if d := m.ResolveConflict(me, other); d != Wait {
+		t.Fatalf("decision = %v, want wait", d)
+	}
+	if after := other.Priority(); after <= before {
+		t.Fatalf("momentum not transferred: %d -> %d", before, after)
+	}
+}
+
+func TestKindergartenTakesTurns(t *testing.T) {
+	m := NewKindergarten()
+	s := New()
+	thA, thB := s.NewThread(), s.NewThread()
+	me := thA.Begin()
+	other := thB.Begin()
+	if d := m.ResolveConflict(me, other); d != AbortSelf {
+		t.Fatalf("first conflict decision = %v, want abort-self", d)
+	}
+	// Same enemy thread again (fresh tx, same thread): our turn now.
+	other2 := thB.Begin()
+	if d := m.ResolveConflict(me, other2); d != AbortOther {
+		t.Fatalf("second conflict decision = %v, want abort-other", d)
+	}
+}
+
+func TestTimestampOlderWins(t *testing.T) {
+	m := NewTimestamp()
+	s := New()
+	th := s.NewThread()
+	older := th.Begin()
+	younger := th.Begin() // strictly later logical clock
+	if older.Timestamp() >= younger.Timestamp() {
+		t.Fatal("clock not monotone")
+	}
+	if d := m.ResolveConflict(older, younger); d != AbortOther {
+		t.Fatalf("older vs younger = %v, want abort-other", d)
+	}
+	if d := m.ResolveConflict(younger, older); d != Wait {
+		t.Fatalf("younger vs older = %v, want wait", d)
+	}
+}
+
+func TestTimestampBoundedPatience(t *testing.T) {
+	m := NewTimestamp()
+	s := New()
+	th := s.NewThread()
+	older := th.Begin()
+	younger := th.Begin()
+	got := Wait
+	for i := 0; i < timestampMaxWaits+1; i++ {
+		got = m.ResolveConflict(younger, older)
+		if got == AbortOther {
+			break
+		}
+	}
+	if got != AbortOther {
+		t.Fatal("timestamp manager waited unboundedly")
+	}
+}
+
+func TestGreedyRules(t *testing.T) {
+	m := NewGreedy()
+	s := New()
+	th := s.NewThread()
+	older := th.Begin()
+	younger := th.Begin()
+	if d := m.ResolveConflict(older, younger); d != AbortOther {
+		t.Fatalf("greedy older vs younger = %v", d)
+	}
+	if d := m.ResolveConflict(younger, older); d != Wait {
+		t.Fatalf("greedy younger vs running older = %v", d)
+	}
+	older.waiting.Store(true)
+	if d := m.ResolveConflict(younger, older); d != AbortOther {
+		t.Fatalf("greedy younger vs waiting older = %v", d)
+	}
+}
+
+func TestRandomizedBothOutcomes(t *testing.T) {
+	m := NewRandomized()
+	s := New()
+	th := s.NewThread()
+	me, other := th.Begin(), th.Begin()
+	seen := map[Decision]bool{}
+	for i := 0; i < 200; i++ {
+		seen[m.ResolveConflict(me, other)] = true
+	}
+	if !seen[AbortOther] || !seen[AbortSelf] {
+		t.Fatalf("randomized outcomes seen: %v", seen)
+	}
+}
+
+func TestBackoffBounded(t *testing.T) {
+	start := time.Now()
+	backoff(nil, 0, false)
+	backoff(nil, 20, false) // attempt clamped; must stay well under 1ms... allow 10ms
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("backoff took %v", d)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[uint64]uint64{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds the STM's global counters. All fields are updated with atomic
+// adds on hot paths; reading a snapshot is racy-but-monotone, which is all
+// throughput reporting needs.
+type Stats struct {
+	begins          atomic.Uint64
+	commits         atomic.Uint64
+	selfAborts      atomic.Uint64
+	enemyAborts     atomic.Uint64
+	retries         atomic.Uint64
+	conflicts       atomic.Uint64
+	validationFails atomic.Uint64
+	reads           atomic.Uint64
+	writes          atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Begins          uint64 // transactions started (including retries)
+	Commits         uint64 // successful commits
+	SelfAborts      uint64 // aborts initiated by the owning thread
+	EnemyAborts     uint64 // aborts initiated by competitors
+	Retries         uint64 // re-executions of a task after an abort
+	Conflicts       uint64 // contention-manager invocations
+	ValidationFails uint64 // aborts due to read-set invalidation
+	Reads           uint64 // object opens for reading
+	Writes          uint64 // object opens for writing
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Begins:          s.begins.Load(),
+		Commits:         s.commits.Load(),
+		SelfAborts:      s.selfAborts.Load(),
+		EnemyAborts:     s.enemyAborts.Load(),
+		Retries:         s.retries.Load(),
+		Conflicts:       s.conflicts.Load(),
+		ValidationFails: s.validationFails.Load(),
+		Reads:           s.reads.Load(),
+		Writes:          s.writes.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.begins.Store(0)
+	s.commits.Store(0)
+	s.selfAborts.Store(0)
+	s.enemyAborts.Store(0)
+	s.retries.Store(0)
+	s.conflicts.Store(0)
+	s.validationFails.Store(0)
+	s.reads.Store(0)
+	s.writes.Store(0)
+}
+
+// Aborts returns total aborts from both sources.
+func (s StatsSnapshot) Aborts() uint64 { return s.SelfAborts + s.EnemyAborts }
+
+// ContentionRate returns conflicts per committed transaction — the paper's
+// "frequency of contentions" metric (§4.4). Zero commits yields zero.
+func (s StatsSnapshot) ContentionRate() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Conflicts) / float64(s.Commits)
+}
+
+// String renders the snapshot compactly.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("begins=%d commits=%d aborts=%d (self=%d enemy=%d) retries=%d conflicts=%d validationFails=%d reads=%d writes=%d",
+		s.Begins, s.Commits, s.Aborts(), s.SelfAborts, s.EnemyAborts,
+		s.Retries, s.Conflicts, s.ValidationFails, s.Reads, s.Writes)
+}
+
+// Sub returns the counter deltas s - earlier; the harness uses it to scope
+// statistics to a measurement window.
+func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Begins:          s.Begins - earlier.Begins,
+		Commits:         s.Commits - earlier.Commits,
+		SelfAborts:      s.SelfAborts - earlier.SelfAborts,
+		EnemyAborts:     s.EnemyAborts - earlier.EnemyAborts,
+		Retries:         s.Retries - earlier.Retries,
+		Conflicts:       s.Conflicts - earlier.Conflicts,
+		ValidationFails: s.ValidationFails - earlier.ValidationFails,
+		Reads:           s.Reads - earlier.Reads,
+		Writes:          s.Writes - earlier.Writes,
+	}
+}

@@ -1,0 +1,498 @@
+// Package stm is a Go reimplementation of the Dynamic Software Transactional
+// Memory (DSTM) system of Herlihy, Luchangco, Moir & Scherer (PODC'03) that
+// the paper builds its executor on (§4.1).
+//
+// DSTM is object-based and obstruction-free. Every transactional object
+// holds an atomic pointer to a Locator — a triple (writer, oldVersion,
+// newVersion). A transaction acquires an object for writing by installing,
+// with a single compare-and-swap, a fresh locator whose old version is the
+// currently committed one and whose new version is a private clone. Commit
+// is one compare-and-swap of the transaction's status word from ACTIVE to
+// COMMITTED, which atomically makes every installed new version current.
+// Reads are invisible: the transaction records (object, version) pairs and
+// re-validates the whole set on every subsequent open and at commit, so a
+// transaction can never observe an inconsistent snapshot without finding out
+// before it acts on it.
+//
+// Conflicts between active transactions are arbitrated by a pluggable
+// contention manager (Scherer & Scott, PODC'05); the paper's experiments use
+// Polka, which combines randomized exponential backoff with priority
+// accumulation.
+//
+// Versions stored in objects must be pointers (the implementation compares
+// versions by interface identity); the typed Box[T] wrapper enforces this.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Transaction status values. A transaction's status word is its single
+// point of atomicity: the CAS ACTIVE→COMMITTED commits every object the
+// transaction has acquired at once.
+const (
+	statusActive uint32 = iota
+	statusCommitted
+	statusAborted
+)
+
+// ErrAborted is returned by Read, Write and Commit when the transaction has
+// been aborted, either by a competitor (through the contention manager) or
+// by failed validation. Callers inside an Atomic block should propagate it
+// unchanged so the block retries.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// ErrNotActive is returned when a transaction is used after it committed or
+// was explicitly aborted by its own thread. It indicates a programming
+// error, not a transient condition.
+var ErrNotActive = errors.New("stm: transaction no longer active")
+
+// STM owns global configuration and statistics. All transactions created
+// from the same STM instance may share objects.
+type STM struct {
+	newCM    func() ContentionManager
+	stats    Stats
+	clock    atomic.Int64 // logical timestamps for timestamp-based managers
+	threadID atomic.Int64
+}
+
+// Option configures an STM instance.
+type Option func(*STM)
+
+// WithContentionManager selects the contention-manager factory; each worker
+// thread gets a private instance, as in DSTM. The default is Polka, the
+// manager used for all of the paper's experiments.
+func WithContentionManager(factory func() ContentionManager) Option {
+	return func(s *STM) { s.newCM = factory }
+}
+
+// New returns an STM instance.
+func New(opts ...Option) *STM {
+	s := &STM{newCM: NewPolka}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the global counters.
+func (s *STM) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// ResetStats zeroes the global counters (between experiment runs).
+func (s *STM) ResetStats() { s.stats.reset() }
+
+// A Thread is the per-worker handle from which transactions are begun. It
+// owns a private contention-manager instance, mirroring DSTM's thread-local
+// managers. A Thread must not be used concurrently from multiple goroutines;
+// create one Thread per worker.
+type Thread struct {
+	s  *STM
+	id int64
+	cm ContentionManager
+	// cur is the thread's active transaction, if any. Kept so enemy
+	// threads never need it — all cross-thread state lives in Tx.
+	cur *Tx
+}
+
+// NewThread returns a worker handle with its own contention manager.
+func (s *STM) NewThread() *Thread {
+	return &Thread{s: s, id: s.threadID.Add(1), cm: s.newCM()}
+}
+
+// ID returns the thread's unique identifier.
+func (t *Thread) ID() int64 { return t.id }
+
+// ManagerName reports the contention manager driving this thread.
+func (t *Thread) ManagerName() string { return t.cm.Name() }
+
+// Tx is one transaction attempt. It is created by Thread.Begin and used by
+// exactly one goroutine; other threads interact with it only through its
+// atomic status and priority words.
+type Tx struct {
+	s      *STM
+	thread *Thread
+	status atomic.Uint32
+
+	// priority is read by enemy threads' contention managers (Karma,
+	// Polka, Eruption), hence atomic.
+	priority atomic.Int64
+	// waiting is set while the transaction spins on a conflict; the
+	// Greedy manager consults it.
+	waiting atomic.Bool
+	// timestamp orders transactions for Timestamp/Greedy. Assigned at
+	// first Begin of a task and retained across retries so that old
+	// transactions eventually win.
+	timestamp int64
+
+	reads  []readEntry
+	writes int
+}
+
+type readEntry struct {
+	obj *Object
+	ver any
+}
+
+// committedSentinel is the writer of every freshly created object's locator:
+// a permanently committed transaction.
+var committedSentinel = func() *Tx {
+	tx := &Tx{}
+	tx.status.Store(statusCommitted)
+	return tx
+}()
+
+// Begin starts a new transaction on this thread.
+func (t *Thread) Begin() *Tx {
+	tx := &Tx{s: t.s, thread: t, timestamp: t.s.clock.Add(1)}
+	t.cur = tx
+	t.s.stats.begins.Add(1)
+	t.cm.BeginTransaction(tx)
+	return tx
+}
+
+// beginRetry starts a replacement transaction for a retried task, keeping
+// the original timestamp so that timestamp-ordered managers guarantee
+// progress for long-suffering tasks.
+func (t *Thread) beginRetry(prev *Tx) *Tx {
+	tx := &Tx{s: t.s, thread: t, timestamp: prev.timestamp}
+	t.cur = tx
+	t.s.stats.begins.Add(1)
+	t.s.stats.retries.Add(1)
+	t.cm.BeginTransaction(tx)
+	return tx
+}
+
+// Status helpers ------------------------------------------------------------
+
+// Active reports whether the transaction can still read, write and commit.
+func (tx *Tx) Active() bool { return tx.status.Load() == statusActive }
+
+// Committed reports whether the transaction committed.
+func (tx *Tx) Committed() bool { return tx.status.Load() == statusCommitted }
+
+// Aborted reports whether the transaction aborted.
+func (tx *Tx) Aborted() bool { return tx.status.Load() == statusAborted }
+
+// Priority returns the transaction's contention-manager priority. Enemy
+// threads may call this concurrently.
+func (tx *Tx) Priority() int64 { return tx.priority.Load() }
+
+// Timestamp returns the logical begin time of the task this transaction
+// belongs to (stable across retries).
+func (tx *Tx) Timestamp() int64 { return tx.timestamp }
+
+// Waiting reports whether the transaction is currently spinning on a
+// conflict (used by the Greedy manager).
+func (tx *Tx) Waiting() bool { return tx.waiting.Load() }
+
+// ThreadID returns the owning thread's ID; contention managers use it to
+// recognize repeat adversaries across transaction retries.
+func (tx *Tx) ThreadID() int64 {
+	if tx.thread == nil {
+		return 0
+	}
+	return tx.thread.id
+}
+
+// ReadSetSize returns the number of recorded invisible reads.
+func (tx *Tx) ReadSetSize() int { return len(tx.reads) }
+
+// WriteSetSize returns the number of objects acquired for writing.
+func (tx *Tx) WriteSetSize() int { return tx.writes }
+
+// abortBy attempts to abort the transaction on behalf of an enemy. It
+// reports whether the status transitioned (false if the target already
+// committed or aborted).
+func (tx *Tx) abortBy() bool {
+	return tx.status.CompareAndSwap(statusActive, statusAborted)
+}
+
+// Abort aborts the transaction from its own thread. Aborting a completed
+// transaction is a no-op.
+func (tx *Tx) Abort() {
+	if tx.status.CompareAndSwap(statusActive, statusAborted) {
+		tx.s.stats.selfAborts.Add(1)
+		tx.thread.cm.TransactionAborted(tx)
+	}
+}
+
+// Commit attempts to atomically commit every write this transaction has
+// made. It returns nil on success and ErrAborted if the transaction lost a
+// conflict or failed validation.
+func (tx *Tx) Commit() error {
+	if tx.status.Load() != statusActive {
+		tx.s.stats.enemyAborts.Add(1)
+		tx.thread.cm.TransactionAborted(tx)
+		return ErrAborted
+	}
+	if !tx.validate() {
+		tx.Abort()
+		tx.s.stats.validationFails.Add(1)
+		return ErrAborted
+	}
+	if !tx.status.CompareAndSwap(statusActive, statusCommitted) {
+		// An enemy aborted us between validation and the CAS.
+		tx.s.stats.enemyAborts.Add(1)
+		tx.thread.cm.TransactionAborted(tx)
+		return ErrAborted
+	}
+	tx.s.stats.commits.Add(1)
+	tx.thread.cm.TransactionCommitted(tx)
+	return nil
+}
+
+// validate re-checks every recorded read against the object's currently
+// committed version, and that the transaction is still active. DSTM calls
+// this on every open and at commit, which gives transactions a consistent
+// view at all times.
+func (tx *Tx) validate() bool {
+	for _, r := range tx.reads {
+		if r.obj.committedVersion() != r.ver {
+			return false
+		}
+	}
+	return tx.status.Load() == statusActive
+}
+
+// Validate exposes validation for callers that want to fail fast inside
+// long transactions (used by the sorted-list traversal).
+func (tx *Tx) Validate() bool { return tx.validate() }
+
+// Release drops the object from tx's read set — DSTM's "early release"
+// (Herlihy et al. §2). A linked-list traversal releases nodes it has passed
+// so that its read set stays O(1) and concurrent updates to distant parts of
+// the list no longer conflict with it. The caller asserts that dropping the
+// read cannot violate the transaction's correctness; misuse can break
+// serializability, exactly as in DSTM.
+func (tx *Tx) Release(o *Object) {
+	kept := tx.reads[:0]
+	for _, r := range tx.reads {
+		if r.obj != o {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so released entries do not pin versions in memory.
+	for i := len(kept); i < len(tx.reads); i++ {
+		tx.reads[i] = readEntry{}
+	}
+	tx.reads = kept
+}
+
+// Object is a transactional object: an atomic pointer to a locator plus the
+// clone function used for copy-on-write. Versions must be pointers; the
+// clone function must return a copy that the new transaction may mutate
+// freely (deep enough that committed versions are never written again).
+type Object struct {
+	clone func(any) any
+	loc   atomic.Pointer[locator]
+}
+
+type locator struct {
+	writer *Tx
+	oldVal any
+	newVal any
+}
+
+// NewObject creates a transactional object with the given initial version
+// and clone function. initial must be a pointer value; it becomes the
+// committed version.
+func NewObject(initial any, clone func(any) any) *Object {
+	if clone == nil {
+		panic("stm: NewObject requires a clone function")
+	}
+	o := &Object{clone: clone}
+	o.loc.Store(&locator{writer: committedSentinel, newVal: initial})
+	return o
+}
+
+// committedVersion resolves the object's currently committed version from
+// its locator, per the DSTM rules: a committed writer's new version is
+// current; an aborted or still-active writer's old version is current.
+func (o *Object) committedVersion() any {
+	loc := o.loc.Load()
+	if loc.writer.status.Load() == statusCommitted {
+		return loc.newVal
+	}
+	return loc.oldVal
+}
+
+// Read opens the object for reading and returns the version visible to tx.
+// The read is invisible to other transactions; it is recorded and will be
+// re-validated on every later open and at commit.
+func (tx *Tx) Read(o *Object) (any, error) {
+	if tx.status.Load() != statusActive {
+		return nil, ErrNotActive
+	}
+	tx.s.stats.reads.Add(1)
+	for {
+		loc := o.loc.Load()
+		w := loc.writer
+		if w == tx {
+			// Read our own uncommitted write.
+			return loc.newVal, nil
+		}
+		var cur any
+		switch w.status.Load() {
+		case statusCommitted:
+			cur = loc.newVal
+		case statusAborted:
+			cur = loc.oldVal
+		default:
+			// Conflict with an active writer; arbitrate.
+			if !tx.resolve(w) {
+				return nil, ErrAborted
+			}
+			continue
+		}
+		tx.reads = append(tx.reads, readEntry{obj: o, ver: cur})
+		if !tx.validate() {
+			tx.Abort()
+			tx.s.stats.validationFails.Add(1)
+			return nil, ErrAborted
+		}
+		return cur, nil
+	}
+}
+
+// Write opens the object for writing and returns tx's private, mutable
+// clone of the current version. The clone becomes the committed version if
+// and when tx commits.
+func (tx *Tx) Write(o *Object) (any, error) {
+	if tx.status.Load() != statusActive {
+		return nil, ErrNotActive
+	}
+	tx.s.stats.writes.Add(1)
+	for {
+		loc := o.loc.Load()
+		w := loc.writer
+		if w == tx {
+			// Already acquired; return the same clone.
+			return loc.newVal, nil
+		}
+		var cur any
+		switch w.status.Load() {
+		case statusCommitted:
+			cur = loc.newVal
+		case statusAborted:
+			cur = loc.oldVal
+		default:
+			if !tx.resolve(w) {
+				return nil, ErrAborted
+			}
+			continue
+		}
+		newLoc := &locator{writer: tx, oldVal: cur, newVal: o.clone(cur)}
+		if o.loc.CompareAndSwap(loc, newLoc) {
+			tx.writes++
+			tx.priority.Add(1) // priority accumulation (Karma/Polka)
+			tx.thread.cm.OpenSucceeded(tx)
+			if !tx.validate() {
+				tx.Abort()
+				tx.s.stats.validationFails.Add(1)
+				return nil, ErrAborted
+			}
+			return newLoc.newVal, nil
+		}
+		// CAS lost to a competitor; loop and re-arbitrate.
+	}
+}
+
+// resolve arbitrates a conflict between tx and the active enemy writer w.
+// It returns false if tx itself has been aborted and should give up.
+func (tx *Tx) resolve(w *Tx) bool {
+	tx.s.stats.conflicts.Add(1)
+	tx.waiting.Store(true)
+	decision := tx.thread.cm.ResolveConflict(tx, w)
+	tx.waiting.Store(false)
+	switch decision {
+	case AbortOther:
+		if w.abortBy() {
+			tx.s.stats.enemyAborts.Add(1)
+		}
+		return true
+	case AbortSelf:
+		tx.Abort()
+		return false
+	default: // Wait: the manager already delayed us; just retry.
+		return tx.status.Load() == statusActive
+	}
+}
+
+// Atomic runs fn inside a transaction, retrying on aborts until it commits.
+// A non-ErrAborted error from fn aborts the transaction and is returned to
+// the caller unchanged. fn must propagate errors from Read/Write so the
+// retry loop can observe them; it may be re-executed many times and must not
+// have side effects outside the STM.
+func (t *Thread) Atomic(fn func(tx *Tx) error) error {
+	tx := t.Begin()
+	for {
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		}
+		if !errors.Is(err, ErrAborted) {
+			tx.Abort()
+			return err
+		}
+		tx.Abort() // no-op if an enemy already aborted us
+		tx = t.beginRetry(tx)
+	}
+}
+
+// Box is a typed wrapper over Object for plain values: it stores *T versions
+// and clones by shallow copy. Use it for scalars and for node structs whose
+// fields are themselves immutable or transactional references; use NewObject
+// with a deep clone for versions containing slices or maps.
+type Box[T any] struct {
+	o *Object
+}
+
+// NewBox creates a Box holding a copy of initial.
+func NewBox[T any](initial T) Box[T] {
+	v := initial
+	return Box[T]{o: NewObject(&v, func(x any) any {
+		c := *x.(*T)
+		return &c
+	})}
+}
+
+// Read returns the version of the boxed value visible to tx. The caller
+// must not mutate it.
+func (b Box[T]) Read(tx *Tx) (*T, error) {
+	v, err := tx.Read(b.o)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*T), nil
+}
+
+// Write returns tx's private clone of the boxed value; mutations become
+// visible atomically when tx commits.
+func (b Box[T]) Write(tx *Tx) (*T, error) {
+	v, err := tx.Write(b.o)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*T), nil
+}
+
+// Object returns the underlying transactional object (for tests and stats).
+func (b Box[T]) Object() *Object { return b.o }
+
+// String renders a short debugging description of a transaction.
+func (tx *Tx) String() string {
+	st := "active"
+	switch tx.status.Load() {
+	case statusCommitted:
+		st = "committed"
+	case statusAborted:
+		st = "aborted"
+	}
+	return fmt.Sprintf("tx(thread=%d ts=%d %s reads=%d writes=%d)",
+		tx.ThreadID(), tx.timestamp, st, len(tx.reads), tx.writes)
+}

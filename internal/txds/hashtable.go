@@ -1,0 +1,165 @@
+package txds
+
+import (
+	"kstm/internal/stm"
+)
+
+// DefaultBuckets is the paper's table size: a prime close to half the
+// 16-bit value range, so the load factor at steady state is about 1 (§4.2).
+const DefaultBuckets = 30031
+
+// HashTable is a transactional hash table with external chaining. Each
+// bucket is one transactional object holding the bucket's key list, so two
+// transactions conflict exactly when they modify the same bucket — the
+// conflict granularity the paper's transaction keys are designed around.
+type HashTable struct {
+	buckets []*stm.Object // each holds *bucket
+}
+
+// bucket is a bucket version: an unordered key list. Versions are
+// copy-on-write: clone deep-copies the slice so a transaction's private
+// version never aliases a committed one.
+type bucket struct {
+	keys []uint32
+}
+
+func cloneBucket(v any) any {
+	b := v.(*bucket)
+	c := &bucket{keys: make([]uint32, len(b.keys))}
+	copy(c.keys, b.keys)
+	return c
+}
+
+// NewHashTable returns a table with the given bucket count; zero or
+// negative uses DefaultBuckets.
+func NewHashTable(buckets int) *HashTable {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	t := &HashTable{buckets: make([]*stm.Object, buckets)}
+	for i := range t.buckets {
+		t.buckets[i] = stm.NewObject(&bucket{}, cloneBucket)
+	}
+	return t
+}
+
+// Name implements IntSet.
+func (t *HashTable) Name() string { return string(KindHashTable) }
+
+// Buckets returns the bucket count.
+func (t *HashTable) Buckets() int { return len(t.buckets) }
+
+// Hash is the paper's hash function: the key modulo the bucket count. The
+// executor uses this value (not the dictionary key) as the transaction key.
+func (t *HashTable) Hash(key uint32) uint32 { return key % uint32(len(t.buckets)) }
+
+// Insert implements IntSet.
+func (t *HashTable) Insert(th *stm.Thread, key uint32) (bool, error) {
+	obj := t.buckets[t.Hash(key)]
+	var added bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		added = false
+		// Read first: an insert of a present key must not acquire the
+		// bucket for writing (no write conflict for a logical no-op).
+		v, err := tx.Read(obj)
+		if err != nil {
+			return err
+		}
+		if containsKey(v.(*bucket).keys, key) {
+			return nil
+		}
+		w, err := tx.Write(obj)
+		if err != nil {
+			return err
+		}
+		b := w.(*bucket)
+		// Re-check on the written clone: the versions are identical by
+		// construction, but keeping the check here makes the operation
+		// correct even if the read is someday removed.
+		if containsKey(b.keys, key) {
+			return nil
+		}
+		b.keys = append(b.keys, key)
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Delete implements IntSet.
+func (t *HashTable) Delete(th *stm.Thread, key uint32) (bool, error) {
+	obj := t.buckets[t.Hash(key)]
+	var removed bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		removed = false
+		v, err := tx.Read(obj)
+		if err != nil {
+			return err
+		}
+		if !containsKey(v.(*bucket).keys, key) {
+			return nil
+		}
+		w, err := tx.Write(obj)
+		if err != nil {
+			return err
+		}
+		b := w.(*bucket)
+		for i, k := range b.keys {
+			if k == key {
+				b.keys[i] = b.keys[len(b.keys)-1]
+				b.keys = b.keys[:len(b.keys)-1]
+				removed = true
+				return nil
+			}
+		}
+		return nil
+	})
+	return removed, err
+}
+
+// Contains implements IntSet.
+func (t *HashTable) Contains(th *stm.Thread, key uint32) (bool, error) {
+	obj := t.buckets[t.Hash(key)]
+	var found bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		v, err := tx.Read(obj)
+		if err != nil {
+			return err
+		}
+		found = containsKey(v.(*bucket).keys, key)
+		return nil
+	})
+	return found, err
+}
+
+// Len returns the total number of keys, counted in one transaction. It is
+// O(buckets) and intended for tests, not hot paths.
+func (t *HashTable) Len(th *stm.Thread) (int, error) {
+	var n int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		n = 0
+		for _, obj := range t.buckets {
+			v, err := tx.Read(obj)
+			if err != nil {
+				return err
+			}
+			n += len(v.(*bucket).keys)
+			// A full-table scan would otherwise build a 30031-entry
+			// read set and abort on any concurrent write; release as
+			// we go, accepting a non-atomic count like `size()` in
+			// java.util.concurrent collections.
+			tx.Release(obj)
+		}
+		return nil
+	})
+	return n, err
+}
+
+func containsKey(keys []uint32, key uint32) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}

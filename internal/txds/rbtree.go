@@ -1,0 +1,638 @@
+package txds
+
+import (
+	"fmt"
+
+	"kstm/internal/stm"
+)
+
+// RBTree is a transactional red-black tree, the paper's second benchmark.
+// Every node is its own transactional object, so operations conflict when
+// they touch overlapping search paths or rebalance the same region; keys
+// that are numerically close share most of their path, which is why key
+// proximity predicts conflicts well here (§4.4).
+//
+// Insertion and deletion are single-pass top-down algorithms (in the style
+// of Cormen et al.'s exercises as popularized by the jsw/Eternally
+// Confuzzled tutorial): rebalancing happens on the way down with a sliding
+// window of at most four ancestors, so no parent stack is needed and the
+// write set stays proportional to the number of recolourings and rotations
+// actually performed.
+type RBTree struct {
+	root *stm.Object // holds *rbRoot
+}
+
+// rbRoot is the version type of the root holder.
+type rbRoot struct {
+	child *stm.Object
+}
+
+func cloneRBRoot(v any) any {
+	c := *v.(*rbRoot)
+	return &c
+}
+
+// rbNode is a node version: key, colour, and the two child object
+// identities (0 = left, 1 = right; nil = leaf).
+type rbNode struct {
+	key  int64
+	red  bool
+	kids [2]*stm.Object
+}
+
+func cloneRBNode(v any) any {
+	c := *v.(*rbNode)
+	return &c
+}
+
+// NewRBTree returns an empty tree.
+func NewRBTree() *RBTree {
+	return &RBTree{root: stm.NewObject(&rbRoot{}, cloneRBRoot)}
+}
+
+// Name implements IntSet.
+func (t *RBTree) Name() string { return string(KindRBTree) }
+
+func newRBNodeObj(key int64, red bool) *stm.Object {
+	return stm.NewObject(&rbNode{key: key, red: red}, cloneRBNode)
+}
+
+func readNode(tx *stm.Tx, obj *stm.Object) (*rbNode, error) {
+	v, err := tx.Read(obj)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*rbNode), nil
+}
+
+func writeNode(tx *stm.Tx, obj *stm.Object) (*rbNode, error) {
+	v, err := tx.Write(obj)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*rbNode), nil
+}
+
+// isRed reports whether obj is a red node; nil leaves are black.
+func isRed(tx *stm.Tx, obj *stm.Object) (bool, error) {
+	if obj == nil {
+		return false, nil
+	}
+	n, err := readNode(tx, obj)
+	if err != nil {
+		return false, err
+	}
+	return n.red, nil
+}
+
+// rotateSingle rotates the subtree rooted at obj away from dir and returns
+// the new subtree root. It recolours per the top-down protocol: the old
+// root becomes red, the new root black.
+func rotateSingle(tx *stm.Tx, obj *stm.Object, dir int) (*stm.Object, error) {
+	n, err := writeNode(tx, obj)
+	if err != nil {
+		return nil, err
+	}
+	save := n.kids[1-dir]
+	s, err := writeNode(tx, save)
+	if err != nil {
+		return nil, err
+	}
+	n.kids[1-dir] = s.kids[dir]
+	s.kids[dir] = obj
+	n.red = true
+	s.red = false
+	return save, nil
+}
+
+// rotateDouble performs the two-step rotation for the zig-zag cases.
+func rotateDouble(tx *stm.Tx, obj *stm.Object, dir int) (*stm.Object, error) {
+	n, err := writeNode(tx, obj)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := rotateSingle(tx, n.kids[1-dir], 1-dir)
+	if err != nil {
+		return nil, err
+	}
+	n.kids[1-dir] = sub
+	return rotateSingle(tx, obj, dir)
+}
+
+// Insert implements IntSet.
+func (t *RBTree) Insert(th *stm.Thread, key uint32) (bool, error) {
+	k := int64(key)
+	var added bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		added = false
+		rv, err := tx.Read(t.root)
+		if err != nil {
+			return err
+		}
+		origRoot := rv.(*rbRoot).child
+		if origRoot == nil {
+			w, err := tx.Write(t.root)
+			if err != nil {
+				return err
+			}
+			w.(*rbRoot).child = newRBNodeObj(k, false)
+			added = true
+			return nil
+		}
+
+		// Transient false head: private to this attempt, so writes to
+		// it never conflict. Its right child is the tree root.
+		head := stm.NewObject(&rbNode{key: -1, kids: [2]*stm.Object{nil, origRoot}}, cloneRBNode)
+		var (
+			gObj *stm.Object // grandparent
+			tObj = head      // great-grandparent
+			pObj *stm.Object // parent
+			qObj = origRoot  // current
+			dir  int
+			last int
+		)
+		for {
+			var qKey int64
+			var qKids [2]*stm.Object
+			if qObj == nil {
+				// Insert a new red node under p.
+				qObj = newRBNodeObj(k, true)
+				pw, err := writeNode(tx, pObj)
+				if err != nil {
+					return err
+				}
+				pw.kids[dir] = qObj
+				added = true
+				qKey = k
+			} else {
+				qv, err := readNode(tx, qObj)
+				if err != nil {
+					return err
+				}
+				qKey, qKids = qv.key, qv.kids
+				lRed, err := isRed(tx, qKids[0])
+				if err != nil {
+					return err
+				}
+				rRed, err := isRed(tx, qKids[1])
+				if err != nil {
+					return err
+				}
+				if lRed && rRed {
+					// Colour flip on the way down.
+					qw, err := writeNode(tx, qObj)
+					if err != nil {
+						return err
+					}
+					qw.red = true
+					for _, kid := range qKids {
+						kw, err := writeNode(tx, kid)
+						if err != nil {
+							return err
+						}
+						kw.red = false
+					}
+				}
+			}
+
+			// Fix a red-red violation between q and p. Violations
+			// only arise at depth >= 2, so g and t are non-nil here.
+			qRed, err := isRed(tx, qObj)
+			if err != nil {
+				return err
+			}
+			pRed, err := isRed(tx, pObj)
+			if err != nil {
+				return err
+			}
+			if pObj != nil && qRed && pRed {
+				tv, err := readNode(tx, tObj)
+				if err != nil {
+					return err
+				}
+				dir2 := 0
+				if tv.kids[1] == gObj {
+					dir2 = 1
+				}
+				pv, err := readNode(tx, pObj)
+				if err != nil {
+					return err
+				}
+				var sub *stm.Object
+				if qObj == pv.kids[last] {
+					sub, err = rotateSingle(tx, gObj, 1-last)
+				} else {
+					sub, err = rotateDouble(tx, gObj, 1-last)
+				}
+				if err != nil {
+					return err
+				}
+				tw, err := writeNode(tx, tObj)
+				if err != nil {
+					return err
+				}
+				tw.kids[dir2] = sub
+			}
+
+			if qKey == k {
+				break
+			}
+			last = dir
+			dir = 0
+			if qKey < k {
+				dir = 1
+			}
+			if gObj != nil {
+				tObj = gObj
+			}
+			gObj, pObj = pObj, qObj
+			qObj = qKids[dir]
+		}
+
+		// Re-root if rotations moved the root, and force it black.
+		hv, err := readNode(tx, head)
+		if err != nil {
+			return err
+		}
+		newRoot := hv.kids[1]
+		if newRoot != origRoot {
+			w, err := tx.Write(t.root)
+			if err != nil {
+				return err
+			}
+			w.(*rbRoot).child = newRoot
+		}
+		rootRed, err := isRed(tx, newRoot)
+		if err != nil {
+			return err
+		}
+		if rootRed {
+			rw, err := writeNode(tx, newRoot)
+			if err != nil {
+				return err
+			}
+			rw.red = false
+		}
+		return nil
+	})
+	return added, err
+}
+
+// Delete implements IntSet.
+func (t *RBTree) Delete(th *stm.Thread, key uint32) (bool, error) {
+	k := int64(key)
+	var removed bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		removed = false
+		rv, err := tx.Read(t.root)
+		if err != nil {
+			return err
+		}
+		origRoot := rv.(*rbRoot).child
+		if origRoot == nil {
+			return nil
+		}
+
+		head := stm.NewObject(&rbNode{key: -1, kids: [2]*stm.Object{nil, origRoot}}, cloneRBNode)
+		var (
+			qObj = head
+			pObj *stm.Object // parent
+			gObj *stm.Object // grandparent
+			fObj *stm.Object // node holding the target key, if found
+			dir  = 1
+			last int
+		)
+		for {
+			qv, err := readNode(tx, qObj)
+			if err != nil {
+				return err
+			}
+			if qv.kids[dir] == nil {
+				break
+			}
+			last = dir
+			gObj, pObj = pObj, qObj
+			qObj = qv.kids[dir]
+			qv, err = readNode(tx, qObj)
+			if err != nil {
+				return err
+			}
+			dir = 0
+			if qv.key < k {
+				dir = 1
+			}
+			if qv.key == k {
+				fObj = qObj
+			}
+
+			// Push a red down to q so the final removal deletes a
+			// red node (or recolours trivially).
+			qDirRed, err := isRed(tx, qv.kids[dir])
+			if err != nil {
+				return err
+			}
+			if qv.red || qDirRed {
+				continue
+			}
+			oppRed, err := isRed(tx, qv.kids[1-dir])
+			if err != nil {
+				return err
+			}
+			if oppRed {
+				sub, err := rotateSingle(tx, qObj, dir)
+				if err != nil {
+					return err
+				}
+				pw, err := writeNode(tx, pObj)
+				if err != nil {
+					return err
+				}
+				pw.kids[last] = sub
+				pObj = sub
+				continue
+			}
+			pv, err := readNode(tx, pObj)
+			if err != nil {
+				return err
+			}
+			sObj := pv.kids[1-last]
+			if sObj == nil {
+				continue
+			}
+			sv, err := readNode(tx, sObj)
+			if err != nil {
+				return err
+			}
+			sLastRed, err := isRed(tx, sv.kids[last])
+			if err != nil {
+				return err
+			}
+			sOppRed, err := isRed(tx, sv.kids[1-last])
+			if err != nil {
+				return err
+			}
+			if !sLastRed && !sOppRed {
+				// Colour flip.
+				pw, err := writeNode(tx, pObj)
+				if err != nil {
+					return err
+				}
+				pw.red = false
+				sw, err := writeNode(tx, sObj)
+				if err != nil {
+					return err
+				}
+				sw.red = true
+				qw, err := writeNode(tx, qObj)
+				if err != nil {
+					return err
+				}
+				qw.red = true
+				continue
+			}
+			gv, err := readNode(tx, gObj)
+			if err != nil {
+				return err
+			}
+			dir2 := 0
+			if gv.kids[1] == pObj {
+				dir2 = 1
+			}
+			var sub *stm.Object
+			if sLastRed {
+				sub, err = rotateDouble(tx, pObj, last)
+			} else {
+				sub, err = rotateSingle(tx, pObj, last)
+			}
+			if err != nil {
+				return err
+			}
+			gw, err := writeNode(tx, gObj)
+			if err != nil {
+				return err
+			}
+			gw.kids[dir2] = sub
+			// Ensure correct colouring: q and the new subtree root
+			// are red, the new root's children black.
+			qw, err := writeNode(tx, qObj)
+			if err != nil {
+				return err
+			}
+			qw.red = true
+			subw, err := writeNode(tx, sub)
+			if err != nil {
+				return err
+			}
+			subw.red = true
+			for _, kid := range subw.kids {
+				if kid == nil {
+					continue
+				}
+				kw, err := writeNode(tx, kid)
+				if err != nil {
+					return err
+				}
+				kw.red = false
+			}
+		}
+
+		// Replace the found node's key with q's and splice q out.
+		if fObj != nil {
+			qv, err := readNode(tx, qObj)
+			if err != nil {
+				return err
+			}
+			fw, err := writeNode(tx, fObj)
+			if err != nil {
+				return err
+			}
+			fw.key = qv.key
+			pv, err := readNode(tx, pObj)
+			if err != nil {
+				return err
+			}
+			pdir := 0
+			if pv.kids[1] == qObj {
+				pdir = 1
+			}
+			qdir := 0
+			if qv.kids[0] == nil {
+				qdir = 1
+			}
+			pw, err := writeNode(tx, pObj)
+			if err != nil {
+				return err
+			}
+			pw.kids[pdir] = qv.kids[qdir]
+			// Write-acquire the removed node so transactions that
+			// read it (and might update a detached node) fail
+			// validation, as in the sorted list.
+			qw, err := writeNode(tx, qObj)
+			if err != nil {
+				return err
+			}
+			qw.kids = [2]*stm.Object{}
+			removed = true
+		}
+
+		hv, err := readNode(tx, head)
+		if err != nil {
+			return err
+		}
+		newRoot := hv.kids[1]
+		if newRoot != origRoot {
+			w, err := tx.Write(t.root)
+			if err != nil {
+				return err
+			}
+			w.(*rbRoot).child = newRoot
+		}
+		if newRoot != nil {
+			rootRed, err := isRed(tx, newRoot)
+			if err != nil {
+				return err
+			}
+			if rootRed {
+				rw, err := writeNode(tx, newRoot)
+				if err != nil {
+					return err
+				}
+				rw.red = false
+			}
+		}
+		return nil
+	})
+	return removed, err
+}
+
+// Contains implements IntSet.
+func (t *RBTree) Contains(th *stm.Thread, key uint32) (bool, error) {
+	k := int64(key)
+	var found bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		found = false
+		rv, err := tx.Read(t.root)
+		if err != nil {
+			return err
+		}
+		obj := rv.(*rbRoot).child
+		for obj != nil {
+			n, err := readNode(tx, obj)
+			if err != nil {
+				return err
+			}
+			if n.key == k {
+				found = true
+				return nil
+			}
+			if n.key < k {
+				obj = n.kids[1]
+			} else {
+				obj = n.kids[0]
+			}
+		}
+		return nil
+	})
+	return found, err
+}
+
+// Keys returns the tree's keys in sorted order (by in-order walk inside one
+// transaction). Intended for tests and the checker.
+func (t *RBTree) Keys(th *stm.Thread) ([]uint32, error) {
+	var out []uint32
+	err := th.Atomic(func(tx *stm.Tx) error {
+		out = out[:0]
+		rv, err := tx.Read(t.root)
+		if err != nil {
+			return err
+		}
+		return t.walk(tx, rv.(*rbRoot).child, &out)
+	})
+	return out, err
+}
+
+func (t *RBTree) walk(tx *stm.Tx, obj *stm.Object, out *[]uint32) error {
+	if obj == nil {
+		return nil
+	}
+	n, err := readNode(tx, obj)
+	if err != nil {
+		return err
+	}
+	if err := t.walk(tx, n.kids[0], out); err != nil {
+		return err
+	}
+	*out = append(*out, uint32(n.key))
+	return t.walk(tx, n.kids[1], out)
+}
+
+// CheckInvariants verifies the red-black invariants in one transaction:
+// binary-search order, no red node with a red child, equal black height on
+// every root-leaf path, and a black root. It returns the node count.
+func (t *RBTree) CheckInvariants(th *stm.Thread) (int, error) {
+	var count int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		count = 0
+		rv, err := tx.Read(t.root)
+		if err != nil {
+			return err
+		}
+		root := rv.(*rbRoot).child
+		if root == nil {
+			return nil
+		}
+		red, err := isRed(tx, root)
+		if err != nil {
+			return err
+		}
+		if red {
+			return fmt.Errorf("rbtree: red root")
+		}
+		_, n, err := t.check(tx, root, -1, 1<<32)
+		count = n
+		return err
+	})
+	return count, err
+}
+
+// check returns (black height, node count) of the subtree and validates
+// order bounds (lo, hi) exclusive.
+func (t *RBTree) check(tx *stm.Tx, obj *stm.Object, lo, hi int64) (int, int, error) {
+	if obj == nil {
+		return 1, 0, nil
+	}
+	n, err := readNode(tx, obj)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.key <= lo || n.key >= hi {
+		return 0, 0, fmt.Errorf("rbtree: key %d violates BST bounds (%d,%d)", n.key, lo, hi)
+	}
+	if n.red {
+		for _, kid := range n.kids {
+			kr, err := isRed(tx, kid)
+			if err != nil {
+				return 0, 0, err
+			}
+			if kr {
+				return 0, 0, fmt.Errorf("rbtree: red-red violation at key %d", n.key)
+			}
+		}
+	}
+	lh, lc, err := t.check(tx, n.kids[0], lo, n.key)
+	if err != nil {
+		return 0, 0, err
+	}
+	rh, rc, err := t.check(tx, n.kids[1], n.key, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lh != rh {
+		return 0, 0, fmt.Errorf("rbtree: black height mismatch at key %d (%d vs %d)", n.key, lh, rh)
+	}
+	h := lh
+	if !n.red {
+		h++
+	}
+	return h, lc + rc + 1, nil
+}

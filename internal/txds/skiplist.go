@@ -1,0 +1,303 @@
+package txds
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kstm/internal/stm"
+)
+
+// SkipList is a transactional skip list — an extension beyond the paper's
+// three benchmark structures. It behaves like the sorted list (keys ordered,
+// conflicts between nearby keys) but with O(log n) traversal, so it isolates
+// the effect of traversal length on executor benefit: key proximity still
+// predicts conflicts, but read sets stay small without early release.
+//
+// Tower heights are derived deterministically from the key (hash trailing
+// zeros), making the structure history-independent: the same key set always
+// produces the same shape, which simplifies testing and eliminates one
+// source of run-to-run variance in benchmarks.
+type SkipList struct {
+	head *stm.Object // skipNode with key -1 and a full-height tower
+}
+
+// skipMaxLevel bounds towers; 2^16 keys need at most 16 levels at p=1/2.
+const skipMaxLevel = 16
+
+// skipNode is a node version. The tower slice is deep-copied on clone so a
+// transaction's private version never aliases a committed one.
+type skipNode struct {
+	key  int64
+	next []*stm.Object // len = height; nil entries mean end-of-level
+}
+
+func cloneSkipNode(v any) any {
+	n := v.(*skipNode)
+	c := &skipNode{key: n.key, next: make([]*stm.Object, len(n.next))}
+	copy(c.next, n.next)
+	return c
+}
+
+// NewSkipList returns an empty skip list.
+func NewSkipList() *SkipList {
+	head := &skipNode{key: -1, next: make([]*stm.Object, skipMaxLevel)}
+	return &SkipList{head: stm.NewObject(head, cloneSkipNode)}
+}
+
+// KindSkipList identifies the extension structure.
+const KindSkipList Kind = "skiplist"
+
+// Name implements IntSet.
+func (l *SkipList) Name() string { return string(KindSkipList) }
+
+// keyHeight derives a deterministic tower height in [1, skipMaxLevel] with
+// a geometric(1/2) distribution over keys, by hashing and counting trailing
+// zeros.
+func keyHeight(key uint32) int {
+	// SplitMix64-style finalizer for avalanche.
+	z := uint64(key) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	h := bits.TrailingZeros64(z) + 1
+	if h > skipMaxLevel {
+		h = skipMaxLevel
+	}
+	return h
+}
+
+func readSkip(tx *stm.Tx, obj *stm.Object) (*skipNode, error) {
+	v, err := tx.Read(obj)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*skipNode), nil
+}
+
+// findPreds walks the list and returns, for every level, the last node with
+// key < target. curr is the candidate match at level 0 (nil at end).
+func (l *SkipList) findPreds(tx *stm.Tx, target int64) (preds [skipMaxLevel]*stm.Object, curr *stm.Object, err error) {
+	obj := l.head
+	node, err := readSkip(tx, obj)
+	if err != nil {
+		return preds, nil, err
+	}
+	for level := skipMaxLevel - 1; level >= 0; level-- {
+		for {
+			nextObj := node.next[level]
+			if nextObj == nil {
+				break
+			}
+			nextNode, err := readSkip(tx, nextObj)
+			if err != nil {
+				return preds, nil, err
+			}
+			if nextNode.key >= target {
+				break
+			}
+			obj, node = nextObj, nextNode
+		}
+		preds[level] = obj
+	}
+	return preds, node.next[0], nil
+}
+
+// Insert implements IntSet.
+func (l *SkipList) Insert(th *stm.Thread, key uint32) (bool, error) {
+	target := int64(key)
+	var added bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		added = false
+		preds, currObj, err := l.findPreds(tx, target)
+		if err != nil {
+			return err
+		}
+		if currObj != nil {
+			curr, err := readSkip(tx, currObj)
+			if err != nil {
+				return err
+			}
+			if curr.key == target {
+				return nil // present
+			}
+		}
+		h := keyHeight(key)
+		node := &skipNode{key: target, next: make([]*stm.Object, h)}
+		// Fill the new tower from the written predecessors, then
+		// splice. Writing each pred first gives us its current next
+		// pointers under validation.
+		written := make([]*skipNode, h)
+		for level := 0; level < h; level++ {
+			w, err := tx.Write(preds[level])
+			if err != nil {
+				return err
+			}
+			written[level] = w.(*skipNode)
+			node.next[level] = written[level].next[level]
+		}
+		nodeObj := stm.NewObject(node, cloneSkipNode)
+		for level := 0; level < h; level++ {
+			written[level].next[level] = nodeObj
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Delete implements IntSet.
+func (l *SkipList) Delete(th *stm.Thread, key uint32) (bool, error) {
+	target := int64(key)
+	var removed bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		removed = false
+		preds, currObj, err := l.findPreds(tx, target)
+		if err != nil {
+			return err
+		}
+		if currObj == nil {
+			return nil
+		}
+		curr, err := readSkip(tx, currObj)
+		if err != nil {
+			return err
+		}
+		if curr.key != target {
+			return nil
+		}
+		// Acquire the victim (invalidates concurrent readers standing
+		// on it) and each predecessor whose level points at it.
+		vw, err := tx.Write(currObj)
+		if err != nil {
+			return err
+		}
+		victim := vw.(*skipNode)
+		for level := 0; level < len(victim.next); level++ {
+			w, err := tx.Write(preds[level])
+			if err != nil {
+				return err
+			}
+			p := w.(*skipNode)
+			if p.next[level] == currObj {
+				p.next[level] = victim.next[level]
+			}
+		}
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Contains implements IntSet.
+func (l *SkipList) Contains(th *stm.Thread, key uint32) (bool, error) {
+	target := int64(key)
+	var found bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		found = false
+		_, currObj, err := l.findPreds(tx, target)
+		if err != nil {
+			return err
+		}
+		if currObj == nil {
+			return nil
+		}
+		curr, err := readSkip(tx, currObj)
+		if err != nil {
+			return err
+		}
+		found = curr.key == target
+		return nil
+	})
+	return found, err
+}
+
+// Keys returns the contents in order via the bottom level.
+func (l *SkipList) Keys(th *stm.Thread) ([]uint32, error) {
+	var out []uint32
+	err := th.Atomic(func(tx *stm.Tx) error {
+		out = out[:0]
+		node, err := readSkip(tx, l.head)
+		if err != nil {
+			return err
+		}
+		for node.next[0] != nil {
+			nxt, err := readSkip(tx, node.next[0])
+			if err != nil {
+				return err
+			}
+			out = append(out, uint32(nxt.key))
+			node = nxt
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Len counts the elements.
+func (l *SkipList) Len(th *stm.Thread) (int, error) {
+	keys, err := l.Keys(th)
+	return len(keys), err
+}
+
+// CheckInvariants verifies, in one transaction, that every level is sorted,
+// that towers are properly nested (a node present at level L is reachable at
+// every level below L), and that level-0 contains exactly the key set.
+// It returns the element count.
+func (l *SkipList) CheckInvariants(th *stm.Thread) (int, error) {
+	var count int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		count = 0
+		// Collect level-0 keys.
+		level0 := map[int64]bool{}
+		node, err := readSkip(tx, l.head)
+		if err != nil {
+			return err
+		}
+		prev := int64(-1)
+		for node.next[0] != nil {
+			nxt, err := readSkip(tx, node.next[0])
+			if err != nil {
+				return err
+			}
+			if nxt.key <= prev {
+				return errOutOfOrder(0, prev, nxt.key)
+			}
+			prev = nxt.key
+			level0[nxt.key] = true
+			count++
+			node = nxt
+		}
+		// Every higher level must be a sorted subsequence of level 0.
+		for level := 1; level < skipMaxLevel; level++ {
+			node, err = readSkip(tx, l.head)
+			if err != nil {
+				return err
+			}
+			prev = -1
+			for len(node.next) > level && node.next[level] != nil {
+				nxt, err := readSkip(tx, node.next[level])
+				if err != nil {
+					return err
+				}
+				if nxt.key <= prev {
+					return errOutOfOrder(level, prev, nxt.key)
+				}
+				if !level0[nxt.key] {
+					return errNotNested(level, nxt.key)
+				}
+				prev = nxt.key
+				node = nxt
+			}
+		}
+		return nil
+	})
+	return count, err
+}
+
+func errOutOfOrder(level int, a, b int64) error {
+	return fmt.Errorf("skiplist: level %d out of order: %d before %d", level, a, b)
+}
+
+func errNotNested(level int, key int64) error {
+	return fmt.Errorf("skiplist: key %d at level %d missing from level 0", key, level)
+}

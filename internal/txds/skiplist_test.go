@@ -1,0 +1,194 @@
+package txds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kstm/internal/rng"
+	"kstm/internal/stm"
+)
+
+func TestSkipListOracle(t *testing.T) {
+	s := stm.New()
+	oracleCheck(t, s, NewSkipList(), 5000, 300, 21)
+}
+
+func TestSkipListInvariantsUnderChurn(t *testing.T) {
+	s := stm.New()
+	l := NewSkipList()
+	th := s.NewThread()
+	r := rng.New(9)
+	present := map[uint32]bool{}
+	for i := 0; i < 3000; i++ {
+		key := uint32(r.Uint64n(400))
+		if r.Uint64()&1 == 0 {
+			added, err := l.Insert(th, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if added == present[key] {
+				t.Fatalf("Insert(%d) added=%v, present=%v", key, added, present[key])
+			}
+			present[key] = true
+		} else {
+			removed, err := l.Delete(th, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if removed != present[key] {
+				t.Fatalf("Delete(%d) removed=%v, present=%v", key, removed, present[key])
+			}
+			delete(present, key)
+		}
+		if i%500 == 0 {
+			if _, err := l.CheckInvariants(th); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	n, err := l.CheckInvariants(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(present) {
+		t.Fatalf("count = %d, oracle %d", n, len(present))
+	}
+}
+
+func TestSkipListKeysSorted(t *testing.T) {
+	s := stm.New()
+	l := NewSkipList()
+	th := s.NewThread()
+	for _, k := range []uint32{500, 100, 900, 300, 700} {
+		if added, err := l.Insert(th, k); err != nil || !added {
+			t.Fatalf("Insert(%d) = (%v,%v)", k, added, err)
+		}
+	}
+	keys, err := l.Keys(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{100, 300, 500, 700, 900}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	if n, err := l.Len(th); err != nil || n != 5 {
+		t.Fatalf("Len = (%d,%v)", n, err)
+	}
+}
+
+func TestSkipListEdges(t *testing.T) {
+	s := stm.New()
+	l := NewSkipList()
+	th := s.NewThread()
+	if removed, _ := l.Delete(th, 1); removed {
+		t.Error("delete from empty reported removal")
+	}
+	if found, _ := l.Contains(th, 1); found {
+		t.Error("empty list contains 1")
+	}
+	l.Insert(th, 1)
+	if added, _ := l.Insert(th, 1); added {
+		t.Error("duplicate insert reported added")
+	}
+	if found, _ := l.Contains(th, 1); !found {
+		t.Error("inserted key not found")
+	}
+	if removed, _ := l.Delete(th, 1); !removed {
+		t.Error("delete of present key failed")
+	}
+	if n, _ := l.Len(th); n != 0 {
+		t.Errorf("Len = %d", n)
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	s := stm.New()
+	l := NewSkipList()
+	concurrentChurn(t, s, l, 6, 500, 120)
+	th := s.NewThread()
+	if _, err := l.CheckInvariants(th); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+}
+
+func TestKeyHeightDistribution(t *testing.T) {
+	counts := make([]int, skipMaxLevel+1)
+	for k := uint32(0); k < 1<<16; k++ {
+		h := keyHeight(k)
+		if h < 1 || h > skipMaxLevel {
+			t.Fatalf("height(%d) = %d", k, h)
+		}
+		counts[h]++
+	}
+	// Geometric(1/2): height 1 should cover about half the keys.
+	if frac := float64(counts[1]) / (1 << 16); frac < 0.45 || frac > 0.55 {
+		t.Errorf("height-1 fraction = %v, want ~0.5", frac)
+	}
+	if counts[4] == 0 || counts[8] == 0 {
+		t.Error("tall towers never occur")
+	}
+}
+
+func TestKeyHeightDeterministic(t *testing.T) {
+	f := func(k uint32) bool { return keyHeight(k) == keyHeight(k) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipListAgreesWithRBTree(t *testing.T) {
+	s := stm.New()
+	sl, tree := NewSkipList(), NewRBTree()
+	th := s.NewThread()
+	r := rng.New(31)
+	for i := 0; i < 2000; i++ {
+		key := uint32(r.Uint64n(200))
+		if r.Uint64()&1 == 0 {
+			a, err := sl.Insert(th, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tree.Insert(th, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("op %d: skiplist added=%v rbtree added=%v", i, a, b)
+			}
+		} else {
+			a, err := sl.Delete(th, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tree.Delete(th, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("op %d: skiplist removed=%v rbtree removed=%v", i, a, b)
+			}
+		}
+	}
+	a, err := sl.Keys(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tree.Keys(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("contents differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

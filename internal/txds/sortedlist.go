@@ -1,0 +1,203 @@
+package txds
+
+import (
+	"kstm/internal/stm"
+)
+
+// SortedList is a transactional sorted singly-linked list — the paper's
+// third benchmark and the original DSTM IntSet example. Every node is its
+// own transactional object, so conflicts happen between operations whose
+// keys are adjacent in the list; numerical key proximity predicts conflicts
+// only weakly (an insert's neighbours change as the list evolves), which is
+// exactly why the paper reports the smallest executor benefit here.
+//
+// Traversal uses DSTM's early release: nodes behind the current window are
+// dropped from the read set, keeping read sets O(1) and letting disjoint
+// regions of the list be updated in parallel.
+type SortedList struct {
+	head *stm.Object // sentinel node with key -1
+}
+
+// listNode is a node version. next is a stable object identity; clone
+// copies the struct shallowly (key and next pointer).
+type listNode struct {
+	key  int64 // -1 for the head sentinel
+	next *stm.Object
+}
+
+func cloneListNode(v any) any {
+	c := *v.(*listNode)
+	return &c
+}
+
+// NewSortedList returns an empty list.
+func NewSortedList() *SortedList {
+	return &SortedList{head: stm.NewObject(&listNode{key: -1}, cloneListNode)}
+}
+
+// Name implements IntSet.
+func (l *SortedList) Name() string { return string(KindSortedList) }
+
+// window is a traversal position: prev is the last node with key < target,
+// curr is its successor (nil at end of list).
+type window struct {
+	prevObj *stm.Object
+	prev    *listNode
+	currObj *stm.Object
+	curr    *listNode
+}
+
+// find walks the list to the first node with key >= target, releasing
+// passed nodes. On return the transaction's read set contains only the
+// window nodes.
+func (l *SortedList) find(tx *stm.Tx, target int64) (window, error) {
+	var w window
+	w.prevObj = l.head
+	v, err := tx.Read(w.prevObj)
+	if err != nil {
+		return w, err
+	}
+	w.prev = v.(*listNode)
+	for {
+		w.currObj = w.prev.next
+		if w.currObj == nil {
+			w.curr = nil
+			return w, nil
+		}
+		cv, err := tx.Read(w.currObj)
+		if err != nil {
+			return w, err
+		}
+		w.curr = cv.(*listNode)
+		if w.curr.key >= target {
+			return w, nil
+		}
+		// Slide the window; the old prev is no longer needed for
+		// correctness of the eventual update, so release it.
+		tx.Release(w.prevObj)
+		w.prevObj, w.prev = w.currObj, w.curr
+	}
+}
+
+// Insert implements IntSet.
+func (l *SortedList) Insert(th *stm.Thread, key uint32) (bool, error) {
+	target := int64(key)
+	var added bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		added = false
+		w, err := l.find(tx, target)
+		if err != nil {
+			return err
+		}
+		if w.curr != nil && w.curr.key == target {
+			return nil // already present
+		}
+		pw, err := tx.Write(w.prevObj)
+		if err != nil {
+			return err
+		}
+		node := stm.NewObject(&listNode{key: target, next: w.currObj}, cloneListNode)
+		pw.(*listNode).next = node
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Delete implements IntSet.
+func (l *SortedList) Delete(th *stm.Thread, key uint32) (bool, error) {
+	target := int64(key)
+	var removed bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		removed = false
+		w, err := l.find(tx, target)
+		if err != nil {
+			return err
+		}
+		if w.curr == nil || w.curr.key != target {
+			return nil // absent
+		}
+		// Acquire the victim as well as the predecessor: writing the
+		// victim invalidates any transaction that read it and might
+		// otherwise update a detached node.
+		cw, err := tx.Write(w.currObj)
+		if err != nil {
+			return err
+		}
+		pw, err := tx.Write(w.prevObj)
+		if err != nil {
+			return err
+		}
+		pw.(*listNode).next = cw.(*listNode).next
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Contains implements IntSet.
+func (l *SortedList) Contains(th *stm.Thread, key uint32) (bool, error) {
+	target := int64(key)
+	var found bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		w, err := l.find(tx, target)
+		if err != nil {
+			return err
+		}
+		found = w.curr != nil && w.curr.key == target
+		return nil
+	})
+	return found, err
+}
+
+// Len counts the list's nodes in one traversal (with early release).
+func (l *SortedList) Len(th *stm.Thread) (int, error) {
+	var n int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		n = 0
+		obj := l.head
+		v, err := tx.Read(obj)
+		if err != nil {
+			return err
+		}
+		node := v.(*listNode)
+		for node.next != nil {
+			nextObj := node.next
+			nv, err := tx.Read(nextObj)
+			if err != nil {
+				return err
+			}
+			tx.Release(obj)
+			obj, node = nextObj, nv.(*listNode)
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Keys returns the list contents in order (tests and the checker use it).
+func (l *SortedList) Keys(th *stm.Thread) ([]uint32, error) {
+	var out []uint32
+	err := th.Atomic(func(tx *stm.Tx) error {
+		out = out[:0]
+		obj := l.head
+		v, err := tx.Read(obj)
+		if err != nil {
+			return err
+		}
+		node := v.(*listNode)
+		for node.next != nil {
+			nextObj := node.next
+			nv, err := tx.Read(nextObj)
+			if err != nil {
+				return err
+			}
+			tx.Release(obj)
+			obj, node = nextObj, nv.(*listNode)
+			out = append(out, uint32(node.key))
+		}
+		return nil
+	})
+	return out, err
+}

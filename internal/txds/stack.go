@@ -1,0 +1,115 @@
+package txds
+
+import (
+	"kstm/internal/stm"
+)
+
+// Stack is the §3.1 example: a transactional stack whose every operation
+// begins at the top-of-stack element, so the scheduling key is a constant —
+// the executor can tell that all stack transactions race for the same data
+// and serialize them on one worker.
+//
+// The representation is an immutable cons list reached through a single
+// transactional object, so conflicts occur exactly as the paper describes:
+// every push races with every pop.
+type Stack struct {
+	top *stm.Object // holds *stackTop
+}
+
+// stackTop is the mutable version; cells below it are immutable.
+type stackTop struct {
+	head *cell
+	size int
+}
+
+type cell struct {
+	value uint32
+	next  *cell
+}
+
+func cloneStackTop(v any) any {
+	c := *v.(*stackTop)
+	return &c
+}
+
+// NewStack returns an empty stack.
+func NewStack() *Stack {
+	return &Stack{top: stm.NewObject(&stackTop{}, cloneStackTop)}
+}
+
+// Key is the constant transaction key for every stack operation (§3.1: "the
+// hint we provide to the scheduler is constant for every transactional
+// access to the same stack").
+func (s *Stack) Key() uint32 { return 0 }
+
+// Push adds a value.
+func (s *Stack) Push(th *stm.Thread, v uint32) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		w, err := tx.Write(s.top)
+		if err != nil {
+			return err
+		}
+		t := w.(*stackTop)
+		t.head = &cell{value: v, next: t.head}
+		t.size++
+		return nil
+	})
+}
+
+// Pop removes and returns the top value; ok is false if the stack was
+// empty.
+func (s *Stack) Pop(th *stm.Thread) (v uint32, ok bool, err error) {
+	err = th.Atomic(func(tx *stm.Tx) error {
+		ok = false
+		r, err := tx.Read(s.top)
+		if err != nil {
+			return err
+		}
+		if r.(*stackTop).head == nil {
+			return nil // empty: read-only transaction
+		}
+		w, err := tx.Write(s.top)
+		if err != nil {
+			return err
+		}
+		t := w.(*stackTop)
+		v = t.head.value
+		t.head = t.head.next
+		t.size--
+		ok = true
+		return nil
+	})
+	return v, ok, err
+}
+
+// Peek returns the top value without removing it.
+func (s *Stack) Peek(th *stm.Thread) (v uint32, ok bool, err error) {
+	err = th.Atomic(func(tx *stm.Tx) error {
+		r, err := tx.Read(s.top)
+		if err != nil {
+			return err
+		}
+		t := r.(*stackTop)
+		if t.head == nil {
+			ok = false
+			return nil
+		}
+		v, ok = t.head.value, true
+		return nil
+	})
+	return v, ok, err
+}
+
+// Len returns the stack depth.
+func (s *Stack) Len(th *stm.Thread) (int, error) {
+	var n int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		r, err := tx.Read(s.top)
+		if err != nil {
+			return err
+		}
+		n = r.(*stackTop).size
+		return nil
+	})
+	return n, err
+}

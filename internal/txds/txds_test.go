@@ -1,0 +1,518 @@
+package txds
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"kstm/internal/rng"
+	"kstm/internal/stm"
+)
+
+// oracleCheck runs a long random stream of insert/delete/contains against a
+// map oracle on a single thread.
+func oracleCheck(t *testing.T, s *stm.STM, set IntSet, ops int, keyRange uint32, seed uint64) {
+	t.Helper()
+	th := s.NewThread()
+	r := rng.New(seed)
+	oracle := map[uint32]bool{}
+	for i := 0; i < ops; i++ {
+		key := uint32(r.Uint64n(uint64(keyRange)))
+		switch r.Uint64n(3) {
+		case 0:
+			added, err := set.Insert(th, key)
+			if err != nil {
+				t.Fatalf("op %d Insert(%d): %v", i, key, err)
+			}
+			if added == oracle[key] {
+				t.Fatalf("op %d Insert(%d) added=%v but oracle present=%v", i, key, added, oracle[key])
+			}
+			oracle[key] = true
+		case 1:
+			removed, err := set.Delete(th, key)
+			if err != nil {
+				t.Fatalf("op %d Delete(%d): %v", i, key, err)
+			}
+			if removed != oracle[key] {
+				t.Fatalf("op %d Delete(%d) removed=%v but oracle present=%v", i, key, removed, oracle[key])
+			}
+			delete(oracle, key)
+		default:
+			found, err := set.Contains(th, key)
+			if err != nil {
+				t.Fatalf("op %d Contains(%d): %v", i, key, err)
+			}
+			if found != oracle[key] {
+				t.Fatalf("op %d Contains(%d) = %v but oracle = %v", i, key, found, oracle[key])
+			}
+		}
+	}
+	// Final sweep: every key agrees with the oracle.
+	for key := uint32(0); key < keyRange; key++ {
+		found, err := set.Contains(th, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != oracle[key] {
+			t.Fatalf("final Contains(%d) = %v, oracle %v", key, found, oracle[key])
+		}
+	}
+}
+
+func TestHashTableOracle(t *testing.T) {
+	s := stm.New()
+	oracleCheck(t, s, NewHashTable(97), 5000, 300, 1)
+}
+
+func TestSortedListOracle(t *testing.T) {
+	s := stm.New()
+	oracleCheck(t, s, NewSortedList(), 3000, 120, 2)
+}
+
+func TestRBTreeOracle(t *testing.T) {
+	s := stm.New()
+	oracleCheck(t, s, NewRBTree(), 6000, 400, 3)
+}
+
+func TestRBTreeInvariantsUnderChurn(t *testing.T) {
+	s := stm.New()
+	tree := NewRBTree()
+	th := s.NewThread()
+	r := rng.New(7)
+	for i := 0; i < 4000; i++ {
+		key := uint32(r.Uint64n(500))
+		if r.Uint64()&1 == 0 {
+			if _, err := tree.Insert(th, key); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := tree.Delete(th, key); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%250 == 0 {
+			if _, err := tree.CheckInvariants(th); err != nil {
+				t.Fatalf("after op %d: %v", i, err)
+			}
+		}
+	}
+	if _, err := tree.CheckInvariants(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeAscendingDescendingInserts(t *testing.T) {
+	// Sequential insert orders that break naive BSTs must keep the tree
+	// balanced.
+	for name, keys := range map[string][]uint32{
+		"ascending":  seq(0, 512, 1),
+		"descending": seq(511, -1, -1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := stm.New()
+			tree := NewRBTree()
+			th := s.NewThread()
+			for _, k := range keys {
+				added, err := tree.Insert(th, k)
+				if err != nil || !added {
+					t.Fatalf("Insert(%d) = (%v,%v)", k, added, err)
+				}
+			}
+			n, err := tree.CheckInvariants(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 512 {
+				t.Fatalf("count = %d, want 512", n)
+			}
+			got, err := tree.Keys(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatal("in-order walk not sorted")
+			}
+			if len(got) != 512 {
+				t.Fatalf("Keys len = %d", len(got))
+			}
+		})
+	}
+}
+
+func TestRBTreeDeleteAll(t *testing.T) {
+	s := stm.New()
+	tree := NewRBTree()
+	th := s.NewThread()
+	const n = 300
+	for i := uint32(0); i < n; i++ {
+		tree.Insert(th, i)
+	}
+	// Delete in an awkward order: evens ascending then odds descending.
+	for i := uint32(0); i < n; i += 2 {
+		removed, err := tree.Delete(th, i)
+		if err != nil || !removed {
+			t.Fatalf("Delete(%d) = (%v,%v)", i, removed, err)
+		}
+	}
+	for i := int32(n - 1); i >= 0; i -= 2 {
+		removed, err := tree.Delete(th, uint32(i))
+		if err != nil || !removed {
+			t.Fatalf("Delete(%d) = (%v,%v)", i, removed, err)
+		}
+	}
+	cnt, err := tree.CheckInvariants(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 0 {
+		t.Fatalf("count after delete-all = %d", cnt)
+	}
+	if removed, _ := tree.Delete(th, 0); removed {
+		t.Error("Delete on empty tree reported removal")
+	}
+}
+
+func seq(start, end, step int) []uint32 {
+	var out []uint32
+	for i := start; i != end; i += step {
+		out = append(out, uint32(i))
+	}
+	return out
+}
+
+func TestHashTableBucketGranularity(t *testing.T) {
+	// Keys mapping to different buckets must not conflict; the stats
+	// should show zero contention for a disjoint-bucket workload.
+	s := stm.New()
+	table := NewHashTable(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < 500; i++ {
+				// Each goroutine owns bucket id: keys ≡ id (mod 64).
+				key := id + uint32(i)*64
+				if _, err := table.Insert(th, key); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := table.Delete(th, key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint32(g))
+	}
+	wg.Wait()
+	if got := s.Stats().Conflicts; got != 0 {
+		t.Errorf("disjoint buckets produced %d conflicts", got)
+	}
+}
+
+func TestHashTableLenAndDuplicates(t *testing.T) {
+	s := stm.New()
+	table := NewHashTable(16)
+	th := s.NewThread()
+	for _, k := range []uint32{1, 2, 3, 1, 2} {
+		table.Insert(th, k)
+	}
+	n, err := table.Len(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Len = %d, want 3", n)
+	}
+	if added, _ := table.Insert(th, 1); added {
+		t.Error("duplicate insert reported added")
+	}
+	if removed, _ := table.Delete(th, 99); removed {
+		t.Error("absent delete reported removed")
+	}
+}
+
+func TestHashTableHash(t *testing.T) {
+	table := NewHashTable(0)
+	if table.Buckets() != DefaultBuckets {
+		t.Fatalf("Buckets = %d, want %d", table.Buckets(), DefaultBuckets)
+	}
+	// The paper's hash: key mod buckets.
+	if got := table.Hash(30031*2 + 7); got != 7 {
+		t.Errorf("Hash = %d, want 7", got)
+	}
+}
+
+func TestSortedListOrderMaintained(t *testing.T) {
+	s := stm.New()
+	l := NewSortedList()
+	th := s.NewThread()
+	keys := []uint32{50, 10, 90, 30, 70, 20, 80, 0, 100, 60}
+	for _, k := range keys {
+		added, err := l.Insert(th, k)
+		if err != nil || !added {
+			t.Fatalf("Insert(%d) = (%v, %v)", k, added, err)
+		}
+	}
+	got, err := l.Keys(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]uint32{}, keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	n, err := l.Len(th)
+	if err != nil || n != len(keys) {
+		t.Fatalf("Len = (%d,%v)", n, err)
+	}
+}
+
+func TestSortedListEdges(t *testing.T) {
+	s := stm.New()
+	l := NewSortedList()
+	th := s.NewThread()
+	if removed, _ := l.Delete(th, 5); removed {
+		t.Error("delete from empty list reported removal")
+	}
+	if found, _ := l.Contains(th, 5); found {
+		t.Error("empty list contains 5")
+	}
+	l.Insert(th, 5)
+	if added, _ := l.Insert(th, 5); added {
+		t.Error("duplicate insert reported added")
+	}
+	if removed, _ := l.Delete(th, 5); !removed {
+		t.Error("delete of present key failed")
+	}
+	if n, _ := l.Len(th); n != 0 {
+		t.Errorf("Len after removal = %d", n)
+	}
+}
+
+func concurrentChurn(t *testing.T, s *stm.STM, set IntSet, goroutines, opsPer int, keyRange uint32) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := s.NewThread()
+			r := rng.New(seed)
+			for i := 0; i < opsPer; i++ {
+				key := uint32(r.Uint64n(uint64(keyRange)))
+				var err error
+				if r.Uint64()&1 == 0 {
+					_, err = set.Insert(th, key)
+				} else {
+					_, err = set.Delete(th, key)
+				}
+				if err != nil {
+					t.Errorf("churn: %v", err)
+					return
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}
+
+func TestHashTableConcurrent(t *testing.T) {
+	s := stm.New()
+	table := NewHashTable(31) // few buckets -> real contention
+	concurrentChurn(t, s, table, 8, 2000, 200)
+	// No duplicate keys in any bucket.
+	th := s.NewThread()
+	for key := uint32(0); key < 200; key++ {
+		found1, err := table.Contains(th, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = found1
+	}
+	st := s.Stats()
+	if st.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+func TestSortedListConcurrent(t *testing.T) {
+	s := stm.New()
+	l := NewSortedList()
+	concurrentChurn(t, s, l, 6, 400, 60)
+	th := s.NewThread()
+	keys, err := l.Keys(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("list unsorted or duplicated after churn: %v", keys)
+		}
+	}
+}
+
+func TestRBTreeConcurrent(t *testing.T) {
+	s := stm.New()
+	tree := NewRBTree()
+	concurrentChurn(t, s, tree, 6, 600, 250)
+	th := s.NewThread()
+	if _, err := tree.CheckInvariants(th); err != nil {
+		t.Fatalf("invariants after concurrent churn: %v", err)
+	}
+	keys, err := tree.Keys(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("tree keys unsorted/duplicated: %v", keys)
+		}
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := stm.New()
+	st := NewStack()
+	th := s.NewThread()
+	if _, ok, _ := st.Pop(th); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+	if _, ok, _ := st.Peek(th); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+	for i := uint32(0); i < 100; i++ {
+		if err := st.Push(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := st.Len(th); n != 100 {
+		t.Fatalf("Len = %d", n)
+	}
+	if v, ok, _ := st.Peek(th); !ok || v != 99 {
+		t.Fatalf("Peek = (%d,%v)", v, ok)
+	}
+	for i := int32(99); i >= 0; i-- {
+		v, ok, err := st.Pop(th)
+		if err != nil || !ok || v != uint32(i) {
+			t.Fatalf("Pop = (%d,%v,%v), want %d", v, ok, err, i)
+		}
+	}
+	if st.Key() != 0 {
+		t.Error("stack key not constant 0")
+	}
+}
+
+func TestStackConcurrentConservation(t *testing.T) {
+	s := stm.New()
+	st := NewStack()
+	const goroutines, per = 6, 300
+	var wg sync.WaitGroup
+	var popped [goroutines][]uint32
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < per; i++ {
+				v := uint32(id*per + i)
+				if err := st.Push(th, v); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok, err := st.Pop(th); err != nil {
+					t.Error(err)
+					return
+				} else if ok {
+					popped[id] = append(popped[id], v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	th := s.NewThread()
+	var rest []uint32
+	for {
+		v, ok, err := st.Pop(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	total := len(rest)
+	seen := map[uint32]bool{}
+	for _, v := range rest {
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	for g := range popped {
+		total += len(popped[g])
+		for _, v := range popped[g] {
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if total != goroutines*per {
+		t.Fatalf("conservation violated: %d values, want %d", total, goroutines*per)
+	}
+}
+
+func TestNewByKind(t *testing.T) {
+	for _, k := range Kinds() {
+		set, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%q): %v", k, err)
+		}
+		if set.Name() != string(k) {
+			t.Errorf("New(%q).Name() = %q", k, set.Name())
+		}
+	}
+	if _, err := New(Kind("btree")); err == nil {
+		t.Error("New(btree) succeeded")
+	}
+}
+
+// TestCrossStructureAgreement drives all three structures with the same
+// operation stream; they must agree with each other at every step.
+func TestCrossStructureAgreement(t *testing.T) {
+	s := stm.New()
+	sets := []IntSet{NewHashTable(61), NewRBTree(), NewSortedList()}
+	th := s.NewThread()
+	r := rng.New(11)
+	for i := 0; i < 1500; i++ {
+		key := uint32(r.Uint64n(100))
+		op := r.Uint64n(2)
+		var first bool
+		for j, set := range sets {
+			var got bool
+			var err error
+			if op == 0 {
+				got, err = set.Insert(th, key)
+			} else {
+				got, err = set.Delete(th, key)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j == 0 {
+				first = got
+			} else if got != first {
+				t.Fatalf("op %d: %s disagrees with %s", i, set.Name(), sets[0].Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package kstm is a key-based adaptive transactional memory executor — a Go
+// reproduction of Bai, Shen, Zhang, Scherer, Ding & Scott, "A Key-based
+// Adaptive Transactional Memory Executor" (IPDPS 2007).
+//
+// The library has three layers, all usable independently:
+//
+//   - a dynamic software transactional memory (DSTM-style: obstruction-free,
+//     clone-on-write objects, invisible reads, pluggable contention managers
+//     including Polka);
+//   - transactional dictionaries built on it (chained hash table, red-black
+//     tree, sorted linked list, and a constant-key stack);
+//   - the executor: producers generate transactions as parameter records and
+//     a dispatch policy assigns each to a worker by its *transaction key*.
+//     The adaptive policy samples the key distribution and partitions the
+//     key space into ranges of equal probability mass (PD-partition), so
+//     numerically-close keys — which touch the same data — run on the same
+//     worker: better locality, fewer conflicts, balanced load.
+//
+// Quick start:
+//
+//	s := kstm.New()                       // an STM instance
+//	table := kstm.NewHashTable(0)         // transactional dictionary
+//	th := s.NewThread()                   // per-goroutine handle
+//	table.Insert(th, 42)
+//
+//	sched, _ := kstm.NewScheduler(kstm.SchedAdaptive, 0, kstm.MaxKey, 8)
+//	pool, _ := kstm.NewPool(kstm.Config{ ... Scheduler: sched ... })
+//	res, _ := pool.Run(10 * time.Second)
+//	fmt.Println(res.Throughput())
+//
+// See examples/ for complete programs and DESIGN.md for the architecture
+// and the paper-experiment index.
+package kstm
+
+import (
+	"kstm/internal/core"
+	"kstm/internal/dist"
+	"kstm/internal/hist"
+	"kstm/internal/sim"
+	"kstm/internal/stm"
+	"kstm/internal/txds"
+)
+
+// STM layer -----------------------------------------------------------------
+
+// STM is a software transactional memory instance; see internal/stm.
+type STM = stm.STM
+
+// Thread is a per-goroutine handle with a private contention manager.
+type Thread = stm.Thread
+
+// Tx is one transaction attempt.
+type Tx = stm.Tx
+
+// Object is an untyped transactional object (clone-on-write versions).
+type Object = stm.Object
+
+// Box is a typed transactional cell.
+type Box[T any] = stm.Box[T]
+
+// ContentionManager arbitrates transaction conflicts.
+type ContentionManager = stm.ContentionManager
+
+// StatsSnapshot is a copy of the STM's global counters.
+type StatsSnapshot = stm.StatsSnapshot
+
+// ErrAborted is returned when a transaction loses a conflict or fails
+// validation; Atomic retries it automatically.
+var ErrAborted = stm.ErrAborted
+
+// New creates an STM instance. Options select the contention manager
+// (default Polka, the paper's choice).
+func New(opts ...stm.Option) *STM { return stm.New(opts...) }
+
+// WithContentionManager selects the contention-manager factory.
+var WithContentionManager = stm.WithContentionManager
+
+// NewObject creates an untyped transactional object.
+var NewObject = stm.NewObject
+
+// NewBox creates a typed transactional cell.
+func NewBox[T any](initial T) Box[T] { return stm.NewBox(initial) }
+
+// Contention managers (Scherer & Scott PODC'05 suite).
+var (
+	NewPolka        = stm.NewPolka
+	NewKarma        = stm.NewKarma
+	NewEruption     = stm.NewEruption
+	NewKindergarten = stm.NewKindergarten
+	NewTimestamp    = stm.NewTimestamp
+	NewGreedy       = stm.NewGreedy
+	NewPolite       = stm.NewPolite
+	NewRandomized   = stm.NewRandomized
+	NewAggressive   = stm.NewAggressive
+	NewTimid        = stm.NewTimid
+)
+
+// Data structures -------------------------------------------------------------
+
+// IntSet is the abstract dictionary interface of the benchmarks.
+type IntSet = txds.IntSet
+
+// HashTable is the paper's 30031-bucket chained hash table.
+type HashTable = txds.HashTable
+
+// RBTree is the transactional red-black tree.
+type RBTree = txds.RBTree
+
+// SortedList is the transactional sorted linked list.
+type SortedList = txds.SortedList
+
+// Stack is the §3.1 constant-key stack.
+type Stack = txds.Stack
+
+// SkipList is an extension dictionary (not in the paper's benchmarks).
+type SkipList = txds.SkipList
+
+// NewHashTable creates a hash table (0 buckets = the paper's 30031).
+var NewHashTable = txds.NewHashTable
+
+// NewRBTree creates an empty red-black tree.
+var NewRBTree = txds.NewRBTree
+
+// NewSortedList creates an empty sorted list.
+var NewSortedList = txds.NewSortedList
+
+// NewStack creates an empty stack.
+var NewStack = txds.NewStack
+
+// NewSkipList creates an empty skip list.
+var NewSkipList = txds.NewSkipList
+
+// Executor layer ----------------------------------------------------------------
+
+// Task is a transaction parameter record.
+type Task = core.Task
+
+// Op is a task opcode.
+type Op = core.Op
+
+// Task opcodes.
+const (
+	OpInsert = core.OpInsert
+	OpDelete = core.OpDelete
+	OpLookup = core.OpLookup
+	OpNoop   = core.OpNoop
+)
+
+// TaskSource generates a producer's task stream.
+type TaskSource = core.TaskSource
+
+// SourceFunc adapts a function to TaskSource.
+type SourceFunc = core.SourceFunc
+
+// Workload executes tasks on worker threads.
+type Workload = core.Workload
+
+// WorkloadFunc adapts a function to Workload.
+type WorkloadFunc = core.WorkloadFunc
+
+// Scheduler maps transaction keys to workers.
+type Scheduler = core.Scheduler
+
+// SchedulerKind names a dispatch policy.
+type SchedulerKind = core.SchedulerKind
+
+// The paper's three dispatch policies.
+const (
+	SchedRoundRobin = core.SchedRoundRobin
+	SchedFixed      = core.SchedFixed
+	SchedAdaptive   = core.SchedAdaptive
+)
+
+// Model selects the executor architecture of Figure 1.
+type Model = core.Model
+
+// Executor models.
+const (
+	ModelNoExecutor = core.ModelNoExecutor
+	ModelCentral    = core.ModelCentral
+	ModelParallel   = core.ModelParallel
+)
+
+// Config describes an executor pool.
+type Config = core.Config
+
+// Pool runs producers, the dispatch policy and workers.
+type Pool = core.Pool
+
+// Result reports one executor run.
+type Result = core.Result
+
+// NewPool validates a Config and returns a Pool.
+var NewPool = core.NewPool
+
+// NewScheduler constructs a dispatch policy over a key range.
+var NewScheduler = core.NewScheduler
+
+// Adaptive is the paper's adaptive scheduler, exposed concretely so callers
+// can inspect the learned partition.
+type Adaptive = core.Adaptive
+
+// NewAdaptive constructs an adaptive scheduler directly.
+var NewAdaptive = core.NewAdaptive
+
+// Partition is a key-space partition (fixed or PD-estimated).
+type Partition = hist.Partition
+
+// Adaptive scheduler options.
+var (
+	WithThreshold    = core.WithThreshold
+	WithCells        = core.WithCells
+	WithReAdaptation = core.WithReAdaptation
+)
+
+// Key space -----------------------------------------------------------------
+
+// MaxKey is the largest 16-bit dictionary key.
+const MaxKey = dist.MaxKey
+
+// DefaultSampleThreshold is the paper's 10,000-sample confidence threshold.
+const DefaultSampleThreshold = hist.DefaultSampleThreshold
+
+// Distribution sources for workload generation.
+var (
+	NewUniform            = dist.NewUniform
+	NewGaussianDefault    = dist.NewGaussianDefault
+	NewExponentialDefault = dist.NewExponentialDefault
+)
+
+// SplitKey splits a generated 17-bit workload value into its 16-bit
+// dictionary key and its insert/delete type bit (the low bit, per §4.4).
+var SplitKey = dist.Split
+
+// Simulation ------------------------------------------------------------------
+
+// SimParams configures the discrete-event testbed simulator.
+type SimParams = sim.Params
+
+// SimResult reports a simulated run.
+type SimResult = sim.Result
+
+// SimRun executes one simulated configuration.
+var SimRun = sim.Run
+
+// DefaultSimParams returns the calibrated cost model.
+var DefaultSimParams = sim.DefaultParams

@@ -1,0 +1,177 @@
+package kstm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kstm"
+)
+
+// TestFacadeSTM exercises the whole public STM surface.
+func TestFacadeSTM(t *testing.T) {
+	s := kstm.New(kstm.WithContentionManager(kstm.NewPolka))
+	box := kstm.NewBox(0)
+	th := s.NewThread()
+	err := th.Atomic(func(tx *kstm.Tx) error {
+		v, err := box.Write(tx)
+		if err != nil {
+			return err
+		}
+		*v = 7
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := th.Begin()
+	v, err := box.Read(tx)
+	if err != nil || *v != 7 {
+		t.Fatalf("read = (%v, %v)", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Commits != 2 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestFacadeDataStructures(t *testing.T) {
+	s := kstm.New()
+	th := s.NewThread()
+	sets := []kstm.IntSet{kstm.NewHashTable(64), kstm.NewRBTree(), kstm.NewSortedList()}
+	for _, set := range sets {
+		if added, err := set.Insert(th, 5); err != nil || !added {
+			t.Fatalf("%s: Insert = (%v,%v)", set.Name(), added, err)
+		}
+		if found, err := set.Contains(th, 5); err != nil || !found {
+			t.Fatalf("%s: Contains = (%v,%v)", set.Name(), found, err)
+		}
+		if removed, err := set.Delete(th, 5); err != nil || !removed {
+			t.Fatalf("%s: Delete = (%v,%v)", set.Name(), removed, err)
+		}
+	}
+	st := kstm.NewStack()
+	if err := st.Push(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := st.Pop(th); err != nil || !ok || v != 1 {
+		t.Fatalf("stack pop = (%d,%v,%v)", v, ok, err)
+	}
+}
+
+func TestFacadeExecutorEndToEnd(t *testing.T) {
+	s := kstm.New()
+	table := kstm.NewHashTable(0)
+	sched, err := kstm.NewScheduler(kstm.SchedAdaptive, 0, uint64(table.Buckets()-1), 2, kstm.WithThreshold(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := kstm.NewPool(kstm.Config{
+		STM: s,
+		Workload: kstm.WorkloadFunc(func(th *kstm.Thread, task kstm.Task) error {
+			var err error
+			if task.Op == kstm.OpInsert {
+				_, err = table.Insert(th, task.Arg)
+			} else {
+				_, err = table.Delete(th, task.Arg)
+			}
+			return err
+		}),
+		NewSource: func(p int) kstm.TaskSource {
+			src := kstm.NewUniform(uint64(p + 1))
+			return kstm.SourceFunc(func() kstm.Task {
+				key, insert := kstm.SplitKey(src.Next())
+				op := kstm.OpInsert
+				if !insert {
+					op = kstm.OpDelete
+				}
+				return kstm.Task{Key: uint64(table.Hash(key)), Op: op, Arg: key}
+			})
+		},
+		Workers:   2,
+		Producers: 2,
+		Model:     kstm.ModelParallel,
+		Scheduler: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.RunCount(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 5000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.STM.Commits < 5000 {
+		t.Errorf("commits %d < tasks", res.STM.Commits)
+	}
+}
+
+func TestFacadeSim(t *testing.T) {
+	p := kstm.DefaultSimParams()
+	p.Workers = 4
+	p.Scheduler = kstm.SchedAdaptive
+	p.DurationCycles = 30_000_000
+	p.WarmupCycles = 10_000_000
+	r, err := kstm.SimRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 || r.Throughput() <= 0 {
+		t.Fatalf("sim result %+v", r)
+	}
+}
+
+func TestFacadeConcurrentCounter(t *testing.T) {
+	s := kstm.New()
+	box := kstm.NewBox(0)
+	var wg sync.WaitGroup
+	const goroutines, per = 4, 250
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < per; i++ {
+				if err := th.Atomic(func(tx *kstm.Tx) error {
+					v, err := box.Write(tx)
+					if err != nil {
+						return err
+					}
+					*v++
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx := s.NewThread().Begin()
+	v, _ := box.Read(tx)
+	if *v != goroutines*per {
+		t.Fatalf("counter = %d", *v)
+	}
+}
+
+func ExampleNewBox() {
+	s := kstm.New()
+	account := kstm.NewBox(100)
+	th := s.NewThread()
+	_ = th.Atomic(func(tx *kstm.Tx) error {
+		balance, err := account.Write(tx)
+		if err != nil {
+			return err
+		}
+		*balance -= 30
+		return nil
+	})
+	tx := th.Begin()
+	v, _ := account.Read(tx)
+	fmt.Println(*v)
+	// Output: 70
+}
