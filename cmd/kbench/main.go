@@ -7,6 +7,11 @@
 //	kbench -experiment all -runs 10 -mode sim
 //	kbench -experiment fig3-exponential -mode real -tasks 50000
 //	kbench -experiment fig4-overhead -csv
+//	kbench -experiment open-submit -tasks 50000
+//
+// open-submit exercises the open Executor API (Submit / SubmitAll from
+// goroutine-per-client traffic) on the real executor regardless of -mode;
+// see DESIGN.md §3.
 //
 // In sim mode (default) experiments run on the deterministic discrete-event
 // model of the paper's 16-processor SunFire 6800 testbed, so the figure

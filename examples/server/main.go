@@ -1,0 +1,143 @@
+// Server: the open Executor API under goroutine-per-client traffic — the
+// shape a network front-end produces, as opposed to the paper's closed-world
+// producer loops. Each client goroutine is a request handler: it submits a
+// dictionary transaction with Submit (request/response) and gets back a
+// TaskResult with queue-wait and execution latency. The executor runs the
+// paper's adaptive PD-partition scheduler, so it learns the clients' hot key
+// ranges from live traffic while serving it.
+//
+// The run demonstrates the full lifecycle: Start, a load phase with
+// per-client latency accounting, a live Stats snapshot mid-run, reject-mode
+// backpressure (shed load instead of stalling handlers), context
+// cancellation of a slow client, and a graceful Drain.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm"
+)
+
+const (
+	workers = 4
+	clients = 16
+	perOps  = 2500
+)
+
+func main() {
+	table := kstm.NewHashTable(0)
+	workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
+		var err error
+		switch t.Op {
+		case kstm.OpInsert:
+			_, err = table.Insert(th, t.Arg)
+		case kstm.OpDelete:
+			_, err = table.Delete(th, t.Arg)
+		default:
+			_, err = table.Contains(th, t.Arg)
+		}
+		return err
+	})
+
+	ex, err := kstm.NewExecutor(
+		kstm.WithWorkload(workload),
+		kstm.WithWorkers(workers),
+		// Route by hash-bucket key so near keys share a worker, and let
+		// the adaptive scheduler learn the partition from live traffic.
+		kstm.WithSchedulerKind(kstm.SchedAdaptive, 0, uint64(table.Buckets()-1), kstm.WithThreshold(5000)),
+		// A server sheds load rather than stalling request handlers.
+		kstm.WithBackpressure(kstm.BackpressureReject),
+		kstm.WithQueueDepth(4096),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load phase: one goroutine per client, Submit per request.
+	var wg sync.WaitGroup
+	var served, shed atomic.Uint64
+	var totalWait, totalExec atomic.Int64
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Clients favor a skewed working set, like real callers.
+			src := kstm.NewExponentialDefault(uint64(c)*131 + 7)
+			for i := 0; i < perOps; i++ {
+				key, insert := kstm.SplitKey(src.Next())
+				op := kstm.OpDelete
+				if insert {
+					op = kstm.OpInsert
+				}
+				task := kstm.Task{Key: uint64(table.Hash(key)), Op: op, Arg: key}
+				res, err := ex.Submit(ctx, task)
+				switch {
+				case errors.Is(err, kstm.ErrQueueFull):
+					shed.Add(1) // a real server would 503 here
+				case err != nil:
+					log.Fatal(err)
+				default:
+					served.Add(1)
+					totalWait.Add(int64(res.Wait))
+					totalExec.Add(int64(res.Exec))
+				}
+			}
+		}(c)
+	}
+
+	// A slow client with a deadline: its cancellation must not disturb
+	// the executor or other clients.
+	slowCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, err := ex.Submit(slowCtx, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1}); err != nil {
+				fmt.Printf("slow client retired: %v\n", err)
+				return
+			}
+		}
+	}()
+
+	// Operator view: a live snapshot while traffic is in flight.
+	time.Sleep(20 * time.Millisecond)
+	st := ex.Stats()
+	fmt.Printf("mid-run: state=%s in-flight=%d queues=%v\n", st.State, st.InFlight, st.QueueDepths)
+
+	wg.Wait()
+	if err := ex.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	st = ex.Stats()
+	fmt.Printf("served %d requests (%d shed) in %v — %.0f txn/s\n",
+		served.Load(), shed.Load(), elapsed.Round(time.Millisecond),
+		float64(served.Load())/elapsed.Seconds())
+	if n := served.Load(); n > 0 {
+		fmt.Printf("mean latency: wait %v, exec %v\n",
+			time.Duration(totalWait.Load()/int64(n)).Round(time.Microsecond),
+			time.Duration(totalExec.Load()/int64(n)).Round(time.Microsecond))
+	}
+	fmt.Printf("final: state=%s completed=%d imbalance=%.2f commits=%d scheduler=%s\n",
+		st.State, st.Completed, st.LoadImbalance(), st.STM.Commits, st.Scheduler)
+
+	// Submission after Drain is refused: the lifecycle is closed.
+	if _, err := ex.Submit(ctx, kstm.Task{}); errors.Is(err, kstm.ErrNotRunning) {
+		fmt.Println("post-drain submit refused, as it should be")
+	}
+}

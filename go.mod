@@ -1,0 +1,3 @@
+module kstm
+
+go 1.24

@@ -1,0 +1,805 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm/internal/dist"
+	"kstm/internal/queue"
+	"kstm/internal/stm"
+)
+
+// Executor lifecycle and submission errors.
+var (
+	// ErrQueueFull is returned by Submit under BackpressureReject when the
+	// target worker's queue is at its depth bound.
+	ErrQueueFull = errors.New("core: worker queue full")
+	// ErrNotRunning is returned when submitting to an executor that has
+	// not been started, is draining, or has stopped.
+	ErrNotRunning = errors.New("core: executor not running")
+	// ErrAlreadyStarted is returned by Start on a started executor.
+	ErrAlreadyStarted = errors.New("core: executor already started")
+	// ErrStopped is the completion error of tasks abandoned by Stop (or by
+	// cancellation of the Start context) before a worker executed them.
+	ErrStopped = errors.New("core: executor stopped before task executed")
+)
+
+// Backpressure selects what Submit does when the target worker's queue is
+// at its depth bound.
+type Backpressure string
+
+// Backpressure modes.
+const (
+	// BackpressureBlock: the submitter waits for space (or for its context
+	// to be cancelled). This is the default, matching the closed-world
+	// producers, and is the right mode for batch callers.
+	BackpressureBlock Backpressure = "block"
+	// BackpressureReject: Submit returns ErrQueueFull immediately, pushing
+	// the flow-control decision to the caller — the right mode for servers
+	// that would rather shed load than stall request goroutines.
+	BackpressureReject Backpressure = "reject"
+)
+
+// Executor lifecycle states.
+type execState = int32
+
+const (
+	stateNew execState = iota
+	stateRunning
+	stateDraining
+	stateStopped
+)
+
+func stateName(s execState) string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunning:
+		return "running"
+	case stateDraining:
+		return "draining"
+	default:
+		return "stopped"
+	}
+}
+
+// TaskResult reports one completed task back to its submitter.
+type TaskResult struct {
+	// Task echoes the submitted record.
+	Task Task
+	// Worker is the index of the worker that finished (or abandoned) it.
+	Worker int
+	// Err is the workload's hard error, the submission context's error if
+	// it was cancelled before execution, or ErrStopped.
+	Err error
+	// Wait is the time the task spent queued before execution.
+	Wait time.Duration
+	// Exec is the workload execution time (retries included).
+	Exec time.Duration
+}
+
+// Future is the pending result of SubmitAsync. All methods are safe for
+// concurrent use; a Future completes exactly once.
+type Future struct {
+	done chan struct{}
+	res  TaskResult
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// complete resolves the future; callers must invoke it at most once.
+func (f *Future) complete(res TaskResult) {
+	f.res = res
+	close(f.done)
+}
+
+// Done returns a channel closed when the result is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks for the result or the context, whichever comes first. On
+// completion it returns the result and the task's own error (res.Err).
+func (f *Future) Wait(ctx context.Context) (TaskResult, error) {
+	select {
+	case <-f.done:
+		return f.res, f.res.Err
+	case <-ctx.Done():
+		return TaskResult{}, ctx.Err()
+	}
+}
+
+// Poll returns the result without blocking; ok is false while pending.
+func (f *Future) Poll() (res TaskResult, ok bool) {
+	select {
+	case <-f.done:
+		return f.res, true
+	default:
+		return TaskResult{}, false
+	}
+}
+
+// execConfig is the resolved option set of an Executor.
+type execConfig struct {
+	stm          *stm.STM
+	workload     Workload
+	workers      int
+	scheduler    Scheduler
+	schedKind    SchedulerKind
+	schedMin     uint64
+	schedMax     uint64
+	adaptOpts    []AdaptiveOption
+	queueKind    queue.Kind
+	maxDepth     int
+	backpressure Backpressure
+	workSteal    bool
+	sortBatch    int
+}
+
+// Option configures an Executor.
+type Option func(*execConfig)
+
+// WithSTM sets the transactional-memory instance workers execute in; the
+// default is a fresh stm.New().
+func WithSTM(s *stm.STM) Option { return func(c *execConfig) { c.stm = s } }
+
+// WithWorkload sets how workers execute task records. Required.
+func WithWorkload(w Workload) Option { return func(c *execConfig) { c.workload = w } }
+
+// WithWorkers sets the worker-thread count; the default is GOMAXPROCS.
+func WithWorkers(n int) Option { return func(c *execConfig) { c.workers = n } }
+
+// WithScheduler installs a prebuilt dispatch policy (it must be sized for
+// the executor's worker count).
+func WithScheduler(s Scheduler) Option { return func(c *execConfig) { c.scheduler = s } }
+
+// WithSchedulerKind builds the dispatch policy by kind over the closed key
+// range [min, max]; adaptive options apply only to SchedAdaptive. The
+// default policy is SchedAdaptive over the 16-bit key space, so the
+// executor samples live traffic and re-partitions by probability mass.
+func WithSchedulerKind(kind SchedulerKind, min, max uint64, opts ...AdaptiveOption) Option {
+	return func(c *execConfig) {
+		c.schedKind = kind
+		c.schedMin, c.schedMax = min, max
+		c.adaptOpts = opts
+	}
+}
+
+// WithQueue selects the per-worker task-queue implementation (default mscq).
+func WithQueue(k queue.Kind) Option { return func(c *execConfig) { c.queueKind = k } }
+
+// WithQueueDepth bounds per-worker queues at n tasks; 0 keeps the default
+// (8192) and n < 0 disables the bound entirely.
+func WithQueueDepth(n int) Option { return func(c *execConfig) { c.maxDepth = n } }
+
+// WithBackpressure selects the full-queue policy (default BackpressureBlock).
+func WithBackpressure(m Backpressure) Option { return func(c *execConfig) { c.backpressure = m } }
+
+// WithWorkSteal lets idle workers take tasks from other queues — trading
+// the locality that key partitioning bought for utilization.
+func WithWorkSteal(on bool) Option { return func(c *execConfig) { c.workSteal = on } }
+
+// WithSortBatch makes each worker drain up to n tasks and execute them in
+// ascending key order (§2's buffer-reordering capability); n <= 1 is FIFO.
+func WithSortBatch(n int) Option { return func(c *execConfig) { c.sortBatch = n } }
+
+// Executor is the open form of the paper's key-based executor: callers
+// submit transaction parameter records and receive per-task results, while
+// the configured dispatch policy routes each record to a worker by its
+// transaction key. Lifecycle:
+//
+//	ex, _ := NewExecutor(WithWorkload(w), WithWorkers(8))
+//	ex.Start(ctx)
+//	res, err := ex.Submit(ctx, Task{Key: k, Op: OpInsert, Arg: a})
+//	...
+//	ex.Drain() // or ex.Stop()
+//
+// All methods are safe for concurrent use.
+type Executor struct {
+	cfg    execConfig
+	queues []queue.Queue[envelope]
+
+	state    atomic.Int32
+	inflight atomic.Int64 // accepted-but-not-finished tasks (incl. blocked submitters)
+	workers  sync.WaitGroup
+	stopped  chan struct{} // closed once on the transition to the stopped state
+	stopOnce sync.Once
+	shutdown chan struct{} // closed once on halt, releases the context watcher
+	haltOnce sync.Once
+
+	startMu   sync.Mutex // guards started/stoppedAt/stmBefore against concurrent Stats
+	started   time.Time
+	stoppedAt time.Time
+	stmBefore stm.StatsSnapshot
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	failed    atomic.Uint64
+	empty     atomic.Uint64
+	steals    atomic.Uint64
+	completed []paddedCounter
+	firstErr  atomic.Pointer[error]
+
+	// onDone, if set before Start, runs after every task completion; the
+	// legacy counted-run harness uses it to stop at an exact task quota.
+	onDone func()
+}
+
+// envelope carries a task through a worker queue together with its
+// completion plumbing. Fire-and-forget tasks (legacy producers) have a nil
+// fut and ctx and skip all timestamping.
+type envelope struct {
+	task Task
+	fut  *Future
+	ctx  context.Context
+	enq  time.Time
+}
+
+// defaultExecConfig resolves option defaults.
+func defaultExecConfig() execConfig {
+	return execConfig{
+		workers:      runtime.GOMAXPROCS(0),
+		schedKind:    SchedAdaptive,
+		schedMin:     0,
+		schedMax:     dist.MaxKey,
+		queueKind:    queue.KindMSCQ,
+		backpressure: BackpressureBlock,
+	}
+}
+
+// NewExecutor validates options and builds a stopped executor; call Start
+// to spawn its workers.
+func NewExecutor(opts ...Option) (*Executor, error) {
+	cfg := defaultExecConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workload == nil {
+		return nil, fmt.Errorf("core: NewExecutor requires WithWorkload")
+	}
+	if cfg.workers <= 0 {
+		return nil, fmt.Errorf("core: %d workers, want > 0", cfg.workers)
+	}
+	switch cfg.backpressure {
+	case BackpressureBlock, BackpressureReject:
+	default:
+		return nil, fmt.Errorf("core: unknown backpressure mode %q", cfg.backpressure)
+	}
+	if cfg.stm == nil {
+		cfg.stm = stm.New()
+	}
+	if cfg.scheduler == nil {
+		s, err := NewScheduler(cfg.schedKind, cfg.schedMin, cfg.schedMax, cfg.workers, cfg.adaptOpts...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.scheduler = s
+	}
+	switch {
+	case cfg.maxDepth < 0:
+		cfg.maxDepth = 0
+	case cfg.maxDepth == 0:
+		cfg.maxDepth = defaultMaxQueueDepth
+	}
+	e := &Executor{
+		cfg:       cfg,
+		queues:    make([]queue.Queue[envelope], cfg.workers),
+		completed: make([]paddedCounter, cfg.workers),
+		stopped:   make(chan struct{}),
+		shutdown:  make(chan struct{}),
+	}
+	for i := range e.queues {
+		q, err := queue.New[envelope](cfg.queueKind)
+		if err != nil {
+			return nil, err
+		}
+		e.queues[i] = q
+	}
+	return e, nil
+}
+
+// Start spawns the worker threads. Cancelling ctx is equivalent to Stop:
+// submission closes and queued tasks complete with ErrStopped.
+func (e *Executor) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !e.state.CompareAndSwap(stateNew, stateRunning) {
+		return ErrAlreadyStarted
+	}
+	e.startMu.Lock()
+	e.started = time.Now()
+	e.stmBefore = e.cfg.stm.Stats()
+	e.startMu.Unlock()
+	for i := 0; i < e.cfg.workers; i++ {
+		e.workers.Add(1)
+		go func(i int) {
+			defer e.workers.Done()
+			e.worker(i)
+		}(i)
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.halt()
+			case <-e.shutdown:
+			}
+		}()
+	}
+	return nil
+}
+
+// Submit dispatches one task and blocks until it completes (or ctx is
+// cancelled). The returned error is the task's own completion error, so a
+// nil error means the transaction committed.
+func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {
+	fut, err := e.SubmitAsync(ctx, t)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return fut.Wait(ctx)
+}
+
+// SubmitAsync dispatches one task and returns its Future. Under
+// BackpressureReject a full target queue returns ErrQueueFull; under
+// BackpressureBlock the call waits for space, ctx cancellation, or stop.
+func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Count the submission in flight BEFORE the state check: atomics are
+	// sequentially consistent, so either this submitter observes a
+	// non-running state and backs out, or Drain/halt observe the
+	// increment and wait for the task. Checking first and counting later
+	// would let Drain read in-flight == 0, conclude it is done, and
+	// abandon a task whose Submit call reported acceptance.
+	e.inflight.Add(1)
+	if e.state.Load() != stateRunning {
+		e.inflight.Add(-1)
+		return nil, ErrNotRunning
+	}
+	fut := newFuture()
+	env := envelope{task: t, fut: fut, ctx: ctx, enq: time.Now()}
+	if err := e.dispatch(env, ctx); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// SubmitAll dispatches a batch in order, amortizing the per-call overhead
+// for throughput-oriented callers. On error it returns the futures of the
+// prefix it managed to submit along with the error.
+func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, error) {
+	futs := make([]*Future, 0, len(tasks))
+	for _, t := range tasks {
+		fut, err := e.SubmitAsync(ctx, t)
+		if err != nil {
+			return futs, err
+		}
+		futs = append(futs, fut)
+	}
+	return futs, nil
+}
+
+// dispatch routes an envelope to its worker queue, applying backpressure.
+// The caller has already counted the envelope in flight; every error path
+// here releases that count exactly once.
+func (e *Executor) dispatch(env envelope, ctx context.Context) error {
+	w := e.pick(env.task.Key)
+	if e.cfg.maxDepth > 0 && e.queues[w].Len() >= e.cfg.maxDepth {
+		if e.cfg.backpressure == BackpressureReject {
+			e.inflight.Add(-1)
+			e.rejected.Add(1)
+			return ErrQueueFull
+		}
+		var b backoff
+		for e.queues[w].Len() >= e.cfg.maxDepth {
+			if e.state.Load() == stateStopped {
+				e.inflight.Add(-1)
+				return ErrStopped
+			}
+			select {
+			case <-ctx.Done():
+				e.inflight.Add(-1)
+				return ctx.Err()
+			default:
+			}
+			b.wait()
+		}
+	}
+	e.queues[w].Put(env)
+	e.submitted.Add(1)
+	return nil
+}
+
+// backoff yields for the first spins and then parks in short sleeps, so a
+// sustained wait (a saturated queue, a long drain) does not burn a core
+// that the workers need to make the very progress being waited on.
+type backoff int
+
+// backoffSpins is how many Gosched-only iterations precede sleeping; short
+// waits stay latency-optimal, long waits cost at most one core wakeup per
+// backoffPark.
+const (
+	backoffSpins = 64
+	backoffPark  = 100 * time.Microsecond
+)
+
+func (b *backoff) wait() {
+	if *b < backoffSpins {
+		*b++
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(backoffPark)
+}
+
+// inject is the closed-world path used by the legacy Pool's producers:
+// fire-and-forget, blocking backpressure, no per-task plumbing. count
+// selects whether the task increments the submitted counter (the central
+// model counts at its inbox instead). It reports false once the executor
+// stops accepting work.
+func (e *Executor) inject(t Task, count bool) bool {
+	w := e.pick(t.Key)
+	e.inflight.Add(1)
+	// Same increment-then-recheck ordering as SubmitAsync: never enqueue
+	// into an executor whose halt has already settled.
+	if e.state.Load() == stateStopped {
+		e.inflight.Add(-1)
+		return false
+	}
+	if e.cfg.maxDepth > 0 {
+		var b backoff
+		for e.queues[w].Len() >= e.cfg.maxDepth {
+			if e.state.Load() == stateStopped {
+				e.inflight.Add(-1)
+				return false
+			}
+			b.wait()
+		}
+	}
+	e.queues[w].Put(envelope{task: t})
+	if count {
+		e.submitted.Add(1)
+	}
+	return true
+}
+
+// pick maps a key to a worker queue, clamping a scheduler that was built
+// for a different worker count (a configuration mismatch) into range rather
+// than crashing mid-run.
+func (e *Executor) pick(key uint64) int {
+	w := e.cfg.scheduler.Pick(key)
+	if w < 0 || w >= len(e.queues) {
+		w = ((w % len(e.queues)) + len(e.queues)) % len(e.queues)
+	}
+	return w
+}
+
+// worker follows the paper's regimen (§4.1): get the next transaction,
+// execute it (the workload retries until success), bump the local counter.
+// With SortBatch set, the worker drains a batch and executes it in key
+// order (§2's buffer-reordering capability).
+func (e *Executor) worker(i int) {
+	th := e.cfg.stm.NewThread()
+	var batch []envelope
+	if e.cfg.sortBatch > 1 {
+		batch = make([]envelope, 0, e.cfg.sortBatch)
+	}
+	var idle backoff
+	for {
+		// Check the state before taking more work so that Stop abandons
+		// queued tasks (halt settles them) instead of racing to finish
+		// them; Drain keeps workers alive via the draining state below.
+		if e.state.Load() == stateStopped {
+			return
+		}
+		env, ok := e.queues[i].Get()
+		if !ok && e.cfg.workSteal {
+			env, ok = e.steal(i)
+		}
+		if !ok {
+			switch e.state.Load() {
+			case stateStopped:
+				return
+			case stateDraining:
+				// Drain: other queues may still hold work; exit
+				// only when every accepted task has finished.
+				if e.inflight.Load() == 0 {
+					return
+				}
+				idle.wait()
+				continue
+			default:
+				// Park after a sustained empty streak: a long-lived
+				// idle executor must not pin a core per worker.
+				e.empty.Add(1)
+				idle.wait()
+				continue
+			}
+		}
+		idle = 0
+		if batch == nil {
+			e.execOne(i, th, env)
+			continue
+		}
+		// Batch mode: drain up to SortBatch tasks, order by key.
+		batch = append(batch[:0], env)
+		for len(batch) < e.cfg.sortBatch {
+			more, ok := e.queues[i].Get()
+			if !ok {
+				break
+			}
+			batch = append(batch, more)
+		}
+		sort.Slice(batch, func(a, b int) bool { return batch[a].task.Key < batch[b].task.Key })
+		for _, be := range batch {
+			e.execOne(i, th, be)
+		}
+	}
+}
+
+// execOne executes a single envelope and settles its completion plumbing.
+func (e *Executor) execOne(i int, th *stm.Thread, env envelope) {
+	// Abandoned before execution? Settle without running the transaction.
+	if env.ctx != nil {
+		select {
+		case <-env.ctx.Done():
+			e.finish(i, env, TaskResult{Task: env.task, Worker: i, Err: env.ctx.Err()})
+			return
+		default:
+		}
+	}
+	if env.fut == nil {
+		// Fire-and-forget fast path: no clocks, errors are fatal. A
+		// failed task is NOT counted as completed, matching the legacy
+		// Pool accounting the harness results are built on.
+		if err := e.cfg.workload.Execute(th, env.task); err != nil {
+			e.failed.Add(1)
+			e.fail(err)
+			e.inflight.Add(-1)
+			return
+		}
+		e.finish(i, env, TaskResult{})
+		return
+	}
+	start := time.Now()
+	err := e.cfg.workload.Execute(th, env.task)
+	if err != nil {
+		e.failed.Add(1)
+	}
+	e.finish(i, env, TaskResult{
+		Task:   env.task,
+		Worker: i,
+		Err:    err,
+		Wait:   start.Sub(env.enq),
+		Exec:   time.Since(start),
+	})
+}
+
+// finish updates completion accounting and resolves the future, if any.
+func (e *Executor) finish(i int, env envelope, res TaskResult) {
+	e.completed[i].n.Add(1)
+	if env.fut != nil {
+		env.fut.complete(res)
+	}
+	e.inflight.Add(-1)
+	if e.onDone != nil {
+		e.onDone()
+	}
+}
+
+// steal takes one task from another worker's queue.
+func (e *Executor) steal(i int) (envelope, bool) {
+	n := len(e.queues)
+	for off := 1; off < n; off++ {
+		if env, ok := e.queues[(i+off)%n].Get(); ok {
+			e.steals.Add(1)
+			return env, true
+		}
+	}
+	return envelope{}, false
+}
+
+// fail records the first hard workload error and stops the executor; it is
+// reached only from the legacy fire-and-forget path, where there is no
+// per-task result to carry the error.
+func (e *Executor) fail(err error) {
+	p := &err
+	if e.firstErr.CompareAndSwap(nil, p) {
+		e.markStopped()
+	}
+}
+
+// markStopped performs the one-way transition into the stopped state and
+// signals waiters; every path that stops the executor — halt, a fatal
+// workload error, the counted-run quota hook — funnels through it.
+func (e *Executor) markStopped() {
+	e.stopOnce.Do(func() {
+		e.startMu.Lock()
+		e.stoppedAt = time.Now()
+		e.startMu.Unlock()
+		e.state.Store(stateStopped)
+		close(e.stopped)
+	})
+}
+
+// Stopped returns a channel closed when the executor reaches its terminal
+// state, whatever caused the transition.
+func (e *Executor) Stopped() <-chan struct{} { return e.stopped }
+
+// Err returns the first fatal workload error, if any.
+func (e *Executor) Err() error {
+	if p := e.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Drain closes submission, waits for every accepted task to complete, and
+// stops the workers. It is the graceful half of the lifecycle; returns
+// ErrNotRunning unless the executor is currently running.
+func (e *Executor) Drain() error {
+	if !e.state.CompareAndSwap(stateRunning, stateDraining) {
+		return ErrNotRunning
+	}
+	var b backoff
+	for e.inflight.Load() > 0 && e.state.Load() == stateDraining {
+		b.wait()
+	}
+	e.halt()
+	return e.Err()
+}
+
+// Stop halts immediately: submission closes, workers exit after their
+// current task, and tasks still queued complete with ErrStopped. Safe to
+// call from any state and more than once.
+func (e *Executor) Stop() error {
+	e.halt()
+	return e.Err()
+}
+
+// halt is the terminal transition shared by Stop, Drain, context
+// cancellation and the legacy harness: set the stopped state, join the
+// workers, then settle everything left behind — queued envelopes and
+// blocked submitters — until the in-flight count reaches zero.
+func (e *Executor) halt() {
+	e.haltOnce.Do(func() {
+		e.markStopped()
+		close(e.shutdown)
+		e.workers.Wait()
+		var b backoff
+		for e.inflight.Load() > 0 {
+			drained := false
+			for i := range e.queues {
+				for {
+					env, ok := e.queues[i].Get()
+					if !ok {
+						break
+					}
+					drained = true
+					if env.fut != nil {
+						env.fut.complete(TaskResult{Task: env.task, Worker: i, Err: ErrStopped})
+					}
+					e.inflight.Add(-1)
+				}
+			}
+			if !drained {
+				// Remaining in-flight entries are blocked submitters
+				// that will observe the stopped state and give up.
+				b.wait()
+			}
+		}
+	})
+}
+
+// ExecStats is a live snapshot of executor state and counters; Stats may be
+// called at any time, including mid-run from other goroutines.
+type ExecStats struct {
+	// State is the lifecycle state: new, running, draining or stopped.
+	State string
+	// Workers is the worker-thread count.
+	Workers int
+	// Scheduler names the dispatch policy.
+	Scheduler string
+	// Submitted counts tasks accepted into worker queues.
+	Submitted uint64
+	// Rejected counts ErrQueueFull rejections.
+	Rejected uint64
+	// Completed counts finished tasks (including failed ones).
+	Completed uint64
+	// Failed counts tasks whose workload returned a hard error.
+	Failed uint64
+	// InFlight is the current accepted-but-unfinished count.
+	InFlight int64
+	// PerWorker holds per-worker completion counts.
+	PerWorker []uint64
+	// QueueDepths holds the approximate current queue lengths.
+	QueueDepths []int
+	// EmptyPolls counts worker polls that found an empty queue.
+	EmptyPolls uint64
+	// Steals counts successful work-steal operations.
+	Steals uint64
+	// Elapsed is the time since Start.
+	Elapsed time.Duration
+	// STM is the delta of the STM's counters since Start.
+	STM stm.StatsSnapshot
+}
+
+// Throughput returns completed tasks per second since Start.
+func (s ExecStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.Elapsed.Seconds()
+}
+
+// LoadImbalance returns max(per-worker completed) / ideal share; 1.0 is
+// perfect balance (the paper's §4.4 measure, live).
+func (s ExecStats) LoadImbalance() float64 {
+	if s.Completed == 0 || len(s.PerWorker) == 0 {
+		return 1
+	}
+	ideal := float64(s.Completed) / float64(len(s.PerWorker))
+	worst := 0.0
+	for _, n := range s.PerWorker {
+		if v := float64(n) / ideal; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Stats returns a live snapshot.
+func (e *Executor) Stats() ExecStats {
+	s := ExecStats{
+		State:       stateName(e.state.Load()),
+		Workers:     e.cfg.workers,
+		Scheduler:   e.cfg.scheduler.Name(),
+		Submitted:   e.submitted.Load(),
+		Rejected:    e.rejected.Load(),
+		Failed:      e.failed.Load(),
+		InFlight:    e.inflight.Load(),
+		PerWorker:   make([]uint64, len(e.completed)),
+		QueueDepths: make([]int, len(e.queues)),
+		EmptyPolls:  e.empty.Load(),
+		Steals:      e.steals.Load(),
+	}
+	for i := range e.completed {
+		s.PerWorker[i] = e.completed[i].n.Load()
+		s.Completed += s.PerWorker[i]
+	}
+	for i, q := range e.queues {
+		s.QueueDepths[i] = q.Len()
+	}
+	e.startMu.Lock()
+	started, stoppedAt, stmBefore := e.started, e.stoppedAt, e.stmBefore
+	e.startMu.Unlock()
+	if !started.IsZero() {
+		// Freeze Elapsed at the stop instant so post-run Throughput()
+		// reports the run, not the time since it.
+		if !stoppedAt.IsZero() {
+			s.Elapsed = stoppedAt.Sub(started)
+		} else {
+			s.Elapsed = time.Since(started)
+		}
+		s.STM = e.cfg.stm.Stats().Sub(stmBefore)
+	}
+	return s
+}
+
+// Scheduler returns the dispatch policy in force (e.g. to inspect the
+// learned adaptive partition).
+func (e *Executor) Scheduler() Scheduler { return e.cfg.scheduler }
+
+// Workers returns the worker-thread count.
+func (e *Executor) Workers() int { return e.cfg.workers }
+
+// stopping reports whether the executor no longer accepts producer work;
+// the legacy Pool's producer loops poll it.
+func (e *Executor) stopping() bool { return e.state.Load() == stateStopped }

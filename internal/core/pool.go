@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,16 +64,18 @@ type Config struct {
 	// §2 "load balancing" alternative; off in the paper's experiments.
 	WorkSteal bool
 	// SortBatch > 1 makes each worker drain up to that many tasks and
-	// execute them in ascending key order — the §2 capability of
-	// reordering a worker's buffer ("the executor could also control the
-	// order in which the worker will execute waiting transactions,
-	// though we do not use this capability"). Batching by key improves
-	// temporal locality within a worker at the cost of latency.
+	// execute them in ascending key order (§2's buffer-reordering
+	// capability). Batching by key improves temporal locality within a
+	// worker at the cost of latency.
 	SortBatch int
 }
 
-// Pool is a reusable executor harness for one Config; each Run builds fresh
-// queues and goroutines.
+// Pool is the closed-world benchmark harness retained from the paper's
+// timed-driver shape: producers synthesize tasks internally and Run reports
+// aggregate throughput. It is now a thin compatibility wrapper over the
+// open Executor engine — each Run builds a fresh Executor, feeds it from
+// the configured producers, and reports the same Result as before. New code
+// that has its own callers should use NewExecutor and Submit directly.
 type Pool struct {
 	cfg      Config
 	maxDepth int
@@ -123,29 +124,6 @@ func NewPool(cfg Config) (*Pool, error) {
 	return &Pool{cfg: cfg, maxDepth: maxDepth}, nil
 }
 
-// run-scoped state.
-type run struct {
-	p         *Pool
-	counted   bool
-	queues    []queue.Queue[Task]
-	stop      atomic.Bool
-	produced  atomic.Uint64
-	remaining atomic.Int64 // count mode: tasks left to produce
-	done      atomic.Int64 // count mode: tasks left to complete
-	completed []paddedCounter
-	empty     atomic.Uint64
-	steals    atomic.Uint64
-	workErr   atomic.Pointer[error]
-}
-
-// paddedCounter avoids false sharing between per-worker counters, which
-// would otherwise serialize the very cache traffic the executor exists to
-// remove.
-type paddedCounter struct {
-	n atomic.Uint64
-	_ [56]byte
-}
-
 // Run executes the workload for roughly d — the paper's timed-driver shape:
 // start producers and workers, run the window, stop everything, report.
 func (p *Pool) Run(d time.Duration) (Result, error) {
@@ -164,89 +142,118 @@ func (p *Pool) RunCount(n int) (Result, error) {
 	return p.execute(0, int64(n))
 }
 
+// quota tracks counted-mode production and completion budgets.
+type quota struct {
+	counted   bool
+	remaining atomic.Int64 // tasks left to produce
+}
+
+// claim reserves one task to produce; it returns false when the budget is
+// exhausted. In timed mode it always succeeds.
+func (q *quota) claim() bool {
+	if !q.counted {
+		return true
+	}
+	return q.remaining.Add(-1) >= 0
+}
+
 func (p *Pool) execute(d time.Duration, count int64) (Result, error) {
-	r := &run{p: p, completed: make([]paddedCounter, p.cfg.Workers)}
-	counted := count > 0
-	r.counted = counted
-	if counted {
-		r.remaining.Store(count)
-		r.done.Store(count)
+	if p.cfg.Model == ModelNoExecutor {
+		return p.executeNoExecutor(d, count)
 	}
-	if p.cfg.Model != ModelNoExecutor {
-		r.queues = make([]queue.Queue[Task], p.cfg.Workers)
-		for i := range r.queues {
-			q, err := queue.New[Task](p.cfg.QueueKind)
-			if err != nil {
-				return Result{}, err
+
+	depth := p.maxDepth
+	if depth == 0 {
+		depth = -1 // Pool semantics: 0 means "bound disabled" post-validation.
+	}
+	ex, err := NewExecutor(
+		WithSTM(p.cfg.STM),
+		WithWorkload(p.cfg.Workload),
+		WithWorkers(p.cfg.Workers),
+		WithScheduler(p.cfg.Scheduler),
+		WithQueue(p.cfg.QueueKind),
+		WithQueueDepth(depth),
+		WithWorkSteal(p.cfg.WorkSteal),
+		WithSortBatch(p.cfg.SortBatch),
+	)
+	if err != nil {
+		return Result{}, err
+	}
+
+	q := &quota{counted: count > 0}
+	if q.counted {
+		q.remaining.Store(count)
+		// Stop the engine the instant the last task completes so that
+		// RunCount's elapsed time measures exactly n tasks.
+		var done atomic.Int64
+		done.Store(count)
+		ex.onDone = func() {
+			if done.Add(-1) == 0 {
+				ex.markStopped()
 			}
-			r.queues[i] = q
 		}
 	}
 
-	stmBefore := p.cfg.STM.Stats()
 	start := time.Now()
-	var wg sync.WaitGroup
-
+	if err := ex.Start(nil); err != nil {
+		return Result{}, err
+	}
+	var producers sync.WaitGroup
 	switch p.cfg.Model {
-	case ModelNoExecutor:
-		for i := 0; i < p.cfg.Workers; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				r.selfProducer(i)
-			}(i)
-		}
 	case ModelParallel:
 		for i := 0; i < p.cfg.Producers; i++ {
-			wg.Add(1)
+			producers.Add(1)
 			go func(i int) {
-				defer wg.Done()
-				r.parallelProducer(i)
-			}(i)
-		}
-		for i := 0; i < p.cfg.Workers; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				r.worker(i, counted)
+				defer producers.Done()
+				p.parallelProducer(ex, q, i)
 			}(i)
 		}
 	case ModelCentral:
 		inbox, err := queue.New[Task](p.cfg.QueueKind)
 		if err != nil {
+			ex.halt()
 			return Result{}, err
 		}
 		for i := 0; i < p.cfg.Producers; i++ {
-			wg.Add(1)
+			producers.Add(1)
 			go func(i int) {
-				defer wg.Done()
-				r.centralProducer(i, inbox)
+				defer producers.Done()
+				p.centralProducer(ex, q, i, inbox)
 			}(i)
 		}
-		wg.Add(1)
+		producers.Add(1)
 		go func() {
-			defer wg.Done()
-			r.dispatcher(inbox)
+			defer producers.Done()
+			p.dispatcher(ex, inbox)
 		}()
-		for i := 0; i < p.cfg.Workers; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				r.worker(i, counted)
-			}(i)
-		}
 	}
 
-	if counted {
-		// Completion of the last task sets stop; just join.
-		wg.Wait()
+	if q.counted {
+		// Producers exhaust the budget; completion of the last task (or
+		// the first fatal error) flips the engine to stopped. Block on
+		// the signal instead of spinning — a busy-wait here would steal
+		// a core from the very run being measured.
+		<-ex.Stopped()
 	} else {
 		time.Sleep(d)
-		r.stop.Store(true)
-		wg.Wait()
 	}
+	ex.halt()
+	producers.Wait()
 	elapsed := time.Since(start)
 
+	return p.buildResult(ex, elapsed), ex.Err()
+}
+
+// buildResult converts engine counters into the legacy Result shape.
+func (p *Pool) buildResult(ex *Executor, elapsed time.Duration) Result {
+	return p.newResult(elapsed, ex.submitted.Load(), ex.empty.Load(), ex.steals.Load(),
+		ex.completed, p.cfg.STM.Stats().Sub(ex.stmBefore))
+}
+
+// newResult assembles a Result from run counters; every model funnels
+// through it so a new field cannot silently stay zero for one model.
+func (p *Pool) newResult(elapsed time.Duration, produced, emptyPolls, steals uint64,
+	completed []paddedCounter, stmDelta stm.StatsSnapshot) Result {
 	res := Result{
 		Model:      p.cfg.Model,
 		Workers:    p.cfg.Workers,
@@ -254,226 +261,138 @@ func (p *Pool) execute(d time.Duration, count int64) (Result, error) {
 		QueueKind:  p.cfg.QueueKind,
 		WorkSteal:  p.cfg.WorkSteal,
 		Elapsed:    elapsed,
-		Produced:   r.produced.Load(),
-		PerWorker:  make([]uint64, p.cfg.Workers),
-		EmptyPolls: r.empty.Load(),
-		Steals:     r.steals.Load(),
-		STM:        p.cfg.STM.Stats().Sub(stmBefore),
+		Produced:   produced,
+		PerWorker:  make([]uint64, len(completed)),
+		EmptyPolls: emptyPolls,
+		Steals:     steals,
+		STM:        stmDelta,
 	}
 	if p.cfg.Scheduler != nil {
 		res.Scheduler = p.cfg.Scheduler.Name()
 	} else {
 		res.Scheduler = "none"
 	}
-	for i := range r.completed {
-		res.PerWorker[i] = r.completed[i].n.Load()
+	for i := range completed {
+		res.PerWorker[i] = completed[i].n.Load()
 		res.Completed += res.PerWorker[i]
 	}
-	if errp := r.workErr.Load(); errp != nil {
+	return res
+}
+
+// parallelProducer is Figure 1c: the producer dispatches inline into the
+// engine's worker queues.
+func (p *Pool) parallelProducer(ex *Executor, q *quota, i int) {
+	src := p.cfg.NewSource(i)
+	for !ex.stopping() {
+		if !q.claim() {
+			return
+		}
+		if !ex.inject(src.Next(), true) {
+			return
+		}
+	}
+}
+
+// centralProducer feeds the shared inbox (Figure 1b).
+func (p *Pool) centralProducer(ex *Executor, q *quota, i int, inbox queue.Queue[Task]) {
+	src := p.cfg.NewSource(i)
+	for !ex.stopping() {
+		if !q.claim() {
+			return
+		}
+		t := src.Next()
+		if p.maxDepth > 0 {
+			for inbox.Len() >= p.maxDepth && !ex.stopping() {
+				runtime.Gosched()
+			}
+		}
+		inbox.Put(t)
+		ex.submitted.Add(1)
+	}
+}
+
+// dispatcher is the centralized executor thread (Figure 1b); the inbox
+// already counted these tasks, so inject does not count them again.
+func (p *Pool) dispatcher(ex *Executor, inbox queue.Queue[Task]) {
+	for {
+		t, ok := inbox.Get()
+		if !ok {
+			if ex.stopping() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		if !ex.inject(t, false) {
+			return
+		}
+	}
+}
+
+// executeNoExecutor is Figure 1a: each worker generates and synchronously
+// executes its own transactions — no queues, no dispatch, no engine.
+func (p *Pool) executeNoExecutor(d time.Duration, count int64) (Result, error) {
+	q := &quota{counted: count > 0}
+	var done atomic.Int64
+	var stop atomic.Bool
+	var produced atomic.Uint64
+	var workErr atomic.Pointer[error]
+	if q.counted {
+		q.remaining.Store(count)
+		done.Store(count)
+	}
+	completed := make([]paddedCounter, p.cfg.Workers)
+
+	stmBefore := p.cfg.STM.Stats()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p.cfg.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := p.cfg.NewSource(i)
+			th := p.cfg.STM.NewThread()
+			for !stop.Load() {
+				if !q.claim() {
+					return
+				}
+				t := src.Next()
+				produced.Add(1)
+				if err := p.cfg.Workload.Execute(th, t); err != nil {
+					e := err
+					if workErr.CompareAndSwap(nil, &e) {
+						stop.Store(true)
+					}
+					return
+				}
+				completed[i].n.Add(1)
+				if q.counted && done.Add(-1) == 0 {
+					stop.Store(true)
+					return
+				}
+			}
+		}(i)
+	}
+	if q.counted {
+		wg.Wait()
+	} else {
+		time.Sleep(d)
+		stop.Store(true)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	res := p.newResult(elapsed, produced.Load(), 0, 0, completed, p.cfg.STM.Stats().Sub(stmBefore))
+	if errp := workErr.Load(); errp != nil {
 		return res, *errp
 	}
 	return res, nil
 }
 
-// fail records the first hard workload error and stops the run.
-func (r *run) fail(err error) {
-	e := err
-	if r.workErr.CompareAndSwap(nil, &e) {
-		r.stop.Store(true)
-	}
-}
-
-// claim reserves one task to produce in count mode; it returns false when
-// the quota is exhausted. In timed mode it always succeeds.
-func (r *run) claim() bool {
-	if !r.counted {
-		return true
-	}
-	return r.remaining.Add(-1) >= 0
-}
-
-// pick maps a task to a worker queue, clamping a scheduler that was built
-// for a different worker count (a configuration mismatch) into range rather
-// than crashing mid-run.
-func (r *run) pick(key uint64) int {
-	w := r.p.cfg.Scheduler.Pick(key)
-	if w < 0 || w >= len(r.queues) {
-		w = ((w % len(r.queues)) + len(r.queues)) % len(r.queues)
-	}
-	return w
-}
-
-// selfProducer is Figure 1a: generate and execute in the same thread.
-func (r *run) selfProducer(i int) {
-	src := r.p.cfg.NewSource(i)
-	th := r.p.cfg.STM.NewThread()
-	for !r.stop.Load() {
-		if !r.claim() {
-			return
-		}
-		t := src.Next()
-		r.produced.Add(1)
-		if err := r.p.cfg.Workload.Execute(th, t); err != nil {
-			r.fail(err)
-			return
-		}
-		r.completed[i].n.Add(1)
-		if r.counted && r.done.Add(-1) == 0 {
-			r.stop.Store(true)
-			return
-		}
-	}
-}
-
-// parallelProducer is Figure 1c: the producer dispatches inline.
-func (r *run) parallelProducer(i int) {
-	src := r.p.cfg.NewSource(i)
-	for !r.stop.Load() {
-		if !r.claim() {
-			return
-		}
-		t := src.Next()
-		r.enqueue(r.pick(t.Key), t)
-	}
-}
-
-// centralProducer feeds the shared inbox (Figure 1b).
-func (r *run) centralProducer(i int, inbox queue.Queue[Task]) {
-	src := r.p.cfg.NewSource(i)
-	for !r.stop.Load() {
-		if !r.claim() {
-			return
-		}
-		t := src.Next()
-		if r.p.maxDepth > 0 {
-			for inbox.Len() >= r.p.maxDepth && !r.stop.Load() {
-				runtime.Gosched()
-			}
-		}
-		inbox.Put(t)
-		r.produced.Add(1)
-	}
-}
-
-// dispatcher is the centralized executor thread (Figure 1b).
-func (r *run) dispatcher(inbox queue.Queue[Task]) {
-	for {
-		t, ok := inbox.Get()
-		if !ok {
-			if r.stop.Load() {
-				return
-			}
-			runtime.Gosched()
-			continue
-		}
-		r.enqueueDirect(r.pick(t.Key), t)
-	}
-}
-
-// enqueue adds a task to worker w's queue with backpressure, and counts it
-// as produced.
-func (r *run) enqueue(w int, t Task) {
-	if r.p.maxDepth > 0 {
-		for r.queues[w].Len() >= r.p.maxDepth && !r.stop.Load() {
-			runtime.Gosched()
-		}
-	}
-	r.queues[w].Put(t)
-	r.produced.Add(1)
-}
-
-// enqueueDirect adds without counting (the central producer already counted
-// it at the inbox).
-func (r *run) enqueueDirect(w int, t Task) {
-	if r.p.maxDepth > 0 {
-		for r.queues[w].Len() >= r.p.maxDepth && !r.stop.Load() {
-			runtime.Gosched()
-		}
-	}
-	r.queues[w].Put(t)
-}
-
-// worker follows the paper's regimen (§4.1): get the next transaction,
-// execute it (the workload retries until success), bump the local counter.
-// With SortBatch set, the worker drains a batch and executes it in key
-// order (§2's buffer-reordering capability).
-func (r *run) worker(i int, counted bool) {
-	th := r.p.cfg.STM.NewThread()
-	w := r.p.cfg.Workload
-	var batch []Task
-	if r.p.cfg.SortBatch > 1 {
-		batch = make([]Task, 0, r.p.cfg.SortBatch)
-	}
-	for {
-		t, ok := r.queues[i].Get()
-		if !ok && r.p.cfg.WorkSteal {
-			t, ok = r.steal(i)
-		}
-		if !ok {
-			if r.stop.Load() {
-				if counted {
-					// Other workers may still be filling; only
-					// exit once the quota is done or a failure
-					// stopped the run.
-					if r.done.Load() <= 0 || r.workErr.Load() != nil {
-						return
-					}
-					runtime.Gosched()
-					continue
-				}
-				return
-			}
-			r.empty.Add(1)
-			runtime.Gosched()
-			continue
-		}
-		if batch == nil {
-			if !r.execOne(i, th, w, t, counted) {
-				return
-			}
-			continue
-		}
-		// Batch mode: drain up to SortBatch tasks, order by key.
-		batch = append(batch[:0], t)
-		for len(batch) < r.p.cfg.SortBatch {
-			more, ok := r.queues[i].Get()
-			if !ok {
-				break
-			}
-			batch = append(batch, more)
-		}
-		sort.Slice(batch, func(a, b int) bool { return batch[a].Key < batch[b].Key })
-		for _, bt := range batch {
-			if !r.execOne(i, th, w, bt, counted) {
-				return
-			}
-		}
-	}
-}
-
-// execOne executes a single task and updates completion accounting; it
-// reports whether the worker should keep running.
-func (r *run) execOne(i int, th *stm.Thread, w Workload, t Task, counted bool) bool {
-	if err := w.Execute(th, t); err != nil {
-		r.fail(err)
-		return false
-	}
-	r.completed[i].n.Add(1)
-	if counted && r.done.Add(-1) == 0 {
-		r.stop.Store(true)
-		return false
-	}
-	return true
-}
-
-// steal takes one task from another worker's queue.
-func (r *run) steal(i int) (Task, bool) {
-	n := len(r.queues)
-	for off := 1; off < n; off++ {
-		if t, ok := r.queues[(i+off)%n].Get(); ok {
-			r.steals.Add(1)
-			return t, true
-		}
-	}
-	return Task{}, false
+// paddedCounter avoids false sharing between per-worker counters, which
+// would otherwise serialize the very cache traffic the executor exists to
+// remove.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
 }

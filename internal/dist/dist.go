@@ -1,0 +1,200 @@
+// Package dist implements the paper's workload value sources (§4.4): each
+// draw is a 17-bit value whose low bit selects insert vs. delete and whose
+// high 16 bits are the dictionary key. Keeping insert and delete equally
+// likely holds the dictionaries at a steady-state size of half the key
+// space, as the paper's generators do.
+//
+// Three key distributions match the paper's evaluation:
+//
+//   - uniform over the full 16-bit key space;
+//   - Gaussian centered mid-space (mean 2^15, deviation 2^13);
+//   - exponential with mean 512, packing ~87% of the key mass below 1024 —
+//     the distribution that defeats fixed equal-width partitioning.
+//
+// A fourth source, "drift" (ByName only; not part of the paper's set),
+// moves a Gaussian's mean across the key space over the run. It exists for
+// the re-adaptation ablation: a one-shot PD-partition goes stale under it.
+//
+// Sources are deterministic: equal seeds give equal streams. They are not
+// safe for concurrent use; every producer owns a private source.
+package dist
+
+import (
+	"fmt"
+
+	"kstm/internal/rng"
+)
+
+// KeyBits is the width of the dictionary key space.
+const KeyBits = 16
+
+// MaxKey is the largest 16-bit dictionary key.
+const MaxKey = 1<<KeyBits - 1
+
+// KeyMask masks a value down to the key space.
+const KeyMask = MaxKey
+
+// Source generates 17-bit workload values; pass each to Split. Sources are
+// private per producer and need not be safe for concurrent use.
+type Source interface {
+	Next() uint32
+}
+
+// Split decomposes a generated 17-bit value into its 16-bit dictionary key
+// (the high bits) and its insert/delete type bit (the low bit, §4.4): true
+// means insert.
+func Split(v uint32) (key uint32, insert bool) {
+	return (v >> 1) & KeyMask, v&1 == 1
+}
+
+// pack is Split's inverse; the shaped sources draw a key from their
+// distribution and a fair operation bit, then pack both.
+func pack(key uint32, insert bool) uint32 {
+	v := (key & KeyMask) << 1
+	if insert {
+		v |= 1
+	}
+	return v
+}
+
+// clampKey converts a real-valued key draw to the closed key range.
+func clampKey(k float64) uint32 {
+	if k < 0 {
+		return 0
+	}
+	if k > MaxKey {
+		return MaxKey
+	}
+	return uint32(k)
+}
+
+// Uniform draws values uniformly over the whole 17-bit space, so both the
+// key and the operation bit are uniform.
+type Uniform struct {
+	r *rng.Xoshiro256
+}
+
+// NewUniform returns a uniform source.
+func NewUniform(seed uint64) *Uniform {
+	return &Uniform{r: rng.New(seed)}
+}
+
+// Next implements Source.
+func (u *Uniform) Next() uint32 {
+	return uint32(u.r.Uint64n(1 << (KeyBits + 1)))
+}
+
+// Gaussian draws keys from a normal distribution clamped to the key space,
+// with a fair operation bit.
+type Gaussian struct {
+	r            *rng.Xoshiro256
+	mean, stddev float64
+}
+
+// NewGaussian returns a Gaussian source with the given key mean and
+// standard deviation.
+func NewGaussian(seed uint64, mean, stddev float64) *Gaussian {
+	return &Gaussian{r: rng.New(seed), mean: mean, stddev: stddev}
+}
+
+// NewGaussianDefault returns the paper's Gaussian: centered at 2^15 with
+// deviation 2^13, concentrating ~2/3 of the mass in the middle quarter of
+// the key space.
+func NewGaussianDefault(seed uint64) *Gaussian {
+	return NewGaussian(seed, 1<<15, 1<<13)
+}
+
+// Next implements Source.
+func (g *Gaussian) Next() uint32 {
+	key := clampKey(g.mean + g.stddev*g.r.NormFloat64())
+	return pack(key, g.r.Uint64()&1 == 1)
+}
+
+// Exponential draws keys from an exponential distribution clamped to the
+// key space, with a fair operation bit.
+type Exponential struct {
+	r    *rng.Xoshiro256
+	mean float64
+}
+
+// NewExponential returns an exponential source with the given key mean.
+func NewExponential(seed uint64, mean float64) *Exponential {
+	return &Exponential{r: rng.New(seed), mean: mean}
+}
+
+// NewExponentialDefault returns the paper's exponential: mean 512, so ~63%
+// of keys fall below 512 and ~87% below 1024 — under 2% of the key space.
+func NewExponentialDefault(seed uint64) *Exponential {
+	return NewExponential(seed, 512)
+}
+
+// Next implements Source.
+func (e *Exponential) Next() uint32 {
+	key := clampKey(e.mean * e.r.ExpFloat64())
+	return pack(key, e.r.Uint64()&1 == 1)
+}
+
+// Drift is a Gaussian whose mean advances a fixed step per draw from a low
+// start toward a high limit, then saturates. It models a workload whose hot
+// key range migrates mid-run: a partition learned from the first sample
+// window concentrates later load on the top worker, which is exactly what
+// the re-adaptation extension corrects.
+type Drift struct {
+	r            *rng.Xoshiro256
+	mean, stddev float64
+	step, limit  float64
+}
+
+// Drift trajectory: start at 1/8 of the key space, saturate at 7/8 after
+// driftDraws draws — short enough that even abbreviated simulated runs see
+// substantial movement.
+const (
+	driftStart  = (MaxKey + 1) / 8
+	driftLimit  = 7 * (MaxKey + 1) / 8
+	driftStddev = 3000
+	driftDraws  = 30000
+)
+
+// NewDrift returns a drifting source.
+func NewDrift(seed uint64) *Drift {
+	return &Drift{
+		r:      rng.New(seed),
+		mean:   driftStart,
+		stddev: driftStddev,
+		step:   float64(driftLimit-driftStart) / driftDraws,
+		limit:  driftLimit,
+	}
+}
+
+// Next implements Source.
+func (d *Drift) Next() uint32 {
+	key := clampKey(d.mean + d.stddev*d.r.NormFloat64())
+	if d.mean < d.limit {
+		d.mean += d.step
+	}
+	return pack(key, d.r.Uint64()&1 == 1)
+}
+
+// Names lists the paper's distributions in presentation order. The drift
+// source is deliberately excluded: it is an ablation device, not part of
+// the paper's workload set.
+func Names() []string {
+	return []string{"uniform", "gaussian", "exponential"}
+}
+
+// ByName constructs a source by name; it accepts the paper's three
+// distributions plus "drift".
+func ByName(name string, seed uint64) (Source, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(seed), nil
+	case "gaussian":
+		return NewGaussianDefault(seed), nil
+	case "exponential":
+		return NewExponentialDefault(seed), nil
+	case "drift":
+		return NewDrift(seed), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown distribution %q (want uniform, gaussian, exponential or drift)", name)
+	}
+}

@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		key    uint32
+		insert bool
+	}{{0, false}, {0, true}, {1, true}, {MaxKey, false}, {MaxKey, true}, {12345, true}}
+	for _, c := range cases {
+		key, insert := Split(pack(c.key, c.insert))
+		if key != c.key || insert != c.insert {
+			t.Errorf("Split(pack(%d,%v)) = (%d,%v)", c.key, c.insert, key, insert)
+		}
+	}
+	// High bits beyond the 17-bit value must not leak into the key.
+	if key, _ := Split(1 << 20); key > MaxKey {
+		t.Errorf("key %d overflows the key space", key)
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	for _, name := range append(Names(), "drift") {
+		a, _ := ByName(name, 42)
+		b, _ := ByName(name, 42)
+		for i := 0; i < 1000; i++ {
+			if a.Next() != b.Next() {
+				t.Errorf("%s: equal seeds diverge at draw %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+// drawKeys collects n split keys and the insert-bit count.
+func drawKeys(s Source, n int) (keys []uint32, inserts int) {
+	keys = make([]uint32, n)
+	for i := range keys {
+		k, ins := Split(s.Next())
+		keys[i] = k
+		if ins {
+			inserts++
+		}
+	}
+	return keys, inserts
+}
+
+func TestOperationBitsFair(t *testing.T) {
+	for _, name := range append(Names(), "drift") {
+		s, _ := ByName(name, 7)
+		const n = 20000
+		_, inserts := drawKeys(s, n)
+		if ratio := float64(inserts) / n; ratio < 0.45 || ratio > 0.55 {
+			t.Errorf("%s: insert ratio %.3f, want ~0.5", name, ratio)
+		}
+	}
+}
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	keys, _ := drawKeys(NewUniform(1), 50000)
+	var mean float64
+	var quarters [4]int
+	for _, k := range keys {
+		if k > MaxKey {
+			t.Fatalf("key %d out of range", k)
+		}
+		mean += float64(k)
+		quarters[k/((MaxKey+1)/4)]++
+	}
+	mean /= float64(len(keys))
+	if math.Abs(mean-float64(MaxKey)/2) > 500 {
+		t.Errorf("uniform mean = %.0f, want ~%d", mean, MaxKey/2)
+	}
+	for i, q := range quarters {
+		if q < len(keys)/5 {
+			t.Errorf("quarter %d underpopulated: %d/%d", i, q, len(keys))
+		}
+	}
+}
+
+func TestGaussianCentered(t *testing.T) {
+	keys, _ := drawKeys(NewGaussianDefault(2), 50000)
+	var mean float64
+	within := 0
+	for _, k := range keys {
+		mean += float64(k)
+		if k >= 1<<15-1<<13 && k < 1<<15+1<<13 {
+			within++
+		}
+	}
+	mean /= float64(len(keys))
+	if math.Abs(mean-1<<15) > 300 {
+		t.Errorf("gaussian mean = %.0f, want ~%d", mean, 1<<15)
+	}
+	// ~68% of a normal falls within one standard deviation.
+	if ratio := float64(within) / float64(len(keys)); ratio < 0.6 || ratio > 0.76 {
+		t.Errorf("mass within 1 stddev = %.3f, want ~0.68", ratio)
+	}
+}
+
+func TestExponentialSkew(t *testing.T) {
+	keys, _ := drawKeys(NewExponentialDefault(3), 50000)
+	below1024 := 0
+	for _, k := range keys {
+		if k < 1024 {
+			below1024++
+		}
+	}
+	// Mean 512 puts 1 - e^-2 ~ 86.5% of the mass below 1024.
+	ratio := float64(below1024) / float64(len(keys))
+	if ratio < 0.84 || ratio > 0.89 {
+		t.Errorf("exponential mass below 1024 = %.3f, want ~0.87", ratio)
+	}
+}
+
+func TestDriftMovesMass(t *testing.T) {
+	s := NewDrift(4)
+	const window = 5000
+	meanOf := func() float64 {
+		keys, _ := drawKeys(s, window)
+		var m float64
+		for _, k := range keys {
+			m += float64(k)
+		}
+		return m / window
+	}
+	early := meanOf()
+	for i := 0; i < 4*driftDraws/5; i++ {
+		s.Next()
+	}
+	late := meanOf()
+	if late < early+float64(MaxKey)/4 {
+		t.Errorf("drift did not move: early mean %.0f, late mean %.0f", early, late)
+	}
+	// Saturation: far past the trajectory the mean stays near the limit.
+	for i := 0; i < driftDraws; i++ {
+		s.Next()
+	}
+	saturated := meanOf()
+	if math.Abs(saturated-driftLimit) > 2000 {
+		t.Errorf("saturated mean = %.0f, want ~%d", saturated, driftLimit)
+	}
+}
+
+func TestNamesAndByName(t *testing.T) {
+	want := []string{"uniform", "gaussian", "exponential"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (table indices depend on this order)", i, got[i], want[i])
+		}
+	}
+	for _, name := range append(want, "drift") {
+		if _, err := ByName(name, 1); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("pareto", 1); err == nil {
+		t.Error("ByName(pareto) succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -378,6 +379,57 @@ func TestDictWorkloadOps(t *testing.T) {
 	}
 	if err := w.Execute(th, core.Task{Op: core.Op(99)}); err == nil {
 		t.Error("unknown op accepted")
+	}
+}
+
+func TestOpenSubmitExperiment(t *testing.T) {
+	e, err := ByID("open-submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOptions()
+	o.RealTasks = 1600
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	sync1, _ := tb.Series("submit")
+	batch, _ := tb.Series("submitall")
+	for i := range sync1 {
+		if sync1[i] <= 0 || batch[i] <= 0 {
+			t.Errorf("dist %d: non-positive throughput (%v, %v)", i, sync1[i], batch[i])
+		}
+	}
+}
+
+func TestNewOpenExecutorLifecycle(t *testing.T) {
+	ex, keyFn, err := NewOpenExecutor(txds.KindHashTable, core.SchedAdaptive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Hash-table transaction keys must live in bucket space.
+	if k := keyFn(1 << 15); k >= txds.DefaultBuckets {
+		t.Fatalf("keyFn(32768) = %d outside bucket space", k)
+	}
+	res, err := ex.Submit(context.Background(), core.Task{Key: keyFn(9), Op: core.OpInsert, Arg: 9})
+	if err != nil || res.Err != nil {
+		t.Fatalf("Submit = (%+v, %v)", res, err)
+	}
+	if err := ex.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ex.Stats(); st.Completed != 1 || st.STM.Commits == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, _, err := NewOpenExecutor("btree", core.SchedAdaptive, 2); err == nil {
+		t.Error("bad structure accepted")
 	}
 }
 

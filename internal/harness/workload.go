@@ -107,3 +107,32 @@ func validateDist(name string) error {
 	_, err := dist.ByName(name, 0)
 	return err
 }
+
+// NewOpenExecutor assembles an open-submission executor for a benchmark
+// structure: fresh STM, the structure as workload, and the requested
+// dispatch policy over the structure's transaction-key space (adaptive
+// options apply only to SchedAdaptive). Callers own the lifecycle
+// (Start/Drain/Stop) and the traffic; keyFn converts a dictionary key into
+// the transaction key to submit with.
+func NewOpenExecutor(kind txds.Kind, sched core.SchedulerKind, workers int, opts ...core.AdaptiveOption) (ex *core.Executor, keyFn func(uint32) uint64, err error) {
+	set, err := txds.New(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyFn = func(k uint32) uint64 { return uint64(k) }
+	maxKey := uint64(dist.MaxKey)
+	if ht, ok := set.(*txds.HashTable); ok {
+		keyFn = func(k uint32) uint64 { return uint64(ht.Hash(k)) }
+		maxKey = uint64(ht.Buckets() - 1)
+	}
+	ex, err = core.NewExecutor(
+		core.WithSTM(stm.New()),
+		core.WithWorkload(NewDictWorkload(set)),
+		core.WithWorkers(workers),
+		core.WithSchedulerKind(sched, 0, maxKey, opts...),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, keyFn, nil
+}

@@ -23,10 +23,18 @@
 //	th := s.NewThread()                   // per-goroutine handle
 //	table.Insert(th, 42)
 //
+//	ex, _ := kstm.NewExecutor(kstm.WithWorkload(w), kstm.WithWorkers(8))
+//	ex.Start(ctx)                         // open submission from any goroutine
+//	res, _ := ex.Submit(ctx, kstm.Task{Key: 42, Op: kstm.OpInsert, Arg: 42})
+//	ex.Drain()
+//
+// The paper's closed-world benchmark harness survives as a wrapper on the
+// same engine:
+//
 //	sched, _ := kstm.NewScheduler(kstm.SchedAdaptive, 0, kstm.MaxKey, 8)
 //	pool, _ := kstm.NewPool(kstm.Config{ ... Scheduler: sched ... })
-//	res, _ := pool.Run(10 * time.Second)
-//	fmt.Println(res.Throughput())
+//	r, _ := pool.Run(10 * time.Second)
+//	fmt.Println(r.Throughput())
 //
 // See examples/ for complete programs and DESIGN.md for the architecture
 // and the paper-experiment index.
@@ -131,6 +139,72 @@ var NewStack = txds.NewStack
 var NewSkipList = txds.NewSkipList
 
 // Executor layer ----------------------------------------------------------------
+//
+// The open executor API: build an Executor with functional options, start
+// it, and submit transaction parameter records from any goroutine —
+//
+//	ex, _ := kstm.NewExecutor(
+//		kstm.WithWorkload(w),
+//		kstm.WithWorkers(8),
+//		kstm.WithBackpressure(kstm.BackpressureReject),
+//	)
+//	ex.Start(ctx)
+//	res, err := ex.Submit(ctx, kstm.Task{Key: k, Op: kstm.OpInsert, Arg: a})
+//	...
+//	ex.Drain()
+//
+// The closed-world Pool below is retained as a compatibility wrapper for
+// the paper's timed benchmark drives; it runs on the same engine.
+
+// Executor is the open key-based executor: Submit routes each task to a
+// worker by its transaction key through the configured dispatch policy.
+type Executor = core.Executor
+
+// Option configures NewExecutor.
+type Option = core.Option
+
+// NewExecutor builds an executor; WithWorkload is required.
+var NewExecutor = core.NewExecutor
+
+// Executor options.
+var (
+	WithSTM           = core.WithSTM
+	WithWorkload      = core.WithWorkload
+	WithWorkers       = core.WithWorkers
+	WithScheduler     = core.WithScheduler
+	WithSchedulerKind = core.WithSchedulerKind
+	WithQueue         = core.WithQueue
+	WithQueueDepth    = core.WithQueueDepth
+	WithBackpressure  = core.WithBackpressure
+	WithWorkSteal     = core.WithWorkSteal
+	WithSortBatch     = core.WithSortBatch
+)
+
+// Future is the pending result of SubmitAsync.
+type Future = core.Future
+
+// TaskResult reports one completed task to its submitter.
+type TaskResult = core.TaskResult
+
+// ExecStats is a live snapshot of executor counters.
+type ExecStats = core.ExecStats
+
+// Backpressure selects the full-queue submission policy.
+type Backpressure = core.Backpressure
+
+// Backpressure modes.
+const (
+	BackpressureBlock  = core.BackpressureBlock
+	BackpressureReject = core.BackpressureReject
+)
+
+// Executor lifecycle and submission errors.
+var (
+	ErrQueueFull      = core.ErrQueueFull
+	ErrNotRunning     = core.ErrNotRunning
+	ErrAlreadyStarted = core.ErrAlreadyStarted
+	ErrStopped        = core.ErrStopped
+)
 
 // Task is a transaction parameter record.
 type Task = core.Task

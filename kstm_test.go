@@ -1,6 +1,8 @@
 package kstm_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -107,6 +109,81 @@ func TestFacadeExecutorEndToEnd(t *testing.T) {
 	}
 	if res.STM.Commits < 5000 {
 		t.Errorf("commits %d < tasks", res.STM.Commits)
+	}
+}
+
+// TestFacadeOpenExecutor drives the open API end-to-end through the public
+// surface: concurrent clients submit dictionary transactions against an
+// adaptive executor, one batch goes through SubmitAll, and Drain closes the
+// lifecycle with every future resolved.
+func TestFacadeOpenExecutor(t *testing.T) {
+	table := kstm.NewHashTable(0)
+	ex, err := kstm.NewExecutor(
+		kstm.WithWorkload(kstm.WorkloadFunc(func(th *kstm.Thread, task kstm.Task) error {
+			var err error
+			if task.Op == kstm.OpInsert {
+				_, err = table.Insert(th, task.Arg)
+			} else {
+				_, err = table.Delete(th, task.Arg)
+			}
+			return err
+		})),
+		kstm.WithWorkers(4),
+		kstm.WithSchedulerKind(kstm.SchedAdaptive, 0, uint64(table.Buckets()-1), kstm.WithThreshold(500)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := kstm.NewUniform(uint64(g + 1))
+			for i := 0; i < per; i++ {
+				key, insert := kstm.SplitKey(src.Next())
+				op := kstm.OpDelete
+				if insert {
+					op = kstm.OpInsert
+				}
+				if _, err := ex.Submit(ctx, kstm.Task{Key: uint64(table.Hash(key)), Op: op, Arg: key}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	futs, err := ex.SubmitAll(ctx, []kstm.Task{
+		{Key: uint64(table.Hash(1)), Op: kstm.OpInsert, Arg: 1},
+		{Key: uint64(table.Hash(2)), Op: kstm.OpInsert, Arg: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ex.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := ex.Stats()
+	const total = goroutines*per + 2
+	if st.Completed != total {
+		t.Fatalf("completed %d, want %d", st.Completed, total)
+	}
+	if st.STM.Commits < total {
+		t.Errorf("commits %d < completed", st.STM.Commits)
+	}
+	if _, err := ex.Submit(ctx, kstm.Task{}); !errors.Is(err, kstm.ErrNotRunning) {
+		t.Errorf("submit after drain: %v", err)
 	}
 }
 
