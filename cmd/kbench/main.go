@@ -8,6 +8,7 @@
 //	kbench -experiment fig3-exponential -mode real -tasks 50000
 //	kbench -experiment fig4-overhead -csv
 //	kbench -experiment open-submit -tasks 50000
+//	kbench -experiment sharding -tasks 20000 -json > BENCH_smoke.json
 //
 // open-submit exercises the open Executor API (Submit / SubmitAll from
 // goroutine-per-client traffic) on the real executor regardless of -mode;
@@ -21,8 +22,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -49,6 +52,7 @@ func run(args []string) error {
 		tasks      = fs.Int("tasks", 20000, "tasks per data point in real mode")
 		seed       = fs.Uint64("seed", 1, "base PRNG seed")
 		csv        = fs.Bool("csv", false, "emit CSV instead of text tables")
+		asJSON     = fs.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +101,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		return writeJSON(os.Stdout, *experiment, opts, tables)
+	}
 	for _, t := range tables {
 		if *csv {
 			fmt.Printf("# %s — %s\n", t.ID, t.Title)
@@ -107,6 +114,47 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// jsonReport is the -json document: enough provenance to compare runs over
+// time (CI archives one per build as BENCH_smoke.json) plus every result
+// table verbatim — for the sharding experiment that includes throughput and
+// the wait/service latency percentiles per mode.
+type jsonReport struct {
+	Experiment string      `json:"experiment"`
+	Mode       string      `json:"mode"`
+	Runs       int         `json:"runs"`
+	RealTasks  int         `json:"real_tasks"`
+	Seed       uint64      `json:"seed"`
+	Threads    []int       `json:"threads"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	ID    string      `json:"id"`
+	Title string      `json:"title"`
+	Cols  []string    `json:"cols"`
+	Rows  [][]float64 `json:"rows"`
+	Notes []string    `json:"notes,omitempty"`
+}
+
+func writeJSON(w io.Writer, experiment string, o harness.Options, tables []*harness.Table) error {
+	rep := jsonReport{
+		Experiment: experiment,
+		Mode:       string(o.Mode),
+		Runs:       o.Runs,
+		RealTasks:  o.RealTasks,
+		Seed:       o.Seed,
+		Threads:    o.Threads,
+	}
+	for _, t := range tables {
+		rep.Tables = append(rep.Tables, jsonTable{
+			ID: t.ID, Title: t.Title, Cols: t.Cols, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -41,12 +41,12 @@ func main() {
 		})
 	}
 
-	workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
+	workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
 		from, to := t.Arg>>16, t.Arg&0xFFFF
 		if from == to {
-			return nil
+			return nil, nil
 		}
-		return th.Atomic(func(tx *kstm.Tx) error {
+		return nil, th.Atomic(func(tx *kstm.Tx) error {
 			src, err := ledger[from].Write(tx)
 			if err != nil {
 				return err

@@ -59,14 +59,11 @@ func main() {
 	}
 	pool, err := kstm.NewPool(kstm.Config{
 		STM: s,
-		Workload: kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
-			var err error
+		Workload: kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
 			if t.Op == kstm.OpInsert {
-				_, err = table.Insert(th, t.Arg)
-			} else {
-				_, err = table.Delete(th, t.Arg)
+				return table.Insert(th, t.Arg)
 			}
-			return err
+			return table.Delete(th, t.Arg)
 		}),
 		NewSource: func(p int) kstm.TaskSource {
 			src := kstm.NewUniform(uint64(p) + 1)

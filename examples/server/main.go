@@ -34,17 +34,21 @@ const (
 
 func main() {
 	table := kstm.NewHashTable(0)
-	workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
-		var err error
+	// The typed workload: every response carries the operation's value —
+	// a lookup's hit travels back inside the TaskResult, so handlers need
+	// no side channel into the table. Opcodes outside the protocol are a
+	// client bug and are rejected with a real error, not a silent no-op.
+	workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
 		switch t.Op {
 		case kstm.OpInsert:
-			_, err = table.Insert(th, t.Arg)
+			return table.Insert(th, t.Arg)
 		case kstm.OpDelete:
-			_, err = table.Delete(th, t.Arg)
+			return table.Delete(th, t.Arg)
+		case kstm.OpLookup:
+			return table.Contains(th, t.Arg)
 		default:
-			_, err = table.Contains(th, t.Arg)
+			return nil, fmt.Errorf("server: unknown opcode %v", t.Op)
 		}
-		return err
 	})
 
 	ex, err := kstm.NewExecutor(
@@ -98,6 +102,42 @@ func main() {
 		}(c)
 	}
 
+	// A read-path client: lookups return their hit through the typed
+	// submission helper, the value a real GET endpoint would serialize.
+	var hits, misses atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := kstm.NewExponentialDefault(99)
+		for i := 0; i < perOps; i++ {
+			key, _ := kstm.SplitKey(src.Next())
+			found, err := kstm.SubmitTyped[bool](ctx, ex,
+				kstm.Task{Key: uint64(table.Hash(key)), Op: kstm.OpLookup, Arg: key})
+			switch {
+			case errors.Is(err, kstm.ErrQueueFull):
+				shed.Add(1)
+			case err != nil:
+				log.Fatal(err)
+			case found:
+				hits.Add(1)
+			default:
+				misses.Add(1)
+			}
+		}
+	}()
+
+	// A buggy client sends an opcode outside the protocol; the typed
+	// workload rejects it with an error instead of silently no-opping.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := ex.Submit(ctx, kstm.Task{Key: 1, Op: kstm.Op(42), Arg: 1}); err == nil {
+			log.Fatal("unknown opcode was accepted")
+		} else {
+			fmt.Printf("bad client rejected: %v\n", err)
+		}
+	}()
+
 	// A slow client with a deadline: its cancellation must not disturb
 	// the executor or other clients.
 	slowCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
@@ -128,11 +168,14 @@ func main() {
 	fmt.Printf("served %d requests (%d shed) in %v — %.0f txn/s\n",
 		served.Load(), shed.Load(), elapsed.Round(time.Millisecond),
 		float64(served.Load())/elapsed.Seconds())
+	fmt.Printf("lookups: %d hits, %d misses\n", hits.Load(), misses.Load())
 	if n := served.Load(); n > 0 {
 		fmt.Printf("mean latency: wait %v, exec %v\n",
 			time.Duration(totalWait.Load()/int64(n)).Round(time.Microsecond),
 			time.Duration(totalExec.Load()/int64(n)).Round(time.Microsecond))
 	}
+	// The executor's own percentile view, now first-class in ExecStats.
+	fmt.Printf("wait: %v\nservice: %v\n", st.Wait, st.Service)
 	fmt.Printf("final: state=%s completed=%d imbalance=%.2f commits=%d scheduler=%s\n",
 		st.State, st.Completed, st.LoadImbalance(), st.STM.Commits, st.Scheduler)
 

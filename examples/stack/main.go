@@ -21,12 +21,15 @@ func main() {
 	for _, kind := range []kstm.SchedulerKind{kstm.SchedRoundRobin, kstm.SchedFixed} {
 		s := kstm.New()
 		stack := kstm.NewStack()
-		workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) error {
+		workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
 			if t.Op == kstm.OpInsert {
-				return stack.Push(th, t.Arg)
+				return nil, stack.Push(th, t.Arg)
 			}
-			_, _, err := stack.Pop(th)
-			return err
+			v, ok, err := stack.Pop(th)
+			if !ok {
+				return nil, err // empty stack pops carry no value
+			}
+			return v, err
 		})
 		newSource := func(p int) kstm.TaskSource {
 			src := kstm.NewUniform(uint64(p) + 1)

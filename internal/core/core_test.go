@@ -25,11 +25,11 @@ func newCountingWorkload() *countingWorkload {
 	return &countingWorkload{seen: map[uint32]int{}}
 }
 
-func (c *countingWorkload) Execute(th *stm.Thread, t Task) error {
+func (c *countingWorkload) Execute(th *stm.Thread, t Task) (any, error) {
 	c.mu.Lock()
 	c.seen[t.Arg]++
 	c.mu.Unlock()
-	return nil
+	return nil, nil
 }
 
 func (c *countingWorkload) total() int {
@@ -346,12 +346,12 @@ func TestWorkloadErrorPropagates(t *testing.T) {
 	sentinel := errors.New("boom")
 	cfg := validConfig(newCountingWorkload())
 	n := 0
-	cfg.Workload = WorkloadFunc(func(th *stm.Thread, t Task) error {
+	cfg.Workload = WorkloadFunc(func(th *stm.Thread, t Task) (any, error) {
 		n++
 		if n > 10 {
-			return sentinel
+			return nil, sentinel
 		}
-		return nil
+		return nil, nil
 	})
 	cfg.Workers = 1
 	pool, err := NewPool(cfg)
@@ -404,7 +404,7 @@ func TestWorkStealingDrainsImbalance(t *testing.T) {
 	}
 	// Yield after every task so that all workers interleave even on a
 	// single-CPU host; otherwise one worker can drain the run alone.
-	slow := WorkloadFunc(func(th *stm.Thread, task Task) error {
+	slow := WorkloadFunc(func(th *stm.Thread, task Task) (any, error) {
 		runtime.Gosched()
 		return w.Execute(th, task)
 	})
@@ -504,9 +504,9 @@ func TestSourceFuncAndWorkloadFunc(t *testing.T) {
 	if src.Next().Key != 7 {
 		t.Error("SourceFunc passthrough broken")
 	}
-	wf := WorkloadFunc(func(th *stm.Thread, t Task) error { return nil })
-	if err := wf.Execute(nil, Task{}); err != nil {
-		t.Error(err)
+	wf := WorkloadFunc(func(th *stm.Thread, t Task) (any, error) { return t.Key, nil })
+	if v, err := wf.Execute(nil, Task{Key: 7}); err != nil || v != uint64(7) {
+		t.Errorf("WorkloadFunc passthrough = (%v, %v)", v, err)
 	}
 }
 

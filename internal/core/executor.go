@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kstm/internal/dist"
+	"kstm/internal/latency"
 	"kstm/internal/queue"
 	"kstm/internal/stm"
 )
@@ -69,12 +70,35 @@ func stateName(s execState) string {
 	}
 }
 
+// ShardMode selects how executor state is partitioned across workers.
+type ShardMode string
+
+// Sharding modes.
+const (
+	// ShardShared: every worker executes in one STM instance against one
+	// workload — the paper's configuration. Key-based dispatch still cuts
+	// conflicts, but the single STM's shared counters and object graph
+	// are the scaling ceiling.
+	ShardShared ShardMode = "shared"
+	// ShardPerWorker: each worker owns a private STM instance and a
+	// shard-local workload built by the WorkloadFactory. Since the
+	// dispatch policy already routes a key range to exactly one worker,
+	// the per-worker shard receives exactly that range's data; cross-
+	// worker STM conflicts become impossible by construction. Work
+	// stealing is automatically confined to same-shard queues (for
+	// per-worker shards, disabled), preserving isolation.
+	ShardPerWorker ShardMode = "perworker"
+)
+
 // TaskResult reports one completed task back to its submitter.
 type TaskResult struct {
 	// Task echoes the submitted record.
 	Task Task
 	// Worker is the index of the worker that finished (or abandoned) it.
 	Worker int
+	// Value is the workload's result for the task (e.g. a lookup's hit),
+	// nil for value-less workloads and for tasks that never executed.
+	Value any
 	// Err is the workload's hard error, the submission context's error if
 	// it was cancelled before execution, or ErrStopped.
 	Err error
@@ -113,6 +137,17 @@ func (f *Future) Wait(ctx context.Context) (TaskResult, error) {
 	}
 }
 
+// WaitValue blocks like Wait and returns only the task's value: the typed
+// submission path for callers that want a lookup's result without unpacking
+// a TaskResult. The error is the task's own completion error (or ctx's).
+func (f *Future) WaitValue(ctx context.Context) (any, error) {
+	res, err := f.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
 // Poll returns the result without blocking; ok is false while pending.
 func (f *Future) Poll() (res TaskResult, ok bool) {
 	select {
@@ -127,6 +162,8 @@ func (f *Future) Poll() (res TaskResult, ok bool) {
 type execConfig struct {
 	stm          *stm.STM
 	workload     Workload
+	factory      WorkloadFactory
+	sharding     ShardMode
 	workers      int
 	scheduler    Scheduler
 	schedKind    SchedulerKind
@@ -147,8 +184,31 @@ type Option func(*execConfig)
 // default is a fresh stm.New().
 func WithSTM(s *stm.STM) Option { return func(c *execConfig) { c.stm = s } }
 
-// WithWorkload sets how workers execute task records. Required.
+// WithWorkload sets how workers execute task records. Required unless
+// WithWorkloadFactory is given.
 func WithWorkload(w Workload) Option { return func(c *execConfig) { c.workload = w } }
+
+// WithLegacyWorkload sets a pre-v2 value-less workload, adapting it in
+// place; completed tasks carry nil values.
+func WithLegacyWorkload(w LegacyWorkload) Option {
+	return func(c *execConfig) { c.workload = AdaptLegacy(w) }
+}
+
+// WithWorkloadFactory sets the shard-local workload builder. Required for
+// ShardPerWorker (each worker executes NewShard(worker)); under ShardShared
+// it is called once, NewShard(0), for all workers. Mutually exclusive with
+// WithWorkload.
+func WithWorkloadFactory(f WorkloadFactory) Option {
+	return func(c *execConfig) { c.factory = f }
+}
+
+// WithSharding selects the state-partitioning mode (default ShardShared).
+// ShardPerWorker requires WithWorkloadFactory and is incompatible with
+// WithSTM: every worker builds a private STM instance, so transactional
+// state never crosses worker boundaries. The learned adaptive partition
+// still moves key ranges between workers; moved ranges see their shard-
+// local state, not the old worker's (see DESIGN.md "Sharding").
+func WithSharding(m ShardMode) Option { return func(c *execConfig) { c.sharding = m } }
 
 // WithWorkers sets the worker-thread count; the default is GOMAXPROCS.
 func WithWorkers(n int) Option { return func(c *execConfig) { c.workers = n } }
@@ -202,6 +262,10 @@ func WithSortBatch(n int) Option { return func(c *execConfig) { c.sortBatch = n 
 type Executor struct {
 	cfg    execConfig
 	queues []queue.Queue[envelope]
+	// shards holds the executor's transactional state partitions: one
+	// entry under ShardShared, one per worker under ShardPerWorker.
+	// Worker i executes in shards[shardOf(i)].
+	shards []shardState
 
 	state    atomic.Int32
 	inflight atomic.Int64 // accepted-but-not-finished tasks (incl. blocked submitters)
@@ -211,10 +275,9 @@ type Executor struct {
 	shutdown chan struct{} // closed once on halt, releases the context watcher
 	haltOnce sync.Once
 
-	startMu   sync.Mutex // guards started/stoppedAt/stmBefore against concurrent Stats
+	startMu   sync.Mutex // guards started/stoppedAt/shard baselines against concurrent Stats
 	started   time.Time
 	stoppedAt time.Time
-	stmBefore stm.StatsSnapshot
 
 	submitted atomic.Uint64
 	rejected  atomic.Uint64
@@ -222,7 +285,11 @@ type Executor struct {
 	empty     atomic.Uint64
 	steals    atomic.Uint64
 	completed []paddedCounter
-	firstErr  atomic.Pointer[error]
+	// waitHist/execHist record queue-wait and service time per worker for
+	// result-carrying submissions; merged into ExecStats percentiles.
+	waitHist []*latency.Histogram
+	execHist []*latency.Histogram
+	firstErr atomic.Pointer[error]
 
 	// onDone, if set before Start, runs after every task completion; the
 	// legacy counted-run harness uses it to stop at an exact task quota.
@@ -239,10 +306,20 @@ type envelope struct {
 	enq  time.Time
 }
 
+// shardState is one partition of the executor's transactional state: the
+// STM instance and workload a set of workers executes in, plus the STM
+// counter baseline captured at Start for delta reporting.
+type shardState struct {
+	stm      *stm.STM
+	workload Workload
+	before   stm.StatsSnapshot
+}
+
 // defaultExecConfig resolves option defaults.
 func defaultExecConfig() execConfig {
 	return execConfig{
 		workers:      runtime.GOMAXPROCS(0),
+		sharding:     ShardShared,
 		schedKind:    SchedAdaptive,
 		schedMin:     0,
 		schedMax:     dist.MaxKey,
@@ -258,8 +335,11 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.workload == nil {
-		return nil, fmt.Errorf("core: NewExecutor requires WithWorkload")
+	if cfg.workload == nil && cfg.factory == nil {
+		return nil, fmt.Errorf("core: NewExecutor requires WithWorkload or WithWorkloadFactory")
+	}
+	if cfg.workload != nil && cfg.factory != nil {
+		return nil, fmt.Errorf("core: WithWorkload and WithWorkloadFactory are mutually exclusive")
 	}
 	if cfg.workers <= 0 {
 		return nil, fmt.Errorf("core: %d workers, want > 0", cfg.workers)
@@ -269,8 +349,30 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown backpressure mode %q", cfg.backpressure)
 	}
-	if cfg.stm == nil {
-		cfg.stm = stm.New()
+	var shards []shardState
+	switch cfg.sharding {
+	case ShardShared:
+		if cfg.stm == nil {
+			cfg.stm = stm.New()
+		}
+		w := cfg.workload
+		if w == nil {
+			w = cfg.factory.NewShard(0)
+		}
+		shards = []shardState{{stm: cfg.stm, workload: w}}
+	case ShardPerWorker:
+		if cfg.factory == nil {
+			return nil, fmt.Errorf("core: ShardPerWorker requires WithWorkloadFactory (shard-local state cannot be built from one shared Workload)")
+		}
+		if cfg.stm != nil {
+			return nil, fmt.Errorf("core: WithSTM is incompatible with ShardPerWorker (each worker owns a private STM instance)")
+		}
+		shards = make([]shardState, cfg.workers)
+		for i := range shards {
+			shards[i] = shardState{stm: stm.New(), workload: cfg.factory.NewShard(i)}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown sharding mode %q", cfg.sharding)
 	}
 	if cfg.scheduler == nil {
 		s, err := NewScheduler(cfg.schedKind, cfg.schedMin, cfg.schedMax, cfg.workers, cfg.adaptOpts...)
@@ -288,9 +390,16 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	e := &Executor{
 		cfg:       cfg,
 		queues:    make([]queue.Queue[envelope], cfg.workers),
+		shards:    shards,
 		completed: make([]paddedCounter, cfg.workers),
+		waitHist:  make([]*latency.Histogram, cfg.workers),
+		execHist:  make([]*latency.Histogram, cfg.workers),
 		stopped:   make(chan struct{}),
 		shutdown:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.workers; i++ {
+		e.waitHist[i] = latency.New()
+		e.execHist[i] = latency.New()
 	}
 	for i := range e.queues {
 		q, err := queue.New[envelope](cfg.queueKind)
@@ -313,7 +422,9 @@ func (e *Executor) Start(ctx context.Context) error {
 	}
 	e.startMu.Lock()
 	e.started = time.Now()
-	e.stmBefore = e.cfg.stm.Stats()
+	for i := range e.shards {
+		e.shards[i].before = e.shards[i].stm.Stats()
+	}
 	e.startMu.Unlock()
 	for i := 0; i < e.cfg.workers; i++ {
 		e.workers.Add(1)
@@ -372,8 +483,16 @@ func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 }
 
 // SubmitAll dispatches a batch in order, amortizing the per-call overhead
-// for throughput-oriented callers. On error it returns the futures of the
-// prefix it managed to submit along with the error.
+// for throughput-oriented callers.
+//
+// Partial-failure contract: on error the returned slice holds the futures
+// of the prefix that WAS accepted, paired with the error that stopped the
+// batch (ErrQueueFull under BackpressureReject, ctx.Err on cancellation,
+// ErrNotRunning past Drain/Stop). Those prefix futures are live and
+// settled normally — each completes when its task executes (or with
+// ErrStopped if the executor halts first) — so callers must still Wait
+// them; dropping them leaks no resources but loses those tasks' results.
+// Tasks after the failing index were never submitted.
 func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, error) {
 	futs := make([]*Future, 0, len(tasks))
 	for _, t := range tasks {
@@ -486,7 +605,8 @@ func (e *Executor) pick(key uint64) int {
 // With SortBatch set, the worker drains a batch and executes it in key
 // order (§2's buffer-reordering capability).
 func (e *Executor) worker(i int) {
-	th := e.cfg.stm.NewThread()
+	sh := &e.shards[e.shardOf(i)]
+	th := sh.stm.NewThread()
 	var batch []envelope
 	if e.cfg.sortBatch > 1 {
 		batch = make([]envelope, 0, e.cfg.sortBatch)
@@ -525,7 +645,7 @@ func (e *Executor) worker(i int) {
 		}
 		idle = 0
 		if batch == nil {
-			e.execOne(i, th, env)
+			e.execOne(i, sh, th, env)
 			continue
 		}
 		// Batch mode: drain up to SortBatch tasks, order by key.
@@ -539,13 +659,14 @@ func (e *Executor) worker(i int) {
 		}
 		sort.Slice(batch, func(a, b int) bool { return batch[a].task.Key < batch[b].task.Key })
 		for _, be := range batch {
-			e.execOne(i, th, be)
+			e.execOne(i, sh, th, be)
 		}
 	}
 }
 
-// execOne executes a single envelope and settles its completion plumbing.
-func (e *Executor) execOne(i int, th *stm.Thread, env envelope) {
+// execOne executes a single envelope in its worker's shard and settles its
+// completion plumbing.
+func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, env envelope) {
 	// Abandoned before execution? Settle without running the transaction.
 	if env.ctx != nil {
 		select {
@@ -559,7 +680,7 @@ func (e *Executor) execOne(i int, th *stm.Thread, env envelope) {
 		// Fire-and-forget fast path: no clocks, errors are fatal. A
 		// failed task is NOT counted as completed, matching the legacy
 		// Pool accounting the harness results are built on.
-		if err := e.cfg.workload.Execute(th, env.task); err != nil {
+		if _, err := sh.workload.Execute(th, env.task); err != nil {
 			e.failed.Add(1)
 			e.fail(err)
 			e.inflight.Add(-1)
@@ -569,16 +690,20 @@ func (e *Executor) execOne(i int, th *stm.Thread, env envelope) {
 		return
 	}
 	start := time.Now()
-	err := e.cfg.workload.Execute(th, env.task)
+	val, err := sh.workload.Execute(th, env.task)
 	if err != nil {
 		e.failed.Add(1)
 	}
+	wait, exec := start.Sub(env.enq), time.Since(start)
+	e.waitHist[i].Observe(wait)
+	e.execHist[i].Observe(exec)
 	e.finish(i, env, TaskResult{
 		Task:   env.task,
 		Worker: i,
+		Value:  val,
 		Err:    err,
-		Wait:   start.Sub(env.enq),
-		Exec:   time.Since(start),
+		Wait:   wait,
+		Exec:   exec,
 	})
 }
 
@@ -594,11 +719,29 @@ func (e *Executor) finish(i int, env envelope, res TaskResult) {
 	}
 }
 
-// steal takes one task from another worker's queue.
+// shardOf maps a worker index to its shard index: all workers share shard 0
+// under ShardShared; worker i IS shard i under ShardPerWorker.
+func (e *Executor) shardOf(worker int) int {
+	if e.cfg.sharding == ShardPerWorker {
+		return worker
+	}
+	return 0
+}
+
+// steal takes one task from another worker's queue. Stealing is confined to
+// queues of the worker's own shard: a stolen task must execute against the
+// same transactional state it was dispatched to, so under ShardPerWorker
+// (every worker its own shard) there is nothing to steal from and the scan
+// degenerates to a no-op.
 func (e *Executor) steal(i int) (envelope, bool) {
 	n := len(e.queues)
+	myShard := e.shardOf(i)
 	for off := 1; off < n; off++ {
-		if env, ok := e.queues[(i+off)%n].Get(); ok {
+		j := (i + off) % n
+		if e.shardOf(j) != myShard {
+			continue
+		}
+		if env, ok := e.queues[j].Get(); ok {
 			e.steals.Add(1)
 			return env, true
 		}
@@ -698,6 +841,20 @@ func (e *Executor) halt() {
 	})
 }
 
+// ShardStats reports one state partition's share of a run: which workers
+// execute in it, how much they completed, and the shard-local STM counter
+// deltas since Start.
+type ShardStats struct {
+	// Shard is the partition index (0 for the single shared shard).
+	Shard int
+	// Workers lists the worker indexes executing in this shard.
+	Workers []int
+	// Completed counts tasks finished by this shard's workers.
+	Completed uint64
+	// STM is the shard's STM counter delta since Start.
+	STM stm.StatsSnapshot
+}
+
 // ExecStats is a live snapshot of executor state and counters; Stats may be
 // called at any time, including mid-run from other goroutines.
 type ExecStats struct {
@@ -707,6 +864,8 @@ type ExecStats struct {
 	Workers int
 	// Scheduler names the dispatch policy.
 	Scheduler string
+	// Sharding is the state-partitioning mode (shared or perworker).
+	Sharding ShardMode
 	// Submitted counts tasks accepted into worker queues.
 	Submitted uint64
 	// Rejected counts ErrQueueFull rejections.
@@ -727,8 +886,19 @@ type ExecStats struct {
 	Steals uint64
 	// Elapsed is the time since Start.
 	Elapsed time.Duration
-	// STM is the delta of the STM's counters since Start.
+	// STM is the delta of the STM counters since Start — summed across
+	// shards when the executor is sharded.
 	STM stm.StatsSnapshot
+	// Shards reports per-shard completion and STM deltas (one entry under
+	// ShardShared, one per worker under ShardPerWorker).
+	Shards []ShardStats
+	// Wait holds queue-wait latency percentiles over result-carrying
+	// submissions (Submit/SubmitAsync/SubmitAll; the legacy
+	// fire-and-forget path is unclocked).
+	Wait latency.Summary
+	// Service holds workload execution-time percentiles (retries
+	// included) over the same submissions.
+	Service latency.Summary
 }
 
 // Throughput returns completed tasks per second since Start.
@@ -761,6 +931,7 @@ func (e *Executor) Stats() ExecStats {
 		State:       stateName(e.state.Load()),
 		Workers:     e.cfg.workers,
 		Scheduler:   e.cfg.scheduler.Name(),
+		Sharding:    e.cfg.sharding,
 		Submitted:   e.submitted.Load(),
 		Rejected:    e.rejected.Load(),
 		Failed:      e.failed.Load(),
@@ -769,6 +940,8 @@ func (e *Executor) Stats() ExecStats {
 		QueueDepths: make([]int, len(e.queues)),
 		EmptyPolls:  e.empty.Load(),
 		Steals:      e.steals.Load(),
+		Wait:        latency.Merge(e.waitHist...),
+		Service:     latency.Merge(e.execHist...),
 	}
 	for i := range e.completed {
 		s.PerWorker[i] = e.completed[i].n.Load()
@@ -778,8 +951,23 @@ func (e *Executor) Stats() ExecStats {
 		s.QueueDepths[i] = q.Len()
 	}
 	e.startMu.Lock()
-	started, stoppedAt, stmBefore := e.started, e.stoppedAt, e.stmBefore
+	started, stoppedAt := e.started, e.stoppedAt
+	befores := make([]stm.StatsSnapshot, len(e.shards))
+	for i := range e.shards {
+		befores[i] = e.shards[i].before
+	}
 	e.startMu.Unlock()
+	s.Shards = make([]ShardStats, len(e.shards))
+	for i := range e.shards {
+		ss := ShardStats{Shard: i}
+		for w := range e.completed {
+			if e.shardOf(w) == i {
+				ss.Workers = append(ss.Workers, w)
+				ss.Completed += s.PerWorker[w]
+			}
+		}
+		s.Shards[i] = ss
+	}
 	if !started.IsZero() {
 		// Freeze Elapsed at the stop instant so post-run Throughput()
 		// reports the run, not the time since it.
@@ -788,7 +976,11 @@ func (e *Executor) Stats() ExecStats {
 		} else {
 			s.Elapsed = time.Since(started)
 		}
-		s.STM = e.cfg.stm.Stats().Sub(stmBefore)
+		for i := range e.shards {
+			delta := e.shards[i].stm.Stats().Sub(befores[i])
+			s.Shards[i].STM = delta
+			s.STM = s.STM.Add(delta)
+		}
 	}
 	return s
 }
@@ -799,6 +991,20 @@ func (e *Executor) Scheduler() Scheduler { return e.cfg.scheduler }
 
 // Workers returns the worker-thread count.
 func (e *Executor) Workers() int { return e.cfg.workers }
+
+// Sharding returns the state-partitioning mode in force.
+func (e *Executor) Sharding() ShardMode { return e.cfg.sharding }
+
+// ShardSTM returns shard i's STM instance (tests and post-run inspection;
+// shard 0 is the only shard under ShardShared).
+func (e *Executor) ShardSTM(i int) *stm.STM { return e.shards[i].stm }
+
+// ShardWorkload returns shard i's workload, e.g. to read a shard-local
+// dictionary back after a drain.
+func (e *Executor) ShardWorkload(i int) Workload { return e.shards[i].workload }
+
+// NumShards returns the shard count (1, or workers under ShardPerWorker).
+func (e *Executor) NumShards() int { return len(e.shards) }
 
 // stopping reports whether the executor no longer accepts producer work;
 // the legacy Pool's producer loops poll it.

@@ -22,10 +22,10 @@ type gateWorkload struct {
 
 func newGateWorkload() *gateWorkload { return &gateWorkload{gate: make(chan struct{})} }
 
-func (g *gateWorkload) Execute(th *stm.Thread, t Task) error {
+func (g *gateWorkload) Execute(th *stm.Thread, t Task) (any, error) {
 	<-g.gate
 	g.executed.Add(1)
-	return nil
+	return nil, nil
 }
 
 func (g *gateWorkload) release() { close(g.gate) }
@@ -33,9 +33,9 @@ func (g *gateWorkload) release() { close(g.gate) }
 // nopWorkload executes instantly.
 type nopWorkload struct{ n atomic.Int64 }
 
-func (w *nopWorkload) Execute(th *stm.Thread, t Task) error {
+func (w *nopWorkload) Execute(th *stm.Thread, t Task) (any, error) {
 	w.n.Add(1)
-	return nil
+	return nil, nil
 }
 
 func TestNewExecutorValidation(t *testing.T) {
@@ -472,11 +472,11 @@ func TestStartContextCancelStops(t *testing.T) {
 
 func TestSubmitReportsWorkloadError(t *testing.T) {
 	sentinel := errors.New("hard failure")
-	wl := WorkloadFunc(func(th *stm.Thread, task Task) error {
+	wl := WorkloadFunc(func(th *stm.Thread, task Task) (any, error) {
 		if task.Op == OpDelete {
-			return sentinel
+			return nil, sentinel
 		}
-		return nil
+		return nil, nil
 	})
 	ex, err := NewExecutor(WithWorkload(wl), WithWorkers(2))
 	if err != nil {
@@ -578,7 +578,7 @@ func TestPoolCompatOnEngine(t *testing.T) {
 
 func ExampleExecutor() {
 	ex, _ := NewExecutor(
-		WithWorkload(WorkloadFunc(func(th *stm.Thread, t Task) error { return nil })),
+		WithWorkload(WorkloadFunc(func(th *stm.Thread, t Task) (any, error) { return nil, nil })),
 		WithWorkers(2),
 	)
 	_ = ex.Start(context.Background())

@@ -244,10 +244,12 @@ func (p *Pool) execute(d time.Duration, count int64) (Result, error) {
 	return p.buildResult(ex, elapsed), ex.Err()
 }
 
-// buildResult converts engine counters into the legacy Result shape.
+// buildResult converts engine counters into the legacy Result shape. The
+// Pool always builds shared-mode executors, so shard 0 holds the run's STM
+// baseline.
 func (p *Pool) buildResult(ex *Executor, elapsed time.Duration) Result {
 	return p.newResult(elapsed, ex.submitted.Load(), ex.empty.Load(), ex.steals.Load(),
-		ex.completed, p.cfg.STM.Stats().Sub(ex.stmBefore))
+		ex.completed, p.cfg.STM.Stats().Sub(ex.shards[0].before))
 }
 
 // newResult assembles a Result from run counters; every model funnels
@@ -358,7 +360,7 @@ func (p *Pool) executeNoExecutor(d time.Duration, count int64) (Result, error) {
 				}
 				t := src.Next()
 				produced.Add(1)
-				if err := p.cfg.Workload.Execute(th, t); err != nil {
+				if _, err := p.cfg.Workload.Execute(th, t); err != nil {
 					e := err
 					if workErr.CompareAndSwap(nil, &e) {
 						stop.Store(true)

@@ -21,12 +21,12 @@ func newOrderRecorder() *orderRecorder {
 	return &orderRecorder{seen: map[*stm.Thread][]uint64{}}
 }
 
-func (o *orderRecorder) Execute(th *stm.Thread, t Task) error {
+func (o *orderRecorder) Execute(th *stm.Thread, t Task) (any, error) {
 	runtime.Gosched() // interleave workers even on one CPU
 	o.mu.Lock()
 	o.seen[th] = append(o.seen[th], t.Key)
 	o.mu.Unlock()
-	return nil
+	return nil, nil
 }
 
 // meanAbsStep measures locality of an execution order: the mean absolute

@@ -75,13 +75,51 @@ func (f SourceFunc) Next() Task { return f() }
 
 // Workload executes tasks on a worker's STM thread. Execute must retry
 // internally until the transaction commits (the IntSet operations already
-// behave this way) and return only hard errors.
+// behave this way) and return only hard errors. The first return is the
+// operation's value — a lookup's hit/value, an insert's "was absent" bit —
+// carried back to the submitter in TaskResult.Value, so read operations
+// need no side channel. Value-less workloads return nil.
 type Workload interface {
-	Execute(th *stm.Thread, t Task) error
+	Execute(th *stm.Thread, t Task) (any, error)
 }
 
 // WorkloadFunc adapts a function to Workload.
-type WorkloadFunc func(th *stm.Thread, t Task) error
+type WorkloadFunc func(th *stm.Thread, t Task) (any, error)
 
 // Execute implements Workload.
-func (f WorkloadFunc) Execute(th *stm.Thread, t Task) error { return f(th, t) }
+func (f WorkloadFunc) Execute(th *stm.Thread, t Task) (any, error) { return f(th, t) }
+
+// LegacyWorkload is the pre-v2 workload shape: execution without a result
+// value. Existing implementations keep compiling against this interface and
+// join the executor through AdaptLegacy.
+type LegacyWorkload interface {
+	Execute(th *stm.Thread, t Task) error
+}
+
+// legacyAdapter lifts a LegacyWorkload into the typed interface with a nil
+// value on every task.
+type legacyAdapter struct{ w LegacyWorkload }
+
+func (a legacyAdapter) Execute(th *stm.Thread, t Task) (any, error) {
+	return nil, a.w.Execute(th, t)
+}
+
+// AdaptLegacy wraps a pre-v2 value-less workload as a Workload; every
+// completed task carries a nil Value.
+func AdaptLegacy(w LegacyWorkload) Workload { return legacyAdapter{w: w} }
+
+// WorkloadFactory builds shard-local workloads for sharded executors: under
+// ShardPerWorker the executor calls NewShard once per worker, and the
+// returned workload — together with the transactional state it creates —
+// is executed only by that worker, inside that worker's private STM
+// instance. NewShard is called before the workers start; it need not be
+// safe for concurrent use.
+type WorkloadFactory interface {
+	NewShard(worker int) Workload
+}
+
+// WorkloadFactoryFunc adapts a function to WorkloadFactory.
+type WorkloadFactoryFunc func(worker int) Workload
+
+// NewShard implements WorkloadFactory.
+func (f WorkloadFactoryFunc) NewShard(worker int) Workload { return f(worker) }

@@ -38,7 +38,10 @@ func (d *DictSource) Next() core.Task {
 }
 
 // DictWorkload executes dictionary tasks against an IntSet — the worker-side
-// binding for real-mode experiments.
+// binding for real-mode experiments. Every operation returns its logical
+// result as the task value: OpInsert reports "was absent", OpDelete "was
+// present", and OpLookup the hit — so a submitter reads a dictionary answer
+// straight off its TaskResult with no side channel.
 type DictWorkload struct {
 	set txds.IntSet
 }
@@ -48,22 +51,104 @@ func NewDictWorkload(set txds.IntSet) *DictWorkload {
 	return &DictWorkload{set: set}
 }
 
+// Set returns the wrapped dictionary (e.g. to read a shard back post-run).
+func (d *DictWorkload) Set() txds.IntSet { return d.set }
+
 // Execute implements core.Workload.
-func (d *DictWorkload) Execute(th *stm.Thread, t core.Task) error {
-	var err error
+func (d *DictWorkload) Execute(th *stm.Thread, t core.Task) (any, error) {
 	switch t.Op {
 	case core.OpInsert:
-		_, err = d.set.Insert(th, t.Arg)
+		return d.set.Insert(th, t.Arg)
 	case core.OpDelete:
-		_, err = d.set.Delete(th, t.Arg)
+		return d.set.Delete(th, t.Arg)
 	case core.OpLookup:
-		_, err = d.set.Contains(th, t.Arg)
+		return d.set.Contains(th, t.Arg)
 	case core.OpNoop:
 		// Trivial transaction (Figure 4): nothing to do.
+		return nil, nil
 	default:
-		err = fmt.Errorf("harness: unknown op %v", t.Op)
+		return nil, fmt.Errorf("harness: unknown op %v", t.Op)
 	}
-	return err
+}
+
+// DictFactory builds shard-local dictionaries for sharded executors: every
+// shard gets a private structure of the same kind, so the executor's
+// per-worker STM instances never share transactional objects. Dispatch
+// stays independent of the shard layout: the transaction-key function is
+// computed against a full-size prototype, while each shard hash table is
+// right-sized to its share of the keys (shardedBuckets), keeping the
+// sharded configuration's total footprint equal to the shared one instead
+// of multiplying it by the worker count.
+type DictFactory struct {
+	kind    txds.Kind
+	buckets int // per-shard hash-table size; 0 = the structure default
+	shards  []txds.IntSet
+}
+
+// NewDictFactory returns a factory producing fresh kind-structures per
+// shard, sized for the given shard count (workers <= 1 keeps structure
+// defaults). Construction cannot fail for the kinds txds.New accepts; the
+// kind is validated by the first NewShard call, which panics on an unknown
+// kind exactly like an invalid executor configuration would.
+func NewDictFactory(kind txds.Kind, workers int) *DictFactory {
+	f := &DictFactory{kind: kind}
+	if kind == txds.KindHashTable && workers > 1 {
+		f.buckets = shardedBuckets(workers)
+	}
+	return f
+}
+
+// shardedBuckets returns a prime near DefaultBuckets/workers: each shard
+// holds ~1/workers of the keys, so a proportional table preserves the
+// paper's load factor per shard.
+func shardedBuckets(workers int) int {
+	n := txds.DefaultBuckets / workers
+	if n < 31 {
+		n = 31
+	}
+	for !isPrime(n) {
+		n++
+	}
+	return n
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewShard implements core.WorkloadFactory.
+func (f *DictFactory) NewShard(worker int) core.Workload {
+	var set txds.IntSet
+	if f.kind == txds.KindHashTable && f.buckets > 0 {
+		set = txds.NewHashTable(f.buckets)
+	} else {
+		var err error
+		set, err = txds.New(f.kind)
+		if err != nil {
+			panic(fmt.Sprintf("harness: DictFactory kind %q: %v", f.kind, err))
+		}
+	}
+	for len(f.shards) <= worker {
+		f.shards = append(f.shards, nil)
+	}
+	f.shards[worker] = set
+	return NewDictWorkload(set)
+}
+
+// Shard returns the dictionary built for a worker (nil before NewShard).
+func (f *DictFactory) Shard(worker int) txds.IntSet {
+	if worker < 0 || worker >= len(f.shards) {
+		return nil
+	}
+	return f.shards[worker]
 }
 
 // NewRealConfig assembles a real-mode executor config for a benchmark
@@ -128,6 +213,34 @@ func NewOpenExecutor(kind txds.Kind, sched core.SchedulerKind, workers int, opts
 	ex, err = core.NewExecutor(
 		core.WithSTM(stm.New()),
 		core.WithWorkload(NewDictWorkload(set)),
+		core.WithWorkers(workers),
+		core.WithSchedulerKind(sched, 0, maxKey, opts...),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, keyFn, nil
+}
+
+// NewShardedExecutor assembles an open-submission executor in ShardPerWorker
+// mode: every worker owns a private STM instance and a private dictionary of
+// the given kind built through DictFactory. The transaction-key function is
+// derived from a prototype structure (hash output for hash tables, identity
+// otherwise) and is valid for every shard, since all shards are built alike.
+func NewShardedExecutor(kind txds.Kind, sched core.SchedulerKind, workers int, opts ...core.AdaptiveOption) (ex *core.Executor, keyFn func(uint32) uint64, err error) {
+	proto, err := txds.New(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyFn = func(k uint32) uint64 { return uint64(k) }
+	maxKey := uint64(dist.MaxKey)
+	if ht, ok := proto.(*txds.HashTable); ok {
+		keyFn = func(k uint32) uint64 { return uint64(ht.Hash(k)) }
+		maxKey = uint64(ht.Buckets() - 1)
+	}
+	ex, err = core.NewExecutor(
+		core.WithSharding(core.ShardPerWorker),
+		core.WithWorkloadFactory(NewDictFactory(kind, workers)),
 		core.WithWorkers(workers),
 		core.WithSchedulerKind(sched, 0, maxKey, opts...),
 	)

@@ -1,0 +1,215 @@
+// Package latency provides a concurrent, fixed-memory duration histogram in
+// the HDR style: log-linear buckets whose width grows with the recorded
+// value, so quantile estimates carry a bounded relative error (at most
+// 1/subBuckets ≈ 6%) across the nine decades between a nanosecond and
+// minutes, with no allocation on the record path.
+//
+// The executor keeps one Histogram per worker per metric and merges them
+// into a Summary when a stats snapshot is taken; Observe is a single atomic
+// add, cheap enough for every task.
+package latency
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits sets the linear resolution within one power of two:
+	// 2^subBits sub-buckets per octave, bounding quantile error at
+	// 1/2^subBits of the value.
+	subBits    = 4
+	subBuckets = 1 << subBits
+	// numBuckets covers every non-negative int64 nanosecond value: the
+	// largest index is (63-subBits)*subBuckets + (subBuckets-1).
+	numBuckets = (64 - subBits) * subBuckets
+)
+
+// bucketIndex maps a nanosecond value to its bucket. Values below
+// subBuckets get exact buckets; above, the value is split into an octave
+// exponent and a subBits-bit mantissa, so buckets widen geometrically.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - subBits - 1
+	mant := u >> uint(exp) // in [subBuckets, 2*subBuckets)
+	return exp*subBuckets + int(mant)
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of a bucket.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < subBuckets {
+		return int64(i), int64(i) + 1
+	}
+	exp := i/subBuckets - 1 // inverse of bucketIndex: recover shift
+	mant := int64(i%subBuckets + subBuckets)
+	lo = mant << uint(exp)
+	hi = (mant + 1) << uint(exp)
+	if hi <= lo { // the topmost bucket's upper bound is 2^63: clamp
+		hi = 1<<63 - 1
+	}
+	return lo, hi
+}
+
+// Histogram is a concurrent duration recorder. The zero value is NOT ready;
+// use New. All methods are safe for concurrent use.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations (clock steps) count as
+// zero rather than corrupting a bucket index.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot is a point-in-time copy of one or more histograms, from which
+// quantiles are computed. Taking a snapshot while recording continues is
+// racy-but-monotone, like every other counter in this repository.
+type Snapshot struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    int64
+	max    int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	s.add(h)
+	return s
+}
+
+// MergeSnapshot combines any number of histograms (e.g. one per worker)
+// into a single snapshot. Nil entries are skipped.
+func MergeSnapshot(hs ...*Histogram) *Snapshot {
+	s := &Snapshot{}
+	for _, h := range hs {
+		if h != nil {
+			s.add(h)
+		}
+	}
+	return s
+}
+
+func (s *Snapshot) add(h *Histogram) {
+	for i := range s.counts {
+		s.counts[i] += h.counts[i].Load()
+	}
+	s.count += h.count.Load()
+	s.sum += h.sum.Load()
+	if m := h.max.Load(); m > s.max {
+		s.max = m
+	}
+}
+
+// Count returns the number of observations in the snapshot.
+func (s *Snapshot) Count() uint64 { return s.count }
+
+// Quantile returns the value at quantile q in [0, 1]: the midpoint of the
+// bucket containing the q-th ranked observation, clamped to the observed
+// maximum. An empty snapshot returns 0.
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based; q=0 is the first.
+	rank := uint64(q*float64(s.count-1)) + 1
+	var seen uint64
+	for i, c := range s.counts {
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			mid := lo + (hi-lo)/2
+			if mid > s.max {
+				mid = s.max
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(s.max)
+}
+
+// Mean returns the exact arithmetic mean (the sum is tracked separately, so
+// the mean carries no bucketing error).
+func (s *Snapshot) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / int64(s.count))
+}
+
+// Max returns the largest recorded value.
+func (s *Snapshot) Max() time.Duration { return time.Duration(s.max) }
+
+// Summary reports the percentiles operators actually read. It is a plain
+// value, safe to copy and embed in stats structs.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summary computes the standard percentile set from the snapshot.
+func (s *Snapshot) Summary() Summary {
+	return Summary{
+		Count: s.count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max(),
+	}
+}
+
+// Merge combines histograms directly into a Summary — the executor's
+// one-call path from per-worker recorders to ExecStats fields.
+func Merge(hs ...*Histogram) Summary { return MergeSnapshot(hs...).Summary() }
+
+// String renders the summary compactly for reports.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,151 @@
+package latency
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotoneAndInBounds(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 100, 1000, 1 << 20, 1 << 40, 1<<62 + 12345} {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of bounds", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		lo, hi := bucketBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Error("negative values must clamp to bucket 0")
+	}
+}
+
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if hi <= lo {
+			t.Fatalf("bucket %d empty: [%d,%d)", i, lo, hi)
+		}
+		if lo >= 0 && bucketIndex(lo) != i {
+			t.Fatalf("bucketIndex(bucketBounds(%d).lo=%d) = %d", i, lo, bucketIndex(lo))
+		}
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	h := New()
+	s := h.Snapshot().Summary()
+	if s.Count != 0 || s.P50 != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+// TestQuantileAccuracyKnownDistribution checks the satellite requirement:
+// percentiles against a known distribution stay within the log-linear
+// bucketing's guaranteed relative error (1/16, padded slightly for the
+// midpoint rule).
+func TestQuantileAccuracyKnownDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 200_000
+	h := New()
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~6 decades, exercising many octaves, plus a
+		// heavy tail — the shape of real latency data.
+		v := int64(1) << uint(rng.Intn(40))
+		v += rng.Int63n(v)
+		vals[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	snap := h.Snapshot()
+	if snap.Count() != n {
+		t.Fatalf("count = %d, want %d", snap.Count(), n)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		got := float64(snap.Quantile(q))
+		exact := float64(vals[int(q*float64(n-1))])
+		relErr := (got - exact) / exact
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > 2.0/subBuckets {
+			t.Errorf("q=%.3f: got %v, exact %v, rel err %.3f > %.3f",
+				q, time.Duration(int64(got)), time.Duration(int64(exact)), relErr, 2.0/subBuckets)
+		}
+	}
+	if snap.Max() != time.Duration(vals[n-1]) {
+		t.Errorf("max = %v, want %v", snap.Max(), time.Duration(vals[n-1]))
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if snap.Mean() != time.Duration(sum/n) {
+		t.Errorf("mean = %v, want %v", snap.Mean(), time.Duration(sum/n))
+	}
+}
+
+func TestQuantileSingleValue(t *testing.T) {
+	h := New()
+	h.Observe(1500 * time.Nanosecond)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		got := s.Quantile(q)
+		// One observation: every quantile is that bucket, clamped to max.
+		if got > 1500 || got < 1500*15/16 {
+			t.Errorf("Quantile(%v) = %v, want ~1.5µs", q, got)
+		}
+	}
+}
+
+func TestMergeAcrossHistograms(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	sum := Merge(a, b, nil)
+	if sum.Count != 200 {
+		t.Fatalf("merged count = %d", sum.Count)
+	}
+	if sum.P50 > 2*time.Millisecond || sum.P95 < 900*time.Millisecond {
+		t.Errorf("merged percentiles wrong: %v", sum)
+	}
+	if sum.Max < time.Second*15/16 {
+		t.Errorf("merged max = %v", sum.Max)
+	}
+}
+
+// TestConcurrentObserve is the -race exercise: many writers, snapshots taken
+// mid-flight, final count exact.
+func TestConcurrentObserve(t *testing.T) {
+	h := New()
+	const goroutines, per = 8, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+				if i%2048 == 0 {
+					_ = h.Snapshot().Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}

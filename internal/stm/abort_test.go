@@ -1,0 +1,72 @@
+package stm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEnemyAbortMidTransactionIsRetryable is the deterministic reproducer
+// for the seed flake: under concurrent churn an enemy's contention manager
+// could abort a transaction between two of its opens, and the next
+// Read/Write then surfaced ErrNotActive — which Atomic treats as a hard
+// error — instead of the retryable ErrAborted. TestRBTreeConcurrent in
+// internal/txds hit this rarely under -race; here the enemy abort is forced
+// at the exact vulnerable instant.
+func TestEnemyAbortMidTransactionIsRetryable(t *testing.T) {
+	s := New()
+	a := NewBox(1)
+	b := NewBox(2)
+	th := s.NewThread()
+
+	tx := th.Begin()
+	if _, err := a.Read(tx); err != nil {
+		t.Fatal(err)
+	}
+	// The enemy path: another transaction wins the conflict arbitration
+	// and aborts us while we are between opens.
+	if !tx.abortBy() {
+		t.Fatal("abortBy on an active transaction failed")
+	}
+	if _, err := b.Read(tx); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Read after enemy abort: err = %v, want ErrAborted", err)
+	}
+	if _, err := b.Write(tx); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Write after enemy abort: err = %v, want ErrAborted", err)
+	}
+}
+
+// TestAtomicRetriesAfterEnemyAbort drives the same scenario through the
+// Atomic retry loop: the first attempt is enemy-aborted mid-body and the
+// task must still commit on a later attempt rather than reporting a hard
+// error to the caller.
+func TestAtomicRetriesAfterEnemyAbort(t *testing.T) {
+	s := New()
+	box := NewBox(0)
+	th := s.NewThread()
+	var attempts atomic.Int32
+	err := th.Atomic(func(tx *Tx) error {
+		if attempts.Add(1) == 1 {
+			if !tx.abortBy() {
+				t.Error("abortBy failed on first attempt")
+			}
+		}
+		v, err := box.Write(tx)
+		if err != nil {
+			return err
+		}
+		*v++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic after mid-body enemy abort: %v", err)
+	}
+	if attempts.Load() < 2 {
+		t.Fatalf("attempts = %d, want a retry", attempts.Load())
+	}
+	tx := th.Begin()
+	v, err := box.Read(tx)
+	if err != nil || *v != 1 {
+		t.Fatalf("final value = (%v, %v), want 1", v, err)
+	}
+}

@@ -78,6 +78,22 @@ func (s StatsSnapshot) String() string {
 		s.Retries, s.Conflicts, s.ValidationFails, s.Reads, s.Writes)
 }
 
+// Add returns the field-wise sum s + other; the sharded executor uses it to
+// aggregate per-shard STM deltas into one run-wide snapshot.
+func (s StatsSnapshot) Add(other StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Begins:          s.Begins + other.Begins,
+		Commits:         s.Commits + other.Commits,
+		SelfAborts:      s.SelfAborts + other.SelfAborts,
+		EnemyAborts:     s.EnemyAborts + other.EnemyAborts,
+		Retries:         s.Retries + other.Retries,
+		Conflicts:       s.Conflicts + other.Conflicts,
+		ValidationFails: s.ValidationFails + other.ValidationFails,
+		Reads:           s.Reads + other.Reads,
+		Writes:          s.Writes + other.Writes,
+	}
+}
+
 // Sub returns the counter deltas s - earlier; the harness uses it to scope
 // statistics to a measurement window.
 func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {

@@ -44,9 +44,10 @@ const (
 // unchanged so the block retries.
 var ErrAborted = errors.New("stm: transaction aborted")
 
-// ErrNotActive is returned when a transaction is used after it committed or
-// was explicitly aborted by its own thread. It indicates a programming
-// error, not a transient condition.
+// ErrNotActive is returned when a transaction is used after it committed.
+// It indicates a programming error, not a transient condition. (An aborted
+// transaction's operations return ErrAborted instead: aborts can be inflicted
+// by enemy transactions at any instant, so they must stay retryable.)
 var ErrNotActive = errors.New("stm: transaction no longer active")
 
 // STM owns global configuration and statistics. All transactions created
@@ -243,6 +244,23 @@ func (tx *Tx) Commit() error {
 	return nil
 }
 
+// usable gates Read/Write on the transaction's status. An aborted
+// transaction returns ErrAborted — the abort may have come from an enemy
+// between two opens, which is a transient loss the Atomic retry loop must
+// absorb, not a programming error (returning ErrNotActive here was the
+// long-standing "stm: transaction no longer active" flake under concurrent
+// churn). Only use after commit reports ErrNotActive.
+func (tx *Tx) usable() error {
+	switch tx.status.Load() {
+	case statusActive:
+		return nil
+	case statusAborted:
+		return ErrAborted
+	default:
+		return ErrNotActive
+	}
+}
+
 // validate re-checks every recorded read against the object's currently
 // committed version, and that the transaction is still active. DSTM calls
 // this on every open and at commit, which gives transactions a consistent
@@ -322,8 +340,8 @@ func (o *Object) committedVersion() any {
 // The read is invisible to other transactions; it is recorded and will be
 // re-validated on every later open and at commit.
 func (tx *Tx) Read(o *Object) (any, error) {
-	if tx.status.Load() != statusActive {
-		return nil, ErrNotActive
+	if err := tx.usable(); err != nil {
+		return nil, err
 	}
 	tx.s.stats.reads.Add(1)
 	for {
@@ -360,8 +378,8 @@ func (tx *Tx) Read(o *Object) (any, error) {
 // clone of the current version. The clone becomes the committed version if
 // and when tx commits.
 func (tx *Tx) Write(o *Object) (any, error) {
-	if tx.status.Load() != statusActive {
-		return nil, ErrNotActive
+	if err := tx.usable(); err != nil {
+		return nil, err
 	}
 	tx.s.stats.writes.Add(1)
 	for {

@@ -16,17 +16,41 @@
 //     numerically-close keys — which touch the same data — run on the same
 //     worker: better locality, fewer conflicts, balanced load.
 //
-// Quick start:
+// Quick start — typed lookups through the executor:
 //
 //	s := kstm.New()                       // an STM instance
 //	table := kstm.NewHashTable(0)         // transactional dictionary
 //	th := s.NewThread()                   // per-goroutine handle
 //	table.Insert(th, 42)
 //
+//	w := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
+//		switch t.Op {
+//		case kstm.OpInsert:
+//			return table.Insert(th, t.Arg)
+//		case kstm.OpLookup:
+//			return table.Contains(th, t.Arg) // the hit rides back in TaskResult.Value
+//		}
+//		return nil, fmt.Errorf("bad op %v", t.Op)
+//	})
 //	ex, _ := kstm.NewExecutor(kstm.WithWorkload(w), kstm.WithWorkers(8))
 //	ex.Start(ctx)                         // open submission from any goroutine
-//	res, _ := ex.Submit(ctx, kstm.Task{Key: 42, Op: kstm.OpInsert, Arg: 42})
+//	found, _ := kstm.SubmitTyped[bool](ctx, ex,
+//		kstm.Task{Key: 42, Op: kstm.OpLookup, Arg: 42})
 //	ex.Drain()
+//
+// To scale past one STM instance, shard state per worker: the dispatch
+// policy already routes each key range to a single worker, so giving every
+// worker a private STM and a shard-local dictionary removes cross-worker
+// conflicts entirely —
+//
+//	ex, _ := kstm.NewExecutor(
+//		kstm.WithSharding(kstm.ShardPerWorker),
+//		kstm.WithWorkloadFactory(kstm.WorkloadFactoryFunc(newShardTable)),
+//		kstm.WithWorkers(8),
+//	)
+//
+// ExecStats then reports per-shard counters and wait/service latency
+// percentiles (p50/p95/p99) for both modes.
 //
 // The paper's closed-world benchmark harness survives as a wrapper on the
 // same engine:
@@ -41,9 +65,14 @@
 package kstm
 
 import (
+	"context"
+	"fmt"
+	"reflect"
+
 	"kstm/internal/core"
 	"kstm/internal/dist"
 	"kstm/internal/hist"
+	"kstm/internal/latency"
 	"kstm/internal/sim"
 	"kstm/internal/stm"
 	"kstm/internal/txds"
@@ -168,23 +197,68 @@ var NewExecutor = core.NewExecutor
 
 // Executor options.
 var (
-	WithSTM           = core.WithSTM
-	WithWorkload      = core.WithWorkload
-	WithWorkers       = core.WithWorkers
-	WithScheduler     = core.WithScheduler
-	WithSchedulerKind = core.WithSchedulerKind
-	WithQueue         = core.WithQueue
-	WithQueueDepth    = core.WithQueueDepth
-	WithBackpressure  = core.WithBackpressure
-	WithWorkSteal     = core.WithWorkSteal
-	WithSortBatch     = core.WithSortBatch
+	WithSTM             = core.WithSTM
+	WithWorkload        = core.WithWorkload
+	WithLegacyWorkload  = core.WithLegacyWorkload
+	WithWorkloadFactory = core.WithWorkloadFactory
+	WithSharding        = core.WithSharding
+	WithWorkers         = core.WithWorkers
+	WithScheduler       = core.WithScheduler
+	WithSchedulerKind   = core.WithSchedulerKind
+	WithQueue           = core.WithQueue
+	WithQueueDepth      = core.WithQueueDepth
+	WithBackpressure    = core.WithBackpressure
+	WithWorkSteal       = core.WithWorkSteal
+	WithSortBatch       = core.WithSortBatch
 )
+
+// ShardMode selects how executor state is partitioned across workers.
+type ShardMode = core.ShardMode
+
+// Sharding modes: one shared STM (the paper's configuration), or a private
+// STM instance plus shard-local workload per worker.
+const (
+	ShardShared    = core.ShardShared
+	ShardPerWorker = core.ShardPerWorker
+)
+
+// ShardStats reports one shard's completions and STM counter deltas.
+type ShardStats = core.ShardStats
+
+// LatencySummary carries count/mean/p50/p95/p99/max for a latency metric
+// (ExecStats.Wait and ExecStats.Service).
+type LatencySummary = latency.Summary
 
 // Future is the pending result of SubmitAsync.
 type Future = core.Future
 
-// TaskResult reports one completed task to its submitter.
+// TaskResult reports one completed task to its submitter, including the
+// workload's typed Value (e.g. a lookup's hit).
 type TaskResult = core.TaskResult
+
+// SubmitTyped submits one task and returns its value as T: the one-line
+// request/response path for typed workloads —
+//
+//	found, err := kstm.SubmitTyped[bool](ctx, ex, kstm.Task{Key: k, Op: kstm.OpLookup, Arg: k})
+//
+// A nil task value yields T's zero value; a non-nil value of the wrong
+// dynamic type is a workload/caller type mismatch and returns an error.
+func SubmitTyped[T any](ctx context.Context, ex *Executor, t Task) (T, error) {
+	var zero T
+	res, err := ex.Submit(ctx, t)
+	if err != nil {
+		return zero, err
+	}
+	if res.Value == nil {
+		return zero, nil
+	}
+	v, ok := res.Value.(T)
+	if !ok {
+		return zero, fmt.Errorf("kstm: task value is %T, caller wants %v",
+			res.Value, reflect.TypeOf((*T)(nil)).Elem())
+	}
+	return v, nil
+}
 
 // ExecStats is a live snapshot of executor counters.
 type ExecStats = core.ExecStats
@@ -226,11 +300,23 @@ type TaskSource = core.TaskSource
 // SourceFunc adapts a function to TaskSource.
 type SourceFunc = core.SourceFunc
 
-// Workload executes tasks on worker threads.
+// Workload executes tasks on worker threads, returning each task's value.
 type Workload = core.Workload
 
 // WorkloadFunc adapts a function to Workload.
 type WorkloadFunc = core.WorkloadFunc
+
+// LegacyWorkload is the pre-v2 value-less workload shape.
+type LegacyWorkload = core.LegacyWorkload
+
+// AdaptLegacy wraps a LegacyWorkload as a Workload with nil task values.
+var AdaptLegacy = core.AdaptLegacy
+
+// WorkloadFactory builds shard-local workloads for ShardPerWorker.
+type WorkloadFactory = core.WorkloadFactory
+
+// WorkloadFactoryFunc adapts a function to WorkloadFactory.
+type WorkloadFactoryFunc = core.WorkloadFactoryFunc
 
 // Scheduler maps transaction keys to workers.
 type Scheduler = core.Scheduler
