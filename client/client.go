@@ -1,0 +1,336 @@
+// Package client speaks the kstmd wire protocol: Dial a server, Do a task
+// and get its value back, or DoAsync many tasks and let them pipeline over
+// one connection — requests carry ids, responses return out of order, and a
+// single reader goroutine settles each pending call as its frame arrives.
+//
+// Server statuses surface as errors a handler can branch on:
+//
+//	res, err := c.Do(ctx, kstm.Task{Key: k, Op: kstm.OpLookup, Arg: k})
+//	switch {
+//	case errors.Is(err, client.ErrBusy):       // shed: back off and retry
+//	case errors.Is(err, client.ErrCancelled):  // abandoned before execution
+//	case errors.Is(err, client.ErrStopped):    // server draining: fail over
+//	}
+//
+// For fan-out traffic, Pool stripes calls over several connections.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm"
+	"kstm/internal/wire"
+)
+
+// Errors mapped from response statuses (DESIGN.md "Network front-end").
+var (
+	// ErrBusy: the server shed the request (reject-mode backpressure).
+	// Retry after backoff; the task was never queued.
+	ErrBusy = errors.New("client: server busy")
+	// ErrCancelled: the task was abandoned before execution (the
+	// connection's server-side context was cancelled mid-queue).
+	ErrCancelled = errors.New("client: task cancelled before execution")
+	// ErrStopped: the server is draining or stopped.
+	ErrStopped = errors.New("client: server stopping")
+	// ErrBadRequest: the server rejected the request as malformed.
+	ErrBadRequest = errors.New("client: bad request")
+	// ErrClosed: the connection is closed (locally, by the peer, or by a
+	// protocol error); pending calls settle with it, wrapped around the
+	// underlying cause.
+	ErrClosed = errors.New("client: connection closed")
+)
+
+// ServerError is a workload hard error relayed from the server.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// Result is one completed task's payload.
+type Result struct {
+	// Value is the task's value as decoded from the wire: nil, bool,
+	// uint64, int64, float64 or []byte.
+	Value any
+	// Wait and Exec are the executor-side queue-wait and service times.
+	Wait, Exec time.Duration
+}
+
+// Call is one pending request (the client-side Future).
+type Call struct {
+	id   uint64
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Done returns a channel closed when the response has arrived.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks for the response or ctx. Like Future.Wait, a ctx.Err() return
+// abandons only the wait: the request stays in flight on the server, which
+// may still execute it.
+func (c *Call) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-c.done:
+		return c.res, c.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Option configures Dial.
+type Option func(*options)
+
+type options struct {
+	dialTimeout time.Duration
+}
+
+// WithDialTimeout bounds the TCP connect (default 10s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) { o.dialTimeout = d }
+}
+
+// Client is one connection to a kstmd server. All methods are safe for
+// concurrent use; concurrent calls pipeline over the single connection.
+type Client struct {
+	conn    net.Conn
+	wmu     sync.Mutex // serializes frame writes; guards bw and scratch
+	bw      *bufio.Writer
+	scratch []byte // frame-encoding buffer reused across calls
+	nextID  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	closed  bool
+	err     error // settled cause, wrapped in ErrClosed
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a kstmd server.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{dialTimeout: 10 * time.Second}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	conn, err := net.DialTimeout("tcp", addr, o.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, e.g. a pipe in
+// tests) and starts its reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 32*1024),
+		pending:    make(map[uint64]*Call),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// DoAsync sends one task and returns its pending Call. ctx bounds only the
+// send; pass it (or another) to Call.Wait for the response. If ctx fires
+// while the frame is mid-write (a full send buffer under a stalled server),
+// the connection is torn down — a partially written frame is unrecoverable
+// on a length-prefixed stream — and pending calls settle with ErrClosed.
+func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	call := &Call{id: c.nextID.Add(1), done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[call.id] = call
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	// Re-check after the (possibly long) wait for the write lock, and make
+	// a cancellation mid-write unblock the socket: the deadline poisons
+	// only writes, and only until stop() disarms it. Both the cancellation
+	// plumbing and its allocations are skipped for uncancellable contexts,
+	// and the frame is built in a scratch buffer reused under wmu — the
+	// pipelining hot path stays allocation-free per call.
+	if err := ctx.Err(); err != nil {
+		c.wmu.Unlock()
+		c.forget(call.id)
+		return nil, err
+	}
+	c.scratch = wire.AppendRequest(c.scratch[:0], wire.Request{
+		ID: call.id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg,
+	})
+	var poisoned chan struct{}
+	var stop func() bool
+	if ctx.Done() != nil {
+		poisoned = make(chan struct{})
+		stop = context.AfterFunc(ctx, func() {
+			c.conn.SetWriteDeadline(time.Unix(1, 0)) // long past: fail the write now
+			close(poisoned)
+		})
+	}
+	_, err := c.bw.Write(c.scratch)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if stop != nil {
+		if !stop() {
+			// The poison fired (perhaps after the write already
+			// succeeded); wait for it to land before clearing, so the
+			// reset below cannot be overwritten and leak a dead deadline
+			// to the next caller.
+			<-poisoned
+		}
+		c.conn.SetWriteDeadline(time.Time{})
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(call.id)
+		c.fail(err)
+		// The connection is gone either way (a partial frame corrupts the
+		// stream), but a write the CALLER's context interrupted reports as
+		// that context's error, so deadline/cancel branching in handlers
+		// stays correct.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("%w: %w", ErrClosed, err)
+	}
+	return call, nil
+}
+
+// forget drops a call that was registered but never sent.
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// broken reports whether the client has failed and will refuse new calls.
+func (c *Client) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Do sends one task and waits for its result: the network analogue of
+// kstm.Executor.Submit. The returned error is the task's completion error
+// (nil means the transaction committed server-side) or ctx's.
+func (c *Client) Do(ctx context.Context, t kstm.Task) (Result, error) {
+	call, err := c.DoAsync(ctx, t)
+	if err != nil {
+		return Result{}, err
+	}
+	return call.Wait(ctx)
+}
+
+// DoBool is Do for boolean-valued dictionary operations (insert's "was
+// absent", delete's "was present", lookup's hit).
+func (c *Client) DoBool(ctx context.Context, t kstm.Task) (bool, error) {
+	res, err := c.Do(ctx, t)
+	if err != nil {
+		return false, err
+	}
+	b, ok := res.Value.(bool)
+	if !ok {
+		return false, fmt.Errorf("client: task value is %T, want bool", res.Value)
+	}
+	return b, nil
+}
+
+// Close tears the connection down; pending calls settle with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(net.ErrClosed)
+	<-c.readerDone
+	return nil
+}
+
+// fail settles the client exactly once: marks it closed, closes the socket
+// (unblocking the reader) and fails every pending call.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = fmt.Errorf("%w: %w", ErrClosed, cause)
+	pend := c.pending
+	c.pending = nil
+	err := c.err
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, call := range pend {
+		call.err = err
+		close(call.done)
+	}
+}
+
+// readLoop decodes response frames and settles their calls.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReaderSize(c.conn, 32*1024)
+	scratch := make([]byte, 256)
+	for {
+		frame, err := wire.ReadFrame(br, &scratch)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if frame.Type != wire.TypeResponse {
+			c.fail(fmt.Errorf("unexpected frame type %d", frame.Type))
+			return
+		}
+		resp := frame.Resp
+		c.mu.Lock()
+		call := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if call == nil {
+			// A response for a call we no longer track — a server bug
+			// or duplicate; drop it rather than kill the connection.
+			continue
+		}
+		call.res = Result{
+			Value: resp.Value,
+			Wait:  time.Duration(resp.WaitNS),
+			Exec:  time.Duration(resp.ExecNS),
+		}
+		call.err = statusError(resp)
+		close(call.done)
+	}
+}
+
+// statusError maps a response status to the package's error vocabulary.
+func statusError(resp wire.Response) error {
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusBusy:
+		return ErrBusy
+	case wire.StatusCancelled:
+		return ErrCancelled
+	case wire.StatusStopped:
+		return ErrStopped
+	case wire.StatusBadRequest:
+		if resp.Msg != "" {
+			return fmt.Errorf("%w: %s", ErrBadRequest, resp.Msg)
+		}
+		return ErrBadRequest
+	default:
+		return &ServerError{Msg: resp.Msg}
+	}
+}

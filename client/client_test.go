@@ -1,0 +1,225 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"kstm"
+	"kstm/internal/wire"
+)
+
+// fakeServer accepts one connection and hands its requests to respond,
+// which returns the responses to write (possibly reordered).
+func fakeServer(t *testing.T, respond func([]wire.Request) []wire.Response, nreq int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var reqs []wire.Request
+		for len(reqs) < nreq {
+			f, err := wire.ReadFrame(conn, nil)
+			if err != nil || f.Type != wire.TypeRequest {
+				return
+			}
+			reqs = append(reqs, f.Req)
+		}
+		var buf []byte
+		for _, resp := range respond(reqs) {
+			buf, err = wire.AppendResponse(buf[:0], resp)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+		// Hold the connection open briefly so the client reads everything.
+		time.Sleep(50 * time.Millisecond)
+	}()
+	return ln.Addr().String()
+}
+
+// TestOutOfOrderResponses: responses arriving in reverse order must settle
+// the right calls — the whole point of carrying request ids.
+func TestOutOfOrderResponses(t *testing.T) {
+	addr := fakeServer(t, func(reqs []wire.Request) []wire.Response {
+		out := make([]wire.Response, 0, len(reqs))
+		for i := len(reqs) - 1; i >= 0; i-- {
+			out = append(out, wire.Response{
+				ID: reqs[i].ID, Status: wire.StatusOK, Value: uint64(reqs[i].Arg),
+			})
+		}
+		return out
+	}, 3)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	var calls []*Call
+	for i := 0; i < 3; i++ {
+		call, err := c.DoAsync(ctx, kstm.Task{Key: uint64(i), Arg: uint32(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, call)
+	}
+	for i, call := range calls {
+		res, err := call.Wait(ctx)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := res.Value.(uint64); got != uint64(100+i) {
+			t.Fatalf("call %d got value %d, want %d (responses crossed)", i, got, 100+i)
+		}
+	}
+}
+
+// TestStatusMapping drives each status through a fake server and checks the
+// error vocabulary.
+func TestStatusMapping(t *testing.T) {
+	statuses := []uint8{wire.StatusBusy, wire.StatusCancelled, wire.StatusStopped, wire.StatusBadRequest, wire.StatusError}
+	wants := []error{ErrBusy, ErrCancelled, ErrStopped, ErrBadRequest, nil /* ServerError */}
+	addr := fakeServer(t, func(reqs []wire.Request) []wire.Response {
+		out := make([]wire.Response, len(reqs))
+		for i, r := range reqs {
+			out[i] = wire.Response{ID: r.ID, Status: statuses[i], Msg: "m"}
+		}
+		return out
+	}, len(statuses))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	calls := make([]*Call, len(statuses))
+	for i := range statuses {
+		if calls[i], err = c.DoAsync(ctx, kstm.Task{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, call := range calls {
+		_, err := call.Wait(ctx)
+		if wants[i] != nil {
+			if !errors.Is(err, wants[i]) {
+				t.Errorf("status %s: got %v, want %v", wire.StatusName(statuses[i]), err, wants[i])
+			}
+			continue
+		}
+		var se *ServerError
+		if !errors.As(err, &se) || se.Msg != "m" {
+			t.Errorf("StatusError: got %v, want ServerError(m)", err)
+		}
+	}
+}
+
+// TestPoolReconnects: a pool slot whose connection has failed is redialed
+// on its next turn, so one reset does not permanently poison the stripe.
+func TestPoolReconnects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A minimal always-OK server that keeps accepting connections.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var buf []byte
+				for {
+					f, err := wire.ReadFrame(conn, nil)
+					if err != nil || f.Type != wire.TypeRequest {
+						return
+					}
+					buf, err = wire.AppendResponse(buf[:0], wire.Response{
+						ID: f.Req.ID, Status: wire.StatusOK, Value: true,
+					})
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	p, err := DialPool(ln.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx := context.Background()
+	if _, err := p.Do(ctx, kstm.Task{Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a reset on both slots; every subsequent call must succeed
+	// via lazy redial.
+	p.slots[0].c.fail(errors.New("simulated reset"))
+	p.slots[1].c.fail(errors.New("simulated reset"))
+	for i := 0; i < 4; i++ {
+		if _, err := p.Do(ctx, kstm.Task{Key: uint64(i)}); err != nil {
+			t.Fatalf("call %d after reset: %v", i, err)
+		}
+	}
+	// After Close, calls fail and no redial happens.
+	p.Close()
+	if _, err := p.Do(ctx, kstm.Task{Key: 9}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close call: %v, want ErrClosed", err)
+	}
+}
+
+// TestPendingFailOnPeerClose: when the server vanishes mid-call, pending
+// calls settle with ErrClosed instead of hanging.
+func TestPendingFailOnPeerClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Read one frame, then hang up without answering.
+		wire.ReadFrame(conn, nil)
+		conn.Close()
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	call, err := c.DoAsync(context.Background(), kstm.Task{Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := call.Wait(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// New calls on the dead client fail fast.
+	if _, err := c.DoAsync(context.Background(), kstm.Task{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DoAsync on dead client: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,116 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"kstm"
+)
+
+// Pool stripes calls over a fixed set of connections to one server:
+// pipelining gives concurrency within a connection, the pool adds it across
+// connections (more TCP buffers, more server-side handler goroutines). A
+// connection that dies (server restart, network reset) is redialed lazily
+// the next time its stripe comes up, so one transient failure does not
+// poison 1/size of all future calls. All methods are safe for concurrent
+// use.
+type Pool struct {
+	addr string
+	opts []Option
+
+	// Each slot has its own lock, so a redial (which can take a full dial
+	// timeout) stalls only callers striped onto the dead slot — never the
+	// healthy connections.
+	slots  []poolSlot
+	closed atomic.Bool
+	next   atomic.Uint64
+}
+
+type poolSlot struct {
+	mu sync.Mutex
+	c  *Client
+}
+
+// DialPool opens size connections to addr. On any dial failure the already-
+// opened connections are closed and the error returned.
+func DialPool(addr string, size int, opts ...Option) (*Pool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{addr: addr, opts: opts, slots: make([]poolSlot, size)}
+	for i := range p.slots {
+		c, err := Dial(addr, opts...)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.slots[i].c = c
+	}
+	return p, nil
+}
+
+// Size returns the connection count.
+func (p *Pool) Size() int { return len(p.slots) }
+
+// pick round-robins the next connection, redialing a slot whose client has
+// failed (single-flight per slot). A redial failure returns the error; the
+// slot keeps its dead client and the next pick retries.
+func (p *Pool) pick() (*Client, error) {
+	s := &p.slots[p.next.Add(1)%uint64(len(p.slots))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.closed.Load() {
+		if s.c == nil {
+			return nil, ErrClosed
+		}
+		return s.c, nil // fails with the client's own ErrClosed
+	}
+	if s.c == nil || s.c.broken() {
+		fresh, err := Dial(p.addr, p.opts...)
+		if err != nil {
+			return nil, err
+		}
+		if s.c != nil {
+			s.c.Close()
+		}
+		s.c = fresh
+	}
+	return s.c, nil
+}
+
+// Do runs one task on the next connection.
+func (p *Pool) Do(ctx context.Context, t kstm.Task) (Result, error) {
+	c, err := p.pick()
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Do(ctx, t)
+}
+
+// DoAsync starts one task on the next connection.
+func (p *Pool) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
+	c, err := p.pick()
+	if err != nil {
+		return nil, err
+	}
+	return c.DoAsync(ctx, t)
+}
+
+// Close closes every connection; pending calls settle with ErrClosed.
+// It always returns nil (Client.Close cannot fail); the error return keeps
+// the io.Closer shape. closed is set before the slot locks are taken, so a
+// pick mid-redial either observes it or has its fresh connection closed
+// right here.
+func (p *Pool) Close() error {
+	p.closed.Store(true)
+	for i := range p.slots {
+		s := &p.slots[i]
+		s.mu.Lock()
+		if s.c != nil {
+			s.c.Close()
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}

@@ -9,10 +9,17 @@
 //	kbench -experiment fig4-overhead -csv
 //	kbench -experiment open-submit -tasks 50000
 //	kbench -experiment sharding -tasks 20000 -json > BENCH_smoke.json
+//	kbench -experiment network -tasks 20000
+//	kbench -trend bench/*.json BENCH_smoke.json
 //
 // open-submit exercises the open Executor API (Submit / SubmitAll from
 // goroutine-per-client traffic) on the real executor regardless of -mode;
-// see DESIGN.md §3.
+// network drives the same workload through the kstmd wire protocol over
+// loopback TCP; see DESIGN.md §3 and "Network front-end".
+//
+// -trend folds archived -json snapshots (CI's BENCH_smoke.json artifacts,
+// the bench/ directory) into a perf-trajectory table: one row per snapshot,
+// one column per experiment configuration.
 //
 // In sim mode (default) experiments run on the deterministic discrete-event
 // model of the paper's 16-processor SunFire 6800 testbed, so the figure
@@ -53,13 +60,17 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "base PRNG seed")
 		csv        = fs.Bool("csv", false, "emit CSV instead of text tables")
 		asJSON     = fs.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
+		trend      = fs.Bool("trend", false, "fold -json snapshot files (args or globs) into a perf-trajectory table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *trend {
+		return runTrend(os.Stdout, fs.Args(), *csv)
+	}
 	if *list {
-		fmt.Println("Available experiments (see DESIGN.md §3 for the paper mapping):")
+		fmt.Println("Available experiments (see DESIGN.md §7 for the paper mapping):")
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-22s %-38s [%s]\n", e.ID, e.Title, e.Paper)
 		}
@@ -92,10 +103,24 @@ func run(args []string) error {
 	if *experiment == "all" {
 		tables, err = harness.RunAll(opts)
 	} else {
-		var e harness.Experiment
-		e, err = harness.ByID(*experiment)
-		if err == nil {
-			tables, err = e.Run(opts)
+		// -experiment accepts a comma-separated list, so one CI artifact
+		// can archive several experiments' tables (e.g. sharding,network).
+		for _, id := range strings.Split(*experiment, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			var e harness.Experiment
+			e, err = harness.ByID(id)
+			if err != nil {
+				break
+			}
+			var ts []*harness.Table
+			ts, err = e.Run(opts)
+			if err != nil {
+				break
+			}
+			tables = append(tables, ts...)
 		}
 	}
 	if err != nil {

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// runTrend folds archived kbench -json snapshots (the BENCH_smoke.json CI
+// artifacts) into per-experiment perf-trajectory tables: one row per
+// snapshot, one column per experiment configuration, values from each
+// table's throughput column (tables without one are skipped). Patterns may
+// be file paths or globs; snapshots render in sorted filename order, so
+// date- or PR-numbered archives read chronologically.
+func runTrend(w io.Writer, patterns []string, asCSV bool) error {
+	if len(patterns) == 0 {
+		return fmt.Errorf("-trend needs snapshot files or globs (e.g. bench/*.json)")
+	}
+	var files []string
+	for _, p := range patterns {
+		matches, err := filepath.Glob(p)
+		if err != nil {
+			return fmt.Errorf("bad pattern %q: %w", p, err)
+		}
+		if len(matches) == 0 {
+			return fmt.Errorf("no snapshots match %q", p)
+		}
+		files = append(files, matches...)
+	}
+	// Sort by base name (then path), so PR-numbered archives read
+	// chronologically and the current build's BENCH_smoke.json lands last
+	// regardless of which directory it sits in.
+	sort.Slice(files, func(i, j int) bool {
+		bi, bj := filepath.Base(files[i]), filepath.Base(files[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return files[i] < files[j]
+	})
+
+	type series struct {
+		label  string             // e.g. "sharding/throughput mode=1"
+		values map[string]float64 // snapshot name -> value
+	}
+	var order []string
+	byLabel := map[string]*series{}
+	var snaps []string
+	seen := map[string]bool{}
+	// Snapshots display as base filenames, unless two distinct files share
+	// a base (e.g. bench/BENCH_smoke.json alongside ./BENCH_smoke.json) —
+	// those keep their full paths so neither row shadows the other.
+	baseCount := map[string]int{}
+	for _, f := range files {
+		if !seen[f] {
+			baseCount[filepath.Base(f)]++
+		}
+		seen[f] = true
+	}
+	clear(seen)
+	for _, f := range files {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		snap := filepath.Base(f)
+		if baseCount[snap] > 1 {
+			snap = f
+		}
+		snaps = append(snaps, snap)
+		for _, tb := range rep.Tables {
+			metric, col := metricColumn(tb.Cols)
+			if col < 0 {
+				continue
+			}
+			for _, row := range tb.Rows {
+				if col >= len(row) {
+					continue
+				}
+				label := fmt.Sprintf("%s/%s %s=%g", tb.ID, metric, tb.Cols[0], row[0])
+				s, ok := byLabel[label]
+				if !ok {
+					s = &series{label: label, values: map[string]float64{}}
+					byLabel[label] = s
+					order = append(order, label)
+				}
+				s.values[snap] = row[col]
+			}
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no metric tables found in %d snapshot(s)", len(snaps))
+	}
+
+	// Render: snapshots down, configurations across.
+	cols := append([]string{"snapshot"}, order...)
+	if asCSV {
+		fmt.Fprintln(w, strings.Join(cols, ","))
+		for _, snap := range snaps {
+			cells := []string{snap}
+			for _, label := range order {
+				cells = append(cells, trendCell(byLabel[label].values, snap))
+			}
+			fmt.Fprintln(w, strings.Join(cells, ","))
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "## perf trajectory — %d snapshot(s)\n\n", len(snaps))
+	widths := make([]int, len(cols))
+	rows := make([][]string, len(snaps))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for r, snap := range snaps {
+		rows[r] = make([]string, len(cols))
+		rows[r][0] = snap
+		for i, label := range order {
+			rows[r][i+1] = trendCell(byLabel[label].values, snap)
+		}
+		for i, cell := range rows[r] {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%-*s", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// metricColumn picks the series to trend: the column named "throughput".
+// Tables without one are skipped — their first data column is typically a
+// second config axis (e.g. tr-contention's structure×dist rows), which
+// would both trend a meaningless value and collide row labels built from
+// the first column alone.
+func metricColumn(cols []string) (string, int) {
+	for i, c := range cols {
+		if c == "throughput" {
+			return c, i
+		}
+	}
+	return "", -1
+}
+
+func trendCell(values map[string]float64, snap string) string {
+	v, ok := values[snap]
+	if !ok {
+		return "-"
+	}
+	return formatTrend(v)
+}
+
+// formatTrend renders a value compactly (throughputs are large, latencies
+// small).
+func formatTrend(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnapshot drops a minimal jsonReport into dir.
+func writeSnapshot(t *testing.T, dir, name string, thr0, thr1 float64) string {
+	t.Helper()
+	rep := jsonReport{
+		Experiment: "sharding",
+		Mode:       "real",
+		Tables: []jsonTable{{
+			ID:   "sharding",
+			Cols: []string{"mode", "throughput", "wait_p50_us"},
+			Rows: [][]float64{{0, thr0, 12}, {1, thr1, 9}},
+		}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrendFoldsSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_0002.json", 1000, 1100)
+	writeSnapshot(t, dir, "BENCH_0003.json", 1200, 1500)
+
+	var out bytes.Buffer
+	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Both snapshots appear, in sorted (chronological) order.
+	i2 := strings.Index(text, "BENCH_0002.json")
+	i3 := strings.Index(text, "BENCH_0003.json")
+	if i2 < 0 || i3 < 0 || i2 > i3 {
+		t.Fatalf("snapshot order wrong in:\n%s", text)
+	}
+	// The throughput column is the trended metric, per mode.
+	for _, want := range []string{"sharding/throughput mode=0", "sharding/throughput mode=1", "1000", "1500"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Latency columns are not trended (throughput wins).
+	if strings.Contains(text, "wait_p50_us") {
+		t.Errorf("trend picked a latency column:\n%s", text)
+	}
+}
+
+func TestTrendCSVAndMissingCells(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "a.json", 10, 20)
+	// A second snapshot with a different table: cells go missing ("-").
+	rep := jsonReport{Tables: []jsonTable{{
+		ID:   "network",
+		Cols: []string{"mode", "throughput"},
+		Rows: [][]float64{{0, 5}},
+	}}}
+	data, _ := json.Marshal(rep)
+	if err := os.WriteFile(filepath.Join(dir, "b.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runTrend(&out, []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "snapshot,") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(out.String(), "-") {
+		t.Error("missing cells not rendered as '-'")
+	}
+}
+
+func TestTrendErrors(t *testing.T) {
+	if err := runTrend(&bytes.Buffer{}, nil, false); err == nil {
+		t.Error("no-args trend succeeded")
+	}
+	if err := runTrend(&bytes.Buffer{}, []string{filepath.Join(t.TempDir(), "nope*.json")}, false); err == nil {
+		t.Error("empty glob succeeded")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if err := runTrend(&bytes.Buffer{}, []string{bad}, false); err == nil {
+		t.Error("malformed snapshot succeeded")
+	}
+}

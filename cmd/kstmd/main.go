@@ -1,0 +1,180 @@
+// Command kstmd serves a transactional dictionary over TCP: a kstm.Executor
+// with the paper's adaptive key-based scheduler behind the internal/wire
+// protocol (see DESIGN.md "Network front-end"). Clients connect with the
+// kstm/client package.
+//
+// Usage:
+//
+//	kstmd                                # hash table on :7707, GOMAXPROCS workers
+//	kstmd -addr :9000 -workers 8 -structure rbtree
+//	kstmd -sharding perworker            # private STM + dictionary per worker
+//	kstmd -queue-depth 1024              # smaller per-worker queues (earlier busy)
+//
+// The server sheds load instead of stalling connections: full worker queues
+// answer StatusBusy (reject-mode backpressure). A dropped connection cancels
+// its queued tasks — they are abandoned before execution and counted under
+// ExecStats.Cancelled, never Completed. On SIGINT/SIGTERM the server drains
+// gracefully: in-flight transactions finish, new requests answer
+// StatusStopped, then the listener and connections close and a final stats
+// line is printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"kstm"
+	"kstm/internal/core"
+	"kstm/internal/harness"
+	"kstm/internal/txds"
+	"kstm/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kstmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kstmd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":7707", "listen address")
+		workers   = fs.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+		structure = fs.String("structure", "hashtable", "dictionary: hashtable, rbtree, sortedlist, skiplist")
+		sharding  = fs.String("sharding", "shared", "state partitioning: shared or perworker")
+		depth     = fs.Int("queue-depth", 4096, "per-worker queue bound (busy above it)")
+		threshold = fs.Int("threshold", 10000, "adaptive sample threshold (the paper's 10000)")
+		statsEach = fs.Duration("stats", 0, "periodic stats line interval (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ex, err := buildExecutor(txds.Kind(*structure), kstm.ShardMode(*sharding), *workers, *depth, *threshold)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := ex.Start(context.Background()); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		ex.Stop()
+		return err
+	}
+	// The dictionary protocol ends at OpNoop; anything above it is a
+	// client bug answered with StatusBadRequest before submission. Keys
+	// fold into the scheduler's 16-bit space, so clients may route by any
+	// 64-bit value (e.g. their own hashes) without collapsing dispatch
+	// onto one worker.
+	srv := server.New(ex,
+		server.WithMaxOp(uint8(kstm.OpNoop)),
+		server.WithKeyMask(kstm.MaxKey))
+	log.Printf("kstmd: serving %s (%s, %d workers, %s sharding) on %s",
+		*structure, "adaptive", ex.Workers(), ex.Sharding(), ln.Addr())
+
+	if *statsEach > 0 {
+		go func() {
+			t := time.NewTicker(*statsEach)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					logStats(ex, srv)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln) }()
+
+	var served bool
+	var serveResult error
+	select {
+	case <-ctx.Done():
+	case serveResult = <-serveErr:
+		served = true
+		// Serve can return (nil) because the signal just closed its
+		// listener and win the race against ctx.Done; only a return with
+		// no signal pending is a real serve failure.
+		if ctx.Err() == nil {
+			ex.Stop()
+			return serveResult
+		}
+	}
+	// Graceful drain: close submission first so every queued transaction
+	// finishes and connected clients see StatusStopped for new requests,
+	// then sever connections and stop accepting.
+	log.Printf("kstmd: signal received, draining")
+	if err := ex.Drain(); err != nil {
+		log.Printf("kstmd: drain: %v", err)
+	}
+	srv.Close()
+	if !served {
+		serveResult = <-serveErr
+	}
+	logStats(ex, srv)
+	return serveResult
+}
+
+// buildExecutor assembles the executor for a dictionary structure, shared or
+// per-worker sharded, with reject-mode backpressure — a server sheds load
+// rather than stalling connection handlers.
+func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshold int) (*kstm.Executor, error) {
+	opts := []core.Option{
+		core.WithBackpressure(core.BackpressureReject),
+		core.WithQueueDepth(depth),
+	}
+	if workers > 0 {
+		opts = append(opts, core.WithWorkers(workers))
+	}
+	switch mode {
+	case kstm.ShardShared:
+		set, err := txds.New(kind)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithWorkload(harness.NewDictWorkload(set)))
+	case kstm.ShardPerWorker:
+		n := workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		opts = append(opts,
+			core.WithSharding(core.ShardPerWorker),
+			core.WithWorkloadFactory(harness.NewDictFactory(kind, n)),
+			core.WithWorkers(n))
+	default:
+		return nil, fmt.Errorf("unknown -sharding %q (want shared or perworker)", mode)
+	}
+	opts = append(opts, core.WithSchedulerKind(core.SchedAdaptive, 0, kstm.MaxKey,
+		core.WithThreshold(threshold)))
+	return core.NewExecutor(opts...)
+}
+
+// logStats prints one operator line: executor counters (with the corrected
+// Completed/Cancelled split) plus the server's own view.
+func logStats(ex *kstm.Executor, srv *server.Server) {
+	st := ex.Stats()
+	ss := srv.Stats()
+	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d busy=%d failed=%d imbalance=%.2f wait_p95=%v svc_p95=%v",
+		st.State, ss.OpenConns, ss.Conns, ss.Requests, ss.Responses,
+		st.Completed, st.Cancelled, ss.Busy, st.Failed,
+		st.LoadImbalance(), st.Wait.P95, st.Service.P95)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"kstm"
+	"kstm/internal/txds"
+)
+
+func TestBuildExecutorModes(t *testing.T) {
+	for _, mode := range []kstm.ShardMode{kstm.ShardShared, kstm.ShardPerWorker} {
+		ex, err := buildExecutor(txds.KindHashTable, mode, 2, 64, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if got := ex.Sharding(); got != mode {
+			t.Errorf("sharding = %s, want %s", got, mode)
+		}
+		if err := ex.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// Reject-mode backpressure is wired in: the server sheds, never
+		// stalls connection handlers.
+		if _, err := ex.Submit(context.Background(), kstm.Task{Key: 1, Op: kstm.OpInsert, Arg: 1}); err != nil {
+			t.Fatalf("%s: submit: %v", mode, err)
+		}
+		if err := ex.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildExecutorRejectsBadConfig(t *testing.T) {
+	if _, err := buildExecutor("btree", kstm.ShardShared, 2, 64, 10000); err == nil {
+		t.Error("unknown structure accepted")
+	}
+	if _, err := buildExecutor(txds.KindHashTable, "replicated", 2, 64, 10000); err == nil {
+		t.Error("unknown sharding mode accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-structure", "btree", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("unknown structure accepted by run")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

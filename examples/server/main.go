@@ -1,43 +1,58 @@
-// Server: the open Executor API under goroutine-per-client traffic — the
-// shape a network front-end produces, as opposed to the paper's closed-world
-// producer loops. Each client goroutine is a request handler: it submits a
-// dictionary transaction with Submit (request/response) and gets back a
-// TaskResult with queue-wait and execution latency. The executor runs the
-// paper's adaptive PD-partition scheduler, so it learns the clients' hot key
-// ranges from live traffic while serving it.
+// Server: the kstmd network front-end end to end — an executor behind the
+// wire protocol on a loopback TCP listener, driven by real clients from the
+// kstm/client package. This is the networked successor of the old in-process
+// simulation this example used to be: every request now crosses a socket,
+// responses pipeline back out of order, and the error mapping table from
+// DESIGN.md ("Network front-end") is exercised for real:
 //
-// The run demonstrates the full lifecycle: Start, a load phase with
-// per-client latency accounting, a live Stats snapshot mid-run, reject-mode
-// backpressure (shed load instead of stalling handlers), context
-// cancellation of a slow client, and a graceful Drain.
+//   - a client fleet inserts/deletes over a connection pool,
 //
-//	go run ./examples/server
+//   - a read-path client gets lookup hits back as typed booleans,
+//
+//   - a buggy client's unknown opcode is refused with ErrBadRequest,
+//
+//   - a slow client distinguishes shed load (ErrBusy → back off and RETRY)
+//     from its own deadline (context.DeadlineExceeded → retire) — conflating
+//     the two would turn every momentary queue spike into a lost client,
+//
+//   - SIGTERM-style graceful drain: executor first, then the listener, and
+//     the final stats show Completed counting only executed transactions
+//     with abandoned work under Cancelled.
+//
+//     go run ./examples/server
 package main
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kstm"
+	"kstm/client"
+	"kstm/server"
 )
 
 const (
-	workers = 4
-	clients = 16
-	perOps  = 2500
+	workers   = 4
+	clients   = 8
+	perOps    = 1500
+	poolConns = 4
 )
 
 func main() {
+	// Server side: a hash-table executor with the paper's adaptive
+	// scheduler. Reject-mode backpressure, because a server sheds load
+	// rather than stalling connection handlers. The workload is written
+	// against the public API — this is the code an external module would
+	// write; every operation returns its typed value so responses carry a
+	// payload over the wire.
 	table := kstm.NewHashTable(0)
-	// The typed workload: every response carries the operation's value —
-	// a lookup's hit travels back inside the TaskResult, so handlers need
-	// no side channel into the table. Opcodes outside the protocol are a
-	// client bug and are rejected with a real error, not a silent no-op.
 	workload := kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
 		switch t.Op {
 		case kstm.OpInsert:
@@ -50,14 +65,10 @@ func main() {
 			return nil, fmt.Errorf("server: unknown opcode %v", t.Op)
 		}
 	})
-
 	ex, err := kstm.NewExecutor(
 		kstm.WithWorkload(workload),
 		kstm.WithWorkers(workers),
-		// Route by hash-bucket key so near keys share a worker, and let
-		// the adaptive scheduler learn the partition from live traffic.
-		kstm.WithSchedulerKind(kstm.SchedAdaptive, 0, uint64(table.Buckets()-1), kstm.WithThreshold(5000)),
-		// A server sheds load rather than stalling request handlers.
+		kstm.WithSchedulerKind(kstm.SchedAdaptive, 0, kstm.MaxKey, kstm.WithThreshold(5000)),
 		kstm.WithBackpressure(kstm.BackpressureReject),
 		kstm.WithQueueDepth(4096),
 	)
@@ -68,17 +79,31 @@ func main() {
 	if err := ex.Start(ctx); err != nil {
 		log.Fatal(err)
 	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(ex,
+		server.WithMaxOp(uint8(kstm.OpNoop)),
+		server.WithLogger(log.New(io.Discard, "", 0)))
+	srvDone := make(chan error, 1)
+	go func() { srvDone <- srv.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+	fmt.Printf("kstmd serving on %s\n", addr)
 
-	// Load phase: one goroutine per client, Submit per request.
+	// Write fleet: a connection pool shared by goroutine-per-client
+	// handlers, pipelining inserts and deletes.
+	pool, err := client.DialPool(addr, poolConns)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	var served, shed atomic.Uint64
-	var totalWait, totalExec atomic.Int64
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			// Clients favor a skewed working set, like real callers.
 			src := kstm.NewExponentialDefault(uint64(c)*131 + 7)
 			for i := 0; i < perOps; i++ {
 				key, insert := kstm.SplitKey(src.Next())
@@ -86,35 +111,36 @@ func main() {
 				if insert {
 					op = kstm.OpInsert
 				}
-				task := kstm.Task{Key: uint64(table.Hash(key)), Op: op, Arg: key}
-				res, err := ex.Submit(ctx, task)
+				_, err := pool.Do(ctx, kstm.Task{Key: uint64(key), Op: op, Arg: key})
 				switch {
-				case errors.Is(err, kstm.ErrQueueFull):
-					shed.Add(1) // a real server would 503 here
+				case errors.Is(err, client.ErrBusy):
+					shed.Add(1) // a real handler would 503 or retry
 				case err != nil:
 					log.Fatal(err)
 				default:
 					served.Add(1)
-					totalWait.Add(int64(res.Wait))
-					totalExec.Add(int64(res.Exec))
 				}
 			}
 		}(c)
 	}
 
-	// A read-path client: lookups return their hit through the typed
-	// submission helper, the value a real GET endpoint would serialize.
+	// Read-path client: lookup hits come back as typed booleans over its
+	// own connection.
 	var hits, misses atomic.Uint64
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		rc, err := client.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rc.Close()
 		src := kstm.NewExponentialDefault(99)
 		for i := 0; i < perOps; i++ {
 			key, _ := kstm.SplitKey(src.Next())
-			found, err := kstm.SubmitTyped[bool](ctx, ex,
-				kstm.Task{Key: uint64(table.Hash(key)), Op: kstm.OpLookup, Arg: key})
+			found, err := rc.DoBool(ctx, kstm.Task{Key: uint64(key), Op: kstm.OpLookup, Arg: key})
 			switch {
-			case errors.Is(err, kstm.ErrQueueFull):
+			case errors.Is(err, client.ErrBusy):
 				shed.Add(1)
 			case err != nil:
 				log.Fatal(err)
@@ -126,61 +152,87 @@ func main() {
 		}
 	}()
 
-	// A buggy client sends an opcode outside the protocol; the typed
-	// workload rejects it with an error instead of silently no-opping.
+	// Buggy client: an opcode outside the protocol is refused by the
+	// server before it ever reaches the executor.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := ex.Submit(ctx, kstm.Task{Key: 1, Op: kstm.Op(42), Arg: 1}); err == nil {
-			log.Fatal("unknown opcode was accepted")
-		} else {
+		bc, err := client.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer bc.Close()
+		if _, err := bc.Do(ctx, kstm.Task{Key: 1, Op: kstm.Op(42), Arg: 1}); errors.Is(err, client.ErrBadRequest) {
 			fmt.Printf("bad client rejected: %v\n", err)
+		} else {
+			log.Fatalf("unknown opcode was accepted: %v", err)
 		}
 	}()
 
-	// A slow client with a deadline: its cancellation must not disturb
-	// the executor or other clients.
-	slowCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
-	defer cancel()
+	// Slow client with a hard deadline. The old in-process demo treated
+	// EVERY Submit error as retirement, so a shed request (queue spike)
+	// retired it exactly like its deadline — a real handler must retry
+	// shed load and retire only on its own deadline.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		sc, err := client.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sc.Close()
+		slowCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		retries := 0
 		for {
-			if _, err := ex.Submit(slowCtx, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1}); err != nil {
-				fmt.Printf("slow client retired: %v\n", err)
+			_, err := sc.Do(slowCtx, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1})
+			switch {
+			case errors.Is(err, client.ErrBusy):
+				retries++ // shed ≠ dead: back off and try again
+				select {
+				case <-time.After(time.Millisecond):
+				case <-slowCtx.Done():
+				}
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Printf("slow client retired at its deadline after %d busy retries\n", retries)
 				return
+			case err != nil:
+				log.Fatalf("slow client: %v", err)
 			}
 		}
 	}()
 
-	// Operator view: a live snapshot while traffic is in flight.
+	// Operator view while traffic is in flight.
 	time.Sleep(20 * time.Millisecond)
 	st := ex.Stats()
-	fmt.Printf("mid-run: state=%s in-flight=%d queues=%v\n", st.State, st.InFlight, st.QueueDepths)
+	fmt.Printf("mid-run: state=%s in-flight=%d conns=%d\n", st.State, st.InFlight, srv.Stats().OpenConns)
 
 	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Graceful shutdown, kstmd-style: drain the executor first (in-flight
+	// transactions finish, new requests answer StatusStopped), then close
+	// the listener and connections.
 	if err := ex.Drain(); err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
+	if _, err := pool.Do(ctx, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1}); errors.Is(err, client.ErrStopped) {
+		fmt.Println("post-drain request answered 'stopped', as it should be")
+	}
+	pool.Close()
+	srv.Close()
+	if err := <-srvDone; err != nil {
+		log.Fatal(err)
+	}
 
 	st = ex.Stats()
-	fmt.Printf("served %d requests (%d shed) in %v — %.0f txn/s\n",
+	ss := srv.Stats()
+	fmt.Printf("served %d requests (%d shed) in %v — %.0f txn/s over the wire\n",
 		served.Load(), shed.Load(), elapsed.Round(time.Millisecond),
 		float64(served.Load())/elapsed.Seconds())
 	fmt.Printf("lookups: %d hits, %d misses\n", hits.Load(), misses.Load())
-	if n := served.Load(); n > 0 {
-		fmt.Printf("mean latency: wait %v, exec %v\n",
-			time.Duration(totalWait.Load()/int64(n)).Round(time.Microsecond),
-			time.Duration(totalExec.Load()/int64(n)).Round(time.Microsecond))
-	}
-	// The executor's own percentile view, now first-class in ExecStats.
-	fmt.Printf("wait: %v\nservice: %v\n", st.Wait, st.Service)
-	fmt.Printf("final: state=%s completed=%d imbalance=%.2f commits=%d scheduler=%s\n",
-		st.State, st.Completed, st.LoadImbalance(), st.STM.Commits, st.Scheduler)
-
-	// Submission after Drain is refused: the lifecycle is closed.
-	if _, err := ex.Submit(ctx, kstm.Task{}); errors.Is(err, kstm.ErrNotRunning) {
-		fmt.Println("post-drain submit refused, as it should be")
-	}
+	fmt.Printf("server: %d conns, %d requests, %d responses, %d busy, %d bad\n",
+		ss.Conns, ss.Requests, ss.Responses, ss.Busy, ss.BadRequest)
+	fmt.Printf("executor: completed=%d (executed only) cancelled=%d imbalance=%.2f wait_p95=%v svc_p95=%v\n",
+		st.Completed, st.Cancelled, st.LoadImbalance(), st.Wait.P95, st.Service.P95)
 }

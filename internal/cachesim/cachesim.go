@@ -1,6 +1,6 @@
 // Package cachesim models a per-processor set-associative LRU cache with a
 // simple coherence approximation, standing in for the SunFire 6800's 8 MB
-// per-processor L2 caches in the discrete-event simulator (DESIGN.md §4).
+// per-processor L2 caches in the discrete-event simulator (DESIGN.md §6).
 //
 // Coherence is modelled with block versions: every write to a block bumps a
 // global version counter, and a cached copy hits only if its stored version

@@ -128,6 +128,16 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 
 // Wait blocks for the result or the context, whichever comes first. On
 // completion it returns the result and the task's own error (res.Err).
+//
+// Orphaned-task contract: a ctx.Err() return means only that the CALLER
+// stopped waiting — the task itself remains accepted and may still execute
+// and mutate transactional state (its Future settles normally; Poll it later
+// to observe the outcome). A task is guaranteed not to run only when its
+// own completion error (res.Err) is a context error or ErrStopped: workers
+// re-check the submission context immediately before execution and settle
+// such tasks as cancelled, counted under ExecStats.Cancelled. To abandon the
+// work itself, cancel the context passed to Submit/SubmitAsync, not just the
+// one passed to Wait.
 func (f *Future) Wait(ctx context.Context) (TaskResult, error) {
 	select {
 	case <-f.done:
@@ -282,6 +292,7 @@ type Executor struct {
 	submitted atomic.Uint64
 	rejected  atomic.Uint64
 	failed    atomic.Uint64
+	cancelled atomic.Uint64
 	empty     atomic.Uint64
 	steals    atomic.Uint64
 	completed []paddedCounter
@@ -448,6 +459,13 @@ func (e *Executor) Start(ctx context.Context) error {
 // Submit dispatches one task and blocks until it completes (or ctx is
 // cancelled). The returned error is the task's own completion error, so a
 // nil error means the transaction committed.
+//
+// Cancellation does NOT un-submit: if ctx is cancelled after acceptance,
+// Submit returns ctx.Err() but the task either executes anyway (a mutation
+// the caller can no longer observe — the orphaned-task contract, see
+// Future.Wait) or is abandoned by its worker before execution and counted
+// under ExecStats.Cancelled. Callers that must know the outcome should use
+// SubmitAsync and keep the Future.
 func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {
 	fut, err := e.SubmitAsync(ctx, t)
 	if err != nil {
@@ -668,10 +686,13 @@ func (e *Executor) worker(i int) {
 // completion plumbing.
 func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, env envelope) {
 	// Abandoned before execution? Settle without running the transaction.
+	// This is cancellation, not completion: the task never executed, so it
+	// must not inflate Completed (and through it Throughput and
+	// LoadImbalance) — it is accounted under Cancelled instead.
 	if env.ctx != nil {
 		select {
 		case <-env.ctx.Done():
-			e.finish(i, env, TaskResult{Task: env.task, Worker: i, Err: env.ctx.Err()})
+			e.abandon(i, env, env.ctx.Err())
 			return
 		default:
 		}
@@ -707,11 +728,29 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, env envelope) 
 	})
 }
 
-// finish updates completion accounting and resolves the future, if any.
+// finish updates completion accounting and resolves the future, if any. It
+// is reached only for tasks that actually executed; tasks abandoned before
+// execution go through abandon instead.
 func (e *Executor) finish(i int, env envelope, res TaskResult) {
 	e.completed[i].n.Add(1)
 	if env.fut != nil {
 		env.fut.complete(res)
+	}
+	e.inflight.Add(-1)
+	if e.onDone != nil {
+		e.onDone()
+	}
+}
+
+// abandon settles a task that was accepted but never executed — its
+// submission context was cancelled, or the executor stopped, while it sat
+// queued. The task counts under Cancelled, never Completed: the workload did
+// not run, so completion counters (and the throughput and load-imbalance
+// figures built on them) must not see it.
+func (e *Executor) abandon(i int, env envelope, err error) {
+	e.cancelled.Add(1)
+	if env.fut != nil {
+		env.fut.complete(TaskResult{Task: env.task, Worker: i, Err: err})
 	}
 	e.inflight.Add(-1)
 	if e.onDone != nil {
@@ -826,10 +865,7 @@ func (e *Executor) halt() {
 						break
 					}
 					drained = true
-					if env.fut != nil {
-						env.fut.complete(TaskResult{Task: env.task, Worker: i, Err: ErrStopped})
-					}
-					e.inflight.Add(-1)
+					e.abandon(i, env, ErrStopped)
 				}
 			}
 			if !drained {
@@ -870,8 +906,16 @@ type ExecStats struct {
 	Submitted uint64
 	// Rejected counts ErrQueueFull rejections.
 	Rejected uint64
-	// Completed counts finished tasks (including failed ones).
+	// Completed counts tasks that actually executed (including ones whose
+	// workload returned a hard error). Tasks accepted but abandoned before
+	// execution — submission context cancelled, or executor stopped, while
+	// they sat queued — are NOT completed; they count under Cancelled, so
+	// Throughput and LoadImbalance reflect executed work only.
 	Completed uint64
+	// Cancelled counts tasks accepted into queues but abandoned before
+	// execution (context cancellation or stop). Their futures settle with
+	// the context's error or ErrStopped.
+	Cancelled uint64
 	// Failed counts tasks whose workload returned a hard error.
 	Failed uint64
 	// InFlight is the current accepted-but-unfinished count.
@@ -934,6 +978,7 @@ func (e *Executor) Stats() ExecStats {
 		Sharding:    e.cfg.sharding,
 		Submitted:   e.submitted.Load(),
 		Rejected:    e.rejected.Load(),
+		Cancelled:   e.cancelled.Load(),
 		Failed:      e.failed.Load(),
 		InFlight:    e.inflight.Load(),
 		PerWorker:   make([]uint64, len(e.completed)),

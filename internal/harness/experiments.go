@@ -64,7 +64,7 @@ type Experiment struct {
 	Run   func(Options) ([]*Table, error)
 }
 
-// Experiments returns the registry in DESIGN.md §3 order.
+// Experiments returns the registry in DESIGN.md §7 order.
 func Experiments() []Experiment {
 	exps := []Experiment{}
 	for _, d := range dist.Names() {
@@ -165,6 +165,12 @@ func Experiments() []Experiment {
 			Title: "Shared STM vs. per-worker sharded STM, gaussian keys (real executor)",
 			Paper: "beyond the paper: sharded executor v2 (ROADMAP)",
 			Run:   runSharding,
+		},
+		Experiment{
+			ID:    "network",
+			Title: "In-process submission vs. loopback wire protocol (kstmd front-end)",
+			Paper: "beyond the paper: network front-end (ROADMAP)",
+			Run:   runNetwork,
 		},
 	)
 	return exps

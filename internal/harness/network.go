@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kstm/client"
+	"kstm/internal/core"
+	"kstm/internal/dist"
+	"kstm/internal/latency"
+	"kstm/internal/stats"
+	"kstm/internal/txds"
+	"kstm/server"
+)
+
+// NetworkMode selects how the network experiment's clients reach the
+// executor.
+type NetworkMode int
+
+// Network experiment modes.
+const (
+	// NetInProc: clients call Executor.Submit directly — the zero-wire
+	// baseline.
+	NetInProc NetworkMode = iota
+	// NetLoopback: the same executor behind a kstmd wire server on a
+	// loopback TCP listener; clients each dial one connection and call
+	// client.Do. The delta against NetInProc is the wire + kernel cost.
+	NetLoopback
+)
+
+func (m NetworkMode) String() string {
+	if m == NetLoopback {
+		return "loopback"
+	}
+	return "inproc"
+}
+
+// NetworkResult is one network-experiment configuration's outcome.
+type NetworkResult struct {
+	// Stats is the executor's final snapshot: its Wait/Service percentiles
+	// are the server-side half of the latency story.
+	Stats core.ExecStats
+	// RTT is the client-observed request latency (submit-to-result); the
+	// gap between RTT and Wait+Service is the wire overhead.
+	RTT latency.Summary
+	// Elapsed is the load phase's wall clock.
+	Elapsed time.Duration
+}
+
+// Throughput returns executed tasks per wall-clock second.
+func (r NetworkResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Completed) / r.Elapsed.Seconds()
+}
+
+// NetworkPoint runs one configuration of the network experiment: a
+// goroutine-per-client fleet driving the gaussian dictionary workload at an
+// adaptive executor, either in-process or over loopback TCP through the wire
+// protocol. Exported for the harness tests and kbench.
+func NetworkPoint(o Options, mode NetworkMode, workers, clients int, seed uint64) (NetworkResult, error) {
+	ex, keyFn, err := NewOpenExecutor(txds.KindHashTable, core.SchedAdaptive, workers, core.WithThreshold(1000))
+	if err != nil {
+		return NetworkResult{}, err
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		return NetworkResult{}, err
+	}
+
+	var (
+		addr    string
+		srv     *server.Server
+		srvDone chan error
+	)
+	if mode == NetLoopback {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ex.Stop()
+			return NetworkResult{}, err
+		}
+		addr = ln.Addr().String()
+		srv = server.New(ex)
+		srvDone = make(chan error, 1)
+		go func() { srvDone <- srv.Serve(ctx, ln) }()
+	}
+
+	per := max(1, o.RealTasks/clients)
+	hists := make([]*latency.Histogram, clients)
+	errCh := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		hists[c] = latency.New()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src, err := dist.ByName("gaussian", seed+uint64(c)*0x9e37)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			do := func(t core.Task) error { _, err := ex.Submit(ctx, t); return err }
+			if mode == NetLoopback {
+				cl, err := client.Dial(addr)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer cl.Close()
+				do = func(t core.Task) error { _, err := cl.Do(ctx, t); return err }
+			}
+			for i := 0; i < per; i++ {
+				k, insert := dist.Split(src.Next())
+				op := core.OpDelete
+				if insert {
+					op = core.OpInsert
+				}
+				t0 := time.Now()
+				if err := do(core.Task{Key: keyFn(k), Op: op, Arg: k}); err != nil {
+					errCh <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				hists[c].Observe(time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	drainErr := ex.Drain()
+	elapsed := time.Since(start)
+	// Tear the loopback server down on every path — including drain
+	// failure — so repeated points never leak listeners or handlers.
+	if srv != nil {
+		srv.Close()
+		if err := <-srvDone; err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	if drainErr != nil {
+		return NetworkResult{}, drainErr
+	}
+	select {
+	case err := <-errCh:
+		return NetworkResult{}, err
+	default:
+	}
+	return NetworkResult{
+		Stats:   ex.Stats(),
+		RTT:     latency.Merge(hists...),
+		Elapsed: elapsed,
+	}, nil
+}
+
+// runNetwork is the network-front-end experiment: the same executor and
+// workload driven in-process and over the loopback wire protocol, so the
+// throughput and latency deltas isolate what the network layer costs. The
+// executor-side Wait/Service percentiles come from ExecStats; RTT is
+// measured at the clients.
+func runNetwork(o Options) ([]*Table, error) {
+	const workers, clients = 4, 8
+	t := &Table{
+		ID: "network",
+		Title: fmt.Sprintf("In-process vs. loopback wire protocol, hash table, gaussian, adaptive, %d workers, %d clients (real)",
+			workers, clients),
+		Cols: []string{"mode", "throughput", "rtt_p50_us", "rtt_p95_us", "wait_p50_us", "wait_p95_us", "svc_p50_us", "svc_p95_us"},
+	}
+	us := func(d time.Duration) float64 { return float64(d.Microseconds()) }
+	for mi, mode := range []NetworkMode{NetInProc, NetLoopback} {
+		var thr []float64
+		var last NetworkResult
+		// One unrecorded warmup run per mode (heap growth, adaptive
+		// ramp-up, and for loopback the TCP stack).
+		if _, err := NetworkPoint(o, mode, workers, clients, o.Seed); err != nil {
+			return nil, err
+		}
+		for r := 0; r < max(1, o.Runs); r++ {
+			res, err := NetworkPoint(o, mode, workers, clients, o.Seed+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			thr = append(thr, res.Throughput())
+			last = res
+		}
+		t.Rows = append(t.Rows, []float64{float64(mi), stats.Summarize(thr).Mean,
+			us(last.RTT.P50), us(last.RTT.P95),
+			us(last.Stats.Wait.P50), us(last.Stats.Wait.P95),
+			us(last.Stats.Service.P50), us(last.Stats.Service.P95)})
+	}
+	t.Notes = append(t.Notes,
+		"mode: 0=inproc (Executor.Submit) 1=loopback (kstmd wire protocol over 127.0.0.1 TCP)",
+		"rtt is client-observed submit-to-result latency; wait/svc are the executor-side ExecStats percentiles",
+		"the rtt-vs-(wait+svc) gap and the throughput delta are the wire + kernel overhead")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"testing"
+
+	"kstm/internal/txds"
+)
+
+// TestNetworkPointLoopback runs one loopback configuration at a tiny scale:
+// every submitted task must come back over the wire and the client-observed
+// RTT must dominate the executor-side wait+service times.
+func TestNetworkPointLoopback(t *testing.T) {
+	o := fastOptions()
+	o.RealTasks = 400
+	res, err := NetworkPoint(o, NetLoopback, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed == 0 || res.Stats.Cancelled != 0 {
+		t.Fatalf("Completed/Cancelled = %d/%d, want all completed",
+			res.Stats.Completed, res.Stats.Cancelled)
+	}
+	if res.RTT.Count != res.Stats.Completed {
+		t.Errorf("client RTT observations %d != completed %d", res.RTT.Count, res.Stats.Completed)
+	}
+	if res.RTT.P50 < res.Stats.Service.P50 {
+		t.Errorf("RTT p50 %v below server-side service p50 %v", res.RTT.P50, res.Stats.Service.P50)
+	}
+	if res.Throughput() <= 0 {
+		t.Errorf("non-positive throughput")
+	}
+}
+
+// TestNetworkExperiment runs the registered experiment end to end in both
+// modes and sanity-checks the table shape.
+func TestNetworkExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two warmups + two modes over TCP; skipped under -short")
+	}
+	e, err := ByID("network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOptions()
+	o.RealTasks = 800
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (inproc, loopback)", len(tb.Rows))
+	}
+	thr, err := tb.Series("throughput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range thr {
+		if v <= 0 {
+			t.Errorf("mode %d: non-positive throughput %v", i, v)
+		}
+	}
+	rtt, err := tb.Series("rtt_p50_us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt[1] < rtt[0] {
+		t.Logf("loopback rtt p50 %vus below inproc %vus (unexpected but not fatal)", rtt[1], rtt[0])
+	}
+}
+
+// TestDictFactoryKinds guards the factory the network/sharding stacks build
+// shards with.
+func TestNetworkUsesSameKeySpace(t *testing.T) {
+	// The network experiment routes by hash-bucket key; the factory's
+	// prototype and NewOpenExecutor's key function must agree on the
+	// bucket count so dispatch stays inside the scheduler's key range.
+	ex, keyFn, err := NewOpenExecutor(txds.KindHashTable, "adaptive", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	proto := txds.NewHashTable(0)
+	for k := uint32(0); k < 1000; k += 37 {
+		if got, want := keyFn(k), uint64(proto.Hash(k)); got != want {
+			t.Fatalf("keyFn(%d) = %d, want %d", k, got, want)
+		}
+		if keyFn(k) >= uint64(proto.Buckets()) {
+			t.Fatalf("key %d outside bucket space", k)
+		}
+	}
+}

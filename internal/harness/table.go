@@ -2,7 +2,7 @@
 // evaluation (and the tech-report companions described in §4.2/§4.4), in
 // either simulator mode (deterministic, reproduces the 16-processor shape on
 // any host) or real mode (actual STM + goroutines on the local machine).
-// DESIGN.md §3 maps each experiment ID to the paper artifact it reproduces.
+// DESIGN.md §7 maps each experiment ID to the paper artifact it reproduces.
 package harness
 
 import (

@@ -1,6 +1,6 @@
 // Package sim is a deterministic discrete-event simulator of the paper's
 // testbed: a 16-processor SunFire 6800 running the key-based executor over
-// DSTM (DESIGN.md §4 documents the substitution). Producers, the dispatch
+// DSTM (DESIGN.md §6 documents the substitution). Producers, the dispatch
 // policies, per-worker task queues, per-processor caches with coherence,
 // bucket/path-granularity transaction conflicts, and finite producer
 // bandwidth are all explicit, so the simulator reproduces the *shape* of the

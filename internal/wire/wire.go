@@ -1,0 +1,373 @@
+// Package wire is the kstmd network protocol: a compact binary framing for
+// submitting executor tasks over a byte stream and reading their results
+// back, designed for pipelining (requests carry ids; responses may arrive
+// out of order) and for hostile input (the decoder bounds every length it
+// reads before allocating).
+//
+// Frame layout (all integers big-endian):
+//
+//	+--------+---------+--------+----------------------+
+//	| len u32| ver  u8 | typ u8 | body (len-2 bytes)   |
+//	+--------+---------+--------+----------------------+
+//
+// len counts the bytes after the length field (version, type and body) and
+// is bounded by MaxFrame. Version is Version (1); a decoder rejects frames
+// from any other version so the format can evolve.
+//
+// Request body (TypeRequest):
+//
+//	id u64 | key u64 | op u8 | arg u32
+//
+// Response body (TypeResponse):
+//
+//	id u64 | status u8 | wait u64 (ns) | exec u64 (ns) | value | msg
+//
+// where value is a tagged scalar (TagNil/TagFalse/TagTrue/TagUint/TagInt/
+// TagFloat/TagBytes) and msg is a u16-length-prefixed UTF-8 error message,
+// empty for StatusOK. See DESIGN.md "Network front-end" for the status ↔
+// executor error mapping.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// MaxFrame bounds the length field: no legal frame is larger, and a decoder
+// must reject bigger claims before allocating. Responses carry at most a
+// small scalar and a short message; 64 KiB leaves generous headroom.
+const MaxFrame = 64 * 1024
+
+// Frame types.
+const (
+	TypeRequest  uint8 = 1
+	TypeResponse uint8 = 2
+)
+
+// Status codes carried in responses.
+const (
+	// StatusOK: the task executed; Value holds its result.
+	StatusOK uint8 = 0
+	// StatusBusy: the executor shed the task (reject-mode backpressure,
+	// core.ErrQueueFull). The client may retry.
+	StatusBusy uint8 = 1
+	// StatusCancelled: the task was abandoned before execution because its
+	// connection's context was cancelled (counted under ExecStats.Cancelled).
+	StatusCancelled uint8 = 2
+	// StatusStopped: the server is draining or stopped and no longer
+	// accepts or executes work (core.ErrNotRunning / core.ErrStopped).
+	StatusStopped uint8 = 3
+	// StatusBadRequest: the frame decoded but the request is malformed
+	// (e.g. an opcode the server's workload rejects).
+	StatusBadRequest uint8 = 4
+	// StatusError: the workload returned a hard error; Msg carries it.
+	StatusError uint8 = 5
+)
+
+// StatusName returns a human-readable status label.
+func StatusName(s uint8) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusCancelled:
+		return "cancelled"
+	case StatusStopped:
+		return "stopped"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}
+
+// Value tags.
+const (
+	TagNil   uint8 = 0
+	TagFalse uint8 = 1
+	TagTrue  uint8 = 2
+	TagUint  uint8 = 3 // u64
+	TagInt   uint8 = 4 // i64 (two's complement u64)
+	TagFloat uint8 = 5 // IEEE-754 bits as u64
+	TagBytes uint8 = 6 // u16 length + bytes (strings travel as bytes)
+)
+
+// Decoder errors. ErrTruncated wraps io errors from short reads so callers
+// can distinguish "peer hung up mid-frame" from protocol violations.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame length exceeds MaxFrame")
+	ErrFrameTooSmall = errors.New("wire: frame shorter than header")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrBadType       = errors.New("wire: unknown frame type")
+	ErrBadBody       = errors.New("wire: malformed frame body")
+	ErrBadValue      = errors.New("wire: unencodable task value")
+	ErrTruncated     = errors.New("wire: truncated frame")
+)
+
+// Request is one task submission. ID is chosen by the client and echoed in
+// the matching Response; the server treats it as opaque.
+type Request struct {
+	ID  uint64
+	Key uint64
+	Op  uint8
+	Arg uint32
+}
+
+// Response is one task outcome.
+type Response struct {
+	ID     uint64
+	Status uint8
+	// WaitNS/ExecNS are the executor's queue-wait and service time for the
+	// task in nanoseconds (zero when the task never executed).
+	WaitNS uint64
+	ExecNS uint64
+	// Value is the workload's task value: nil, bool, uint64, int64,
+	// float64 or []byte (strings arrive as []byte).
+	Value any
+	// Msg is the error message for non-OK statuses.
+	Msg string
+}
+
+// Body sizes.
+const (
+	headerSize  = 2               // version + type, after the length field
+	requestSize = 8 + 8 + 1 + 4   // id + key + op + arg
+	respFixed   = 8 + 1 + 8 + 8   // id + status + wait + exec
+	maxMsgLen   = math.MaxUint16  // msg length field is u16
+	maxValueLen = MaxFrame - 1024 // sanity bound for TagBytes payloads
+)
+
+// AppendRequest appends req as one frame to dst and returns the extended
+// slice; it never fails.
+func AppendRequest(dst []byte, req Request) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+requestSize))
+	dst = append(dst, Version, TypeRequest)
+	dst = binary.BigEndian.AppendUint64(dst, req.ID)
+	dst = binary.BigEndian.AppendUint64(dst, req.Key)
+	dst = append(dst, req.Op)
+	dst = binary.BigEndian.AppendUint32(dst, req.Arg)
+	return dst
+}
+
+// AppendResponse appends resp as one frame to dst. It fails only on a value
+// outside the tagged-scalar vocabulary or an oversized payload; messages are
+// truncated to the u16 bound rather than rejected.
+func AppendResponse(dst []byte, resp Response) ([]byte, error) {
+	val, err := appendValue(nil, resp.Value)
+	if err != nil {
+		return dst, err
+	}
+	msg := resp.Msg
+	if limit := min(maxMsgLen, MaxFrame-headerSize-respFixed-len(val)-2); len(msg) > limit {
+		msg = msg[:limit]
+	}
+	bodyLen := headerSize + respFixed + len(val) + 2 + len(msg)
+	if bodyLen > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(bodyLen))
+	dst = append(dst, Version, TypeResponse)
+	dst = binary.BigEndian.AppendUint64(dst, resp.ID)
+	dst = append(dst, resp.Status)
+	dst = binary.BigEndian.AppendUint64(dst, resp.WaitNS)
+	dst = binary.BigEndian.AppendUint64(dst, resp.ExecNS)
+	dst = append(dst, val...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
+	return dst, nil
+}
+
+// appendValue encodes a task value as a tagged scalar.
+func appendValue(dst []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, TagNil), nil
+	case bool:
+		if x {
+			return append(dst, TagTrue), nil
+		}
+		return append(dst, TagFalse), nil
+	case uint64:
+		return binary.BigEndian.AppendUint64(append(dst, TagUint), x), nil
+	case uint32:
+		return binary.BigEndian.AppendUint64(append(dst, TagUint), uint64(x)), nil
+	case int64:
+		return binary.BigEndian.AppendUint64(append(dst, TagInt), uint64(x)), nil
+	case int:
+		return binary.BigEndian.AppendUint64(append(dst, TagInt), uint64(x)), nil
+	case float64:
+		return binary.BigEndian.AppendUint64(append(dst, TagFloat), math.Float64bits(x)), nil
+	case string:
+		return appendBytesValue(dst, []byte(x))
+	case []byte:
+		return appendBytesValue(dst, x)
+	default:
+		return dst, fmt.Errorf("%w: %T", ErrBadValue, v)
+	}
+}
+
+func appendBytesValue(dst, b []byte) ([]byte, error) {
+	if len(b) > maxValueLen || len(b) > maxMsgLen {
+		return dst, ErrFrameTooLarge
+	}
+	dst = append(dst, TagBytes)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b)))
+	return append(dst, b...), nil
+}
+
+// decodeValue reads one tagged scalar from b, returning the value and the
+// remainder.
+func decodeValue(b []byte) (any, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, ErrBadBody
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case TagNil:
+		return nil, b, nil
+	case TagFalse:
+		return false, b, nil
+	case TagTrue:
+		return true, b, nil
+	case TagUint, TagInt, TagFloat:
+		if len(b) < 8 {
+			return nil, nil, ErrBadBody
+		}
+		u := binary.BigEndian.Uint64(b)
+		b = b[8:]
+		switch tag {
+		case TagUint:
+			return u, b, nil
+		case TagInt:
+			return int64(u), b, nil
+		default:
+			return math.Float64frombits(u), b, nil
+		}
+	case TagBytes:
+		if len(b) < 2 {
+			return nil, nil, ErrBadBody
+		}
+		n := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < n {
+			return nil, nil, ErrBadBody
+		}
+		out := make([]byte, n)
+		copy(out, b[:n])
+		return out, b[n:], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: value tag %d", ErrBadBody, tag)
+	}
+}
+
+// Frame is one decoded frame: exactly one of Req/Resp is meaningful,
+// selected by Type.
+type Frame struct {
+	Type uint8
+	Req  Request
+	Resp Response
+}
+
+// ReadFrame reads and decodes one frame from r. A short read surfaces as
+// ErrTruncated (wrapping the io error); a clean EOF on the first length byte
+// returns io.EOF unwrapped, so stream consumers can end loops normally.
+//
+// scratch, when non-nil, is the caller's reusable read buffer: ReadFrame
+// grows it as needed and writes the growth back, so a long-lived read loop
+// stops allocating once it has seen its largest frame. Pass nil for one-off
+// reads.
+func ReadFrame(r io.Reader, scratch *[]byte) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if n < headerSize {
+		return Frame{}, ErrFrameTooSmall
+	}
+	var buf []byte
+	if scratch != nil {
+		buf = *scratch
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+		if scratch != nil {
+			*scratch = buf
+		}
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	return DecodeFrame(buf)
+}
+
+// DecodeFrame decodes one frame payload (the bytes after the length field).
+// It is the fuzz entry point: any input must return a Frame or an error,
+// never panic, and never retain b.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) < headerSize {
+		return Frame{}, ErrFrameTooSmall
+	}
+	if len(b) > MaxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	if b[0] != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	typ, body := b[1], b[2:]
+	switch typ {
+	case TypeRequest:
+		if len(body) != requestSize {
+			return Frame{}, fmt.Errorf("%w: request body %d bytes, want %d", ErrBadBody, len(body), requestSize)
+		}
+		return Frame{Type: TypeRequest, Req: Request{
+			ID:  binary.BigEndian.Uint64(body[0:8]),
+			Key: binary.BigEndian.Uint64(body[8:16]),
+			Op:  body[16],
+			Arg: binary.BigEndian.Uint32(body[17:21]),
+		}}, nil
+	case TypeResponse:
+		if len(body) < respFixed {
+			return Frame{}, fmt.Errorf("%w: response body %d bytes, want >= %d", ErrBadBody, len(body), respFixed)
+		}
+		resp := Response{
+			ID:     binary.BigEndian.Uint64(body[0:8]),
+			Status: body[8],
+			WaitNS: binary.BigEndian.Uint64(body[9:17]),
+			ExecNS: binary.BigEndian.Uint64(body[17:25]),
+		}
+		val, rest, err := decodeValue(body[respFixed:])
+		if err != nil {
+			return Frame{}, err
+		}
+		resp.Value = val
+		if len(rest) < 2 {
+			return Frame{}, fmt.Errorf("%w: missing message length", ErrBadBody)
+		}
+		msgLen := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) != msgLen {
+			return Frame{}, fmt.Errorf("%w: message %d bytes, length says %d", ErrBadBody, len(rest), msgLen)
+		}
+		resp.Msg = string(rest)
+		return Frame{Type: TypeResponse, Resp: resp}, nil
+	default:
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, typ)
+	}
+}

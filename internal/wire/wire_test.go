@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{},
+		{ID: 1, Key: 42, Op: 0, Arg: 7},
+		{ID: math.MaxUint64, Key: math.MaxUint64, Op: 255, Arg: math.MaxUint32},
+	}
+	var buf bytes.Buffer
+	for _, req := range reqs {
+		buf.Write(AppendRequest(nil, req))
+	}
+	for i, want := range reqs {
+		f, err := ReadFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != TypeRequest || f.Req != want {
+			t.Fatalf("frame %d: got %+v, want %+v", i, f.Req, want)
+		}
+	}
+	if _, err := ReadFrame(&buf, nil); err != io.EOF {
+		t.Fatalf("after stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Status: StatusOK, Value: nil},
+		{ID: 2, Status: StatusOK, Value: true, WaitNS: 123, ExecNS: 456},
+		{ID: 3, Status: StatusOK, Value: false},
+		{ID: 4, Status: StatusOK, Value: uint64(1 << 60)},
+		{ID: 5, Status: StatusOK, Value: int64(-17)},
+		{ID: 6, Status: StatusOK, Value: 3.5},
+		{ID: 7, Status: StatusError, Value: nil, Msg: "hard failure"},
+		{ID: 8, Status: StatusBusy},
+		{ID: 9, Status: StatusOK, Value: []byte("hello")},
+	}
+	var buf bytes.Buffer
+	for _, resp := range resps {
+		b, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("encode %d: %v", resp.ID, err)
+		}
+		buf.Write(b)
+	}
+	scratch := make([]byte, 0, 128)
+	for i, want := range resps {
+		f, err := ReadFrame(&buf, &scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != TypeResponse {
+			t.Fatalf("frame %d: type %d", i, f.Type)
+		}
+		got := f.Resp
+		if got.ID != want.ID || got.Status != want.Status || got.Msg != want.Msg ||
+			got.WaitNS != want.WaitNS || got.ExecNS != want.ExecNS {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		if !reflect.DeepEqual(got.Value, want.Value) {
+			t.Fatalf("frame %d: value %#v, want %#v", i, got.Value, want.Value)
+		}
+	}
+}
+
+func TestStringValueArrivesAsBytes(t *testing.T) {
+	b, err := AppendResponse(nil, Response{ID: 1, Value: "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := f.Resp.Value.([]byte); !ok || string(got) != "text" {
+		t.Fatalf("value = %#v, want []byte(\"text\")", f.Resp.Value)
+	}
+}
+
+func TestEncodeRejectsBadValue(t *testing.T) {
+	if _, err := AppendResponse(nil, Response{Value: struct{ X int }{1}}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("struct value: %v, want ErrBadValue", err)
+	}
+	if _, err := AppendResponse(nil, Response{Value: make([]byte, MaxFrame)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized value: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestOversizedMessageTruncated(t *testing.T) {
+	b, err := AppendResponse(nil, Response{ID: 1, Status: StatusError, Msg: strings.Repeat("x", 1<<17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) > MaxFrame+4 {
+		t.Fatalf("frame %d bytes exceeds MaxFrame", len(b))
+	}
+	if got := f.Resp.Msg; len(got) == 0 || len(got) >= 1<<17 || !strings.HasPrefix(strings.Repeat("x", 1<<17), got) {
+		t.Fatalf("message not a truncated prefix: len=%d", len(got))
+	}
+}
+
+func TestReadFrameRejectsOversizedClaim(t *testing.T) {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, MaxFrame+1)
+	b = append(b, make([]byte, 64)...)
+	if _, err := ReadFrame(bytes.NewReader(b), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// An undersized claim (shorter than the version+type header) is equally
+	// invalid.
+	b = binary.BigEndian.AppendUint32(nil, 1)
+	b = append(b, 0)
+	if _, err := ReadFrame(bytes.NewReader(b), nil); !errors.Is(err, ErrFrameTooSmall) {
+		t.Fatalf("got %v, want ErrFrameTooSmall", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	full := AppendRequest(nil, Request{ID: 9, Key: 3, Op: 1, Arg: 2})
+	// Every strict prefix must fail with ErrTruncated (or io.EOF at zero
+	// bytes), never hang or panic.
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), nil)
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(full))
+		}
+		if cut >= 4 && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: %v, want ErrTruncated", cut, err)
+		}
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	req := AppendRequest(nil, Request{ID: 1})[4:] // strip length prefix
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrFrameTooSmall},
+		{"one byte", []byte{Version}, ErrFrameTooSmall},
+		{"bad version", append([]byte{Version + 1}, req[1:]...), ErrBadVersion},
+		{"bad type", []byte{Version, 99, 0}, ErrBadType},
+		{"short request", req[:len(req)-1], ErrBadBody},
+		{"long request", append(append([]byte{}, req...), 0), ErrBadBody},
+		{"short response", []byte{Version, TypeResponse, 1, 2, 3}, ErrBadBody},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeResponseBodyRejects(t *testing.T) {
+	// A well-formed response, then surgical corruption of the value/message
+	// region (everything after the fixed fields).
+	full, err := AppendResponse(nil, Response{ID: 1, Status: StatusOK, Value: []byte("abcd"), Msg: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := full[4:]
+	const fixedEnd = 2 + 8 + 1 + 8 + 8 // header + id + status + wait + exec
+	// Truncate inside the value.
+	if _, err := DecodeFrame(payload[:fixedEnd+2]); !errors.Is(err, ErrBadBody) {
+		t.Errorf("truncated value: %v, want ErrBadBody", err)
+	}
+	// Unknown value tag.
+	corrupt := append([]byte{}, payload...)
+	corrupt[fixedEnd] = 200
+	if _, err := DecodeFrame(corrupt); !errors.Is(err, ErrBadBody) {
+		t.Errorf("bad value tag: %v, want ErrBadBody", err)
+	}
+	// Message length pointing past the frame end.
+	corrupt = append([]byte{}, payload...)
+	corrupt[len(corrupt)-3] = 0xff // message length high byte
+	if _, err := DecodeFrame(corrupt); !errors.Is(err, ErrBadBody) {
+		t.Errorf("overlong message claim: %v, want ErrBadBody", err)
+	}
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendRequest(nil, Request{ID: 1, Key: 2, Op: 3, Arg: 4})[4:])
+	if b, err := AppendResponse(nil, Response{ID: 5, Status: StatusOK, Value: true, Msg: ""}); err == nil {
+		f.Add(b[4:])
+	}
+	if b, err := AppendResponse(nil, Response{ID: 6, Status: StatusError, Value: []byte("v"), Msg: "boom"}); err == nil {
+		f.Add(b[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version, TypeResponse})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		frame, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same frame
+		// (requests are fixed-size; responses must round-trip exactly).
+		switch frame.Type {
+		case TypeRequest:
+			again, err := DecodeFrame(AppendRequest(nil, frame.Req)[4:])
+			if err != nil || again.Req != frame.Req {
+				t.Fatalf("request re-encode mismatch: %v %+v %+v", err, again.Req, frame.Req)
+			}
+		case TypeResponse:
+			enc, err := AppendResponse(nil, frame.Resp)
+			if err != nil {
+				t.Fatalf("decoded response does not re-encode: %v", err)
+			}
+			again, err := DecodeFrame(enc[4:])
+			if err != nil || !reflect.DeepEqual(again.Resp, frame.Resp) {
+				t.Fatalf("response re-encode mismatch: %v\n got %+v\nwant %+v", err, again.Resp, frame.Resp)
+			}
+		}
+	})
+}

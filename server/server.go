@@ -1,0 +1,428 @@
+// Package server is the kstmd network front-end: it exposes a running
+// kstm.Executor over TCP (or any net.Listener) speaking the internal/wire
+// protocol. One goroutine per connection reads request frames, submits them
+// to the executor, and a per-connection writer streams responses back — out
+// of order, as tasks complete, so a pipelining client is never head-of-line
+// blocked on a slow transaction.
+//
+// Error mapping (see DESIGN.md "Network front-end" for the full table):
+//
+//   - reject-mode backpressure (kstm.ErrQueueFull)   → StatusBusy
+//   - connection drop / per-connection cancellation  → StatusCancelled
+//     (the executor abandons queued tasks; ExecStats.Cancelled counts them)
+//   - executor draining or stopped                   → StatusStopped
+//   - opcode above the configured maximum            → StatusBadRequest
+//   - workload hard error                            → StatusError + message
+//
+// Lifecycle: Serve accepts until its context is cancelled or Close is
+// called. A graceful shutdown (cmd/kstmd on SIGTERM) first drains the
+// executor — in-flight transactions finish, new requests answer
+// StatusStopped — then closes the listener and connections.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"kstm"
+	"kstm/internal/wire"
+)
+
+// Stats are the server's own counters, one step above ExecStats: what came
+// in over the network and how it was answered.
+type Stats struct {
+	// Conns counts connections accepted; OpenConns is the current number.
+	Conns, OpenConns uint64
+	// Requests counts request frames decoded.
+	Requests uint64
+	// Responses counts response frames written (all statuses).
+	Responses uint64
+	// Busy / Stopped / BadRequest / Failed count non-OK responses by
+	// status. Cancelled counts tasks abandoned by per-connection
+	// cancellation; delivery of their StatusCancelled frames is
+	// best-effort, since the cancelling event is usually the connection's
+	// own death.
+	Busy, Cancelled, Stopped, BadRequest, Failed uint64
+	// ProtocolErrors counts connections dropped for undecodable input.
+	ProtocolErrors uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxOp rejects requests whose opcode exceeds op with StatusBadRequest
+// before they reach the executor. The default (255) passes every opcode
+// through to the workload.
+func WithMaxOp(op uint8) Option { return func(s *Server) { s.maxOp = op } }
+
+// WithKeyMask folds every request's 64-bit scheduling key into the
+// executor's key space (task.Key = req.Key & mask). Without it a key above
+// the scheduler's range clamps onto one worker — a client using natural
+// 64-bit keys would silently serialize the whole executor. Zero (the
+// default) passes keys through untouched.
+func WithKeyMask(mask uint64) Option { return func(s *Server) { s.keyMask = mask } }
+
+// WithLogger sets the connection-error logger (default log.Default; use a
+// discarding logger in tests).
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.log = l } }
+
+// Server serves one executor over any number of listeners.
+type Server struct {
+	ex      *kstm.Executor
+	maxOp   uint8
+	keyMask uint64
+	log     *log.Logger
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	connCtx   context.Context
+	connStop  context.CancelFunc
+	conns     sync.WaitGroup
+	closed    atomic.Bool
+
+	nConns, nOpen, nReq, nResp                 atomic.Uint64
+	nBusy, nCancel, nStopped, nBadReq, nFailed atomic.Uint64
+	nProtoErr                                  atomic.Uint64
+}
+
+// New wraps a (started) executor. The server does not own the executor's
+// lifecycle: callers Start it before serving and Drain/Stop it on shutdown.
+func New(ex *kstm.Executor, opts ...Option) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		ex:        ex,
+		maxOp:     255,
+		log:       log.Default(),
+		listeners: make(map[net.Listener]struct{}),
+		connCtx:   ctx,
+		connStop:  cancel,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until ctx is cancelled, Close is called,
+// or the listener fails. It always closes ln before returning and returns
+// nil on clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Register under the same lock Close uses to sweep listeners, and
+	// re-check closed inside it: a Close racing this call either sees the
+	// registration and closes ln, or we see closed and bail — either way
+	// no listener survives a completed Close.
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		// Register under the sweep lock: either Close observes this
+		// handler in conns.Wait, or we observe closed and refuse the
+		// connection — Close never returns with a handler it can't see.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.nConns.Add(1)
+		s.nOpen.Add(1)
+		s.conns.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.conns.Done()
+			defer s.nOpen.Add(^uint64(0))
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, severs every connection (their queued tasks settle
+// as cancelled), and waits for the handlers to exit. For a graceful
+// shutdown, Drain the executor first. Safe to call more than once.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// closed is set before taking mu, so a Serve call that wins the lock
+	// first still observes it and unregisters itself.
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	s.connStop()
+	s.conns.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:          s.nConns.Load(),
+		OpenConns:      s.nOpen.Load(),
+		Requests:       s.nReq.Load(),
+		Responses:      s.nResp.Load(),
+		Busy:           s.nBusy.Load(),
+		Cancelled:      s.nCancel.Load(),
+		Stopped:        s.nStopped.Load(),
+		BadRequest:     s.nBadReq.Load(),
+		Failed:         s.nFailed.Load(),
+		ProtocolErrors: s.nProtoErr.Load(),
+	}
+}
+
+// handle runs one connection: a read loop decoding requests and submitting
+// them, a writer goroutine streaming responses, and one goroutine per
+// in-flight request bridging its Future to the writer.
+func (s *Server) handle(conn net.Conn) {
+	// The connection context cancels when the read loop exits (drop, EOF,
+	// protocol error) or the server closes: tasks this connection queued
+	// are then abandoned by their workers before execution — the
+	// cancelled-task semantics ExecStats.Cancelled accounts for.
+	ctx, cancel := context.WithCancel(s.connCtx)
+	defer cancel()
+	// Context cancellation must also unblock the read loop, which parks in
+	// conn.Read: without this, Server.Close would wait forever on a
+	// connection whose peer stays silent.
+	unblock := context.AfterFunc(ctx, func() { conn.Close() })
+	defer unblock()
+
+	// The writer owns the socket's write half. Responses complete out of
+	// order; the channel gives slow-client isolation bounded by its depth —
+	// when a client stops reading, request goroutines block here instead of
+	// growing an unbounded buffer, and a dropped connection unblocks them
+	// via ctx.
+	respCh := make(chan wire.Response, 128)
+	// inflight bounds this connection's outstanding requests: a client
+	// that pipelines but never reads its responses fills respCh, then the
+	// bridge goroutines, then this semaphore — at which point the read
+	// loop stops decoding and TCP backpressure reaches the sender, instead
+	// of goroutines growing without limit.
+	inflight := make(chan struct{}, maxInflightPerConn)
+	var writerWG, reqWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(conn, respCh, cancel)
+	}()
+
+	br := bufio.NewReaderSize(conn, 32*1024)
+	scratch := make([]byte, 256)
+	for {
+		frame, err := wire.ReadFrame(br, &scratch)
+		if err != nil {
+			// Only undecodable CONTENT is a protocol error. A clean EOF,
+			// a local cancellation, or a mid-frame disconnect
+			// (ErrTruncated wraps the io error: peer crashed, reset, or
+			// vanished) is ordinary connection churn — a busy server must
+			// not count or log every dead client as hostile input.
+			if err != io.EOF && ctx.Err() == nil &&
+				!errors.Is(err, net.ErrClosed) && !errors.Is(err, wire.ErrTruncated) {
+				s.nProtoErr.Add(1)
+				s.log.Printf("server: %s: dropping connection: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		if frame.Type != wire.TypeRequest {
+			s.nProtoErr.Add(1)
+			s.log.Printf("server: %s: unexpected frame type %d", conn.RemoteAddr(), frame.Type)
+			break
+		}
+		s.nReq.Add(1)
+		req := frame.Req
+		if req.Op > s.maxOp {
+			s.nBadReq.Add(1)
+			s.respond(ctx, respCh, wire.Response{
+				ID: req.ID, Status: wire.StatusBadRequest,
+				Msg: fmt.Sprintf("opcode %d above maximum %d", req.Op, s.maxOp),
+			})
+			continue
+		}
+		key := req.Key
+		if s.keyMask != 0 {
+			key &= s.keyMask
+		}
+		task := kstm.Task{Key: key, Op: kstm.Op(req.Op), Arg: req.Arg}
+		fut, err := s.ex.SubmitAsync(ctx, task)
+		if err != nil {
+			s.respond(ctx, respCh, s.submitError(req.ID, err))
+			continue
+		}
+		select {
+		case inflight <- struct{}{}:
+		case <-ctx.Done():
+			// Connection dying mid-submit: no bridge to spawn (no one to
+			// respond to), but the accepted future still settles — track
+			// its fate for the stats.
+			go s.countAbandoned(fut)
+			continue
+		}
+		reqWG.Add(1)
+		go func(id uint64, fut *kstm.Future) {
+			defer reqWG.Done()
+			defer func() { <-inflight }()
+			res, err := fut.Wait(ctx)
+			if err != nil && ctx.Err() != nil {
+				// Connection gone: there is no one left to tell, but the
+				// future still settles in the background (executed or
+				// abandoned). Account its true fate without delaying the
+				// connection teardown on it.
+				go s.countAbandoned(fut)
+				return
+			}
+			s.respond(ctx, respCh, s.taskResponse(id, res, err))
+		}(req.ID, fut)
+	}
+	// Read side done: cancel queued work, let in-flight bridges settle,
+	// then release the writer and the socket.
+	cancel()
+	reqWG.Wait()
+	close(respCh)
+	writerWG.Wait()
+	conn.Close()
+}
+
+// maxInflightPerConn bounds one connection's outstanding requests (its
+// bridge goroutines); past it the read loop stops decoding and TCP
+// backpressure reaches the client.
+const maxInflightPerConn = 1024
+
+// countAbandoned waits for an orphaned future to settle and records its
+// fate with the same classification taskResponse uses for live
+// connections: executor-stop abandonment under Stopped, context
+// abandonment under Cancelled, and nothing for tasks that actually ran —
+// a task that executed (with or without a workload error) is completed
+// work, mirroring the executor's own Completed/Cancelled split. Futures
+// always settle (executed, abandoned, or ErrStopped at halt), so this
+// goroutine always terminates.
+func (s *Server) countAbandoned(fut *kstm.Future) {
+	_, err := fut.Wait(context.Background())
+	switch {
+	case errors.Is(err, kstm.ErrStopped):
+		s.nStopped.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.nCancel.Add(1)
+	}
+}
+
+// respond enqueues a response unless the connection is already gone.
+func (s *Server) respond(ctx context.Context, respCh chan<- wire.Response, resp wire.Response) {
+	select {
+	case respCh <- resp:
+	case <-ctx.Done():
+	}
+}
+
+// writeLoop serializes responses onto the socket. A write failure cancels
+// the connection (the read loop and request bridges then unwind) and drains
+// the channel so senders never block on a dead socket.
+func (s *Server) writeLoop(conn net.Conn, respCh <-chan wire.Response, cancel context.CancelFunc) {
+	bw := bufio.NewWriterSize(conn, 32*1024)
+	buf := make([]byte, 0, 256)
+	for resp := range respCh {
+		var err error
+		buf, err = wire.AppendResponse(buf[:0], resp)
+		if err != nil {
+			// Unencodable workload value: the request was fine, the
+			// workload's value type is not in the wire vocabulary.
+			// Answer just this request with an error; the connection
+			// stays up.
+			buf, _ = wire.AppendResponse(buf[:0], wire.Response{
+				ID: resp.ID, Status: wire.StatusError,
+				Msg: fmt.Sprintf("unencodable task value: %v", err),
+			})
+			s.nFailed.Add(1)
+		}
+		_, werr := bw.Write(buf)
+		if werr == nil && len(respCh) == 0 {
+			// Flush opportunistically: batch while more responses are
+			// ready, flush when the channel runs dry.
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			cancel()
+			for range respCh { // drain until the handler closes it
+			}
+			return
+		}
+		s.nResp.Add(1)
+	}
+	bw.Flush()
+}
+
+// submitError maps a SubmitAsync error to a response.
+func (s *Server) submitError(id uint64, err error) wire.Response {
+	switch {
+	case errors.Is(err, kstm.ErrQueueFull):
+		s.nBusy.Add(1)
+		return wire.Response{ID: id, Status: wire.StatusBusy, Msg: "server busy"}
+	case errors.Is(err, kstm.ErrNotRunning), errors.Is(err, kstm.ErrStopped):
+		s.nStopped.Add(1)
+		return wire.Response{ID: id, Status: wire.StatusStopped, Msg: "server stopping"}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.nCancel.Add(1)
+		return wire.Response{ID: id, Status: wire.StatusCancelled, Msg: err.Error()}
+	default:
+		s.nFailed.Add(1)
+		return wire.Response{ID: id, Status: wire.StatusError, Msg: err.Error()}
+	}
+}
+
+// taskResponse maps a completed (or abandoned) task to a response.
+func (s *Server) taskResponse(id uint64, res kstm.TaskResult, err error) wire.Response {
+	resp := wire.Response{
+		ID:     id,
+		WaitNS: uint64(max(res.Wait, 0)),
+		ExecNS: uint64(max(res.Exec, 0)),
+	}
+	switch {
+	case err == nil:
+		resp.Status = wire.StatusOK
+		resp.Value = res.Value
+	case errors.Is(err, kstm.ErrStopped):
+		s.nStopped.Add(1)
+		resp.Status = wire.StatusStopped
+		resp.Msg = "server stopping"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Abandoned before execution under the corrected cancellation
+		// accounting: the task never ran.
+		s.nCancel.Add(1)
+		resp.Status = wire.StatusCancelled
+		resp.Msg = err.Error()
+	default:
+		s.nFailed.Add(1)
+		resp.Status = wire.StatusError
+		resp.Msg = err.Error()
+	}
+	return resp
+}
