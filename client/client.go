@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -210,6 +211,57 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 		return nil, fmt.Errorf("%w: %w", ErrClosed, err)
 	}
 	return call, nil
+}
+
+// Doer runs one task to completion: *Client and *Pool both implement it,
+// so helpers like DoRetry work over a single connection or a striped pool.
+type Doer interface {
+	Do(ctx context.Context, t kstm.Task) (Result, error)
+}
+
+// Retry backoff bounds: full-jitter exponential, doubling from base to cap.
+// The base sits just above a loopback RTT so the first retry is nearly
+// free; the cap keeps a persistently busy server from parking callers for
+// long stretches of their deadline.
+const (
+	retryBaseDelay = 500 * time.Microsecond
+	retryMaxDelay  = 50 * time.Millisecond
+)
+
+// DoRetry runs one task, retrying ErrBusy — shed load, the one status that
+// MEANS "try again" — with jittered exponential backoff until the context
+// expires. Every other outcome (success, workload error, ErrStopped,
+// ErrCancelled, connection failure) returns immediately: retrying those
+// either cannot help or is the caller's policy decision. On a context with
+// no deadline DoRetry keeps trying for as long as the server keeps
+// shedding.
+//
+// This is the loop every busy-aware handler hand-rolled (see DESIGN.md §5.2
+// on shed-vs-deadline): shed ≠ dead — back off and try again; retire only
+// on your own deadline.
+func DoRetry(ctx context.Context, d Doer, t kstm.Task) (Result, error) {
+	delay := retryBaseDelay
+	for {
+		res, err := d.Do(ctx, t)
+		if !errors.Is(err, ErrBusy) {
+			return res, err
+		}
+		// Full jitter over [delay/2, delay]: desynchronizes a fleet of
+		// shed clients so their retries don't arrive as one thundering
+		// herd exactly when the queue drained.
+		wait := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		if delay < retryMaxDelay {
+			delay *= 2
+			if delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+		}
+	}
 }
 
 // forget drops a call that was registered but never sent.

@@ -223,3 +223,131 @@ func TestPendingFailOnPeerClose(t *testing.T) {
 		t.Fatalf("DoAsync on dead client: %v, want ErrClosed", err)
 	}
 }
+
+// busyDoer sheds the first busyFor calls with ErrBusy, then succeeds.
+type busyDoer struct {
+	busyFor int
+	calls   int
+}
+
+func (d *busyDoer) Do(ctx context.Context, t kstm.Task) (Result, error) {
+	d.calls++
+	if d.calls <= d.busyFor {
+		return Result{}, ErrBusy
+	}
+	return Result{Value: true}, nil
+}
+
+// TestDoRetryBacksOffThroughBusy: shed load is retried until it clears, and
+// the eventual result comes back intact.
+func TestDoRetryBacksOffThroughBusy(t *testing.T) {
+	d := &busyDoer{busyFor: 3}
+	res, err := DoRetry(context.Background(), d, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != true {
+		t.Errorf("result value = %v", res.Value)
+	}
+	if d.calls != 4 {
+		t.Errorf("calls = %d, want 4 (3 busy + 1 success)", d.calls)
+	}
+}
+
+// TestDoRetryStopsAtDeadline: a server that never stops shedding must not
+// outlive the caller's deadline, and the deadline surfaces as the caller's
+// own ctx error — the shed-vs-deadline split from DESIGN.md §5.2.
+func TestDoRetryStopsAtDeadline(t *testing.T) {
+	d := &busyDoer{busyFor: 1 << 30}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := DoRetry(ctx, d, kstm.Task{Key: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("DoRetry held the caller %v past a 30ms deadline", elapsed)
+	}
+	if d.calls < 2 {
+		t.Errorf("calls = %d, want at least one retry before the deadline", d.calls)
+	}
+}
+
+// TestDoRetryPassesOtherErrorsThrough: only ErrBusy retries — terminal
+// statuses and workload errors return on the first call.
+func TestDoRetryPassesOtherErrorsThrough(t *testing.T) {
+	for _, terminal := range []error{ErrStopped, ErrCancelled, ErrBadRequest, &ServerError{Msg: "boom"}} {
+		calls := 0
+		d := doerFunc(func(ctx context.Context, t kstm.Task) (Result, error) {
+			calls++
+			return Result{}, terminal
+		})
+		if _, err := DoRetry(context.Background(), d, kstm.Task{}); !errors.Is(err, terminal) {
+			t.Errorf("err = %v, want %v", err, terminal)
+		}
+		if calls != 1 {
+			t.Errorf("%v: calls = %d, want 1", terminal, calls)
+		}
+	}
+	// And a success needs no retries at all.
+	d := &busyDoer{}
+	if _, err := DoRetry(context.Background(), d, kstm.Task{}); err != nil || d.calls != 1 {
+		t.Errorf("success path: err=%v calls=%d", err, d.calls)
+	}
+}
+
+type doerFunc func(ctx context.Context, t kstm.Task) (Result, error)
+
+func (f doerFunc) Do(ctx context.Context, t kstm.Task) (Result, error) { return f(ctx, t) }
+
+// TestDoRetryOverWire drives DoRetry against a wire server that answers
+// each request as it arrives: one busy response, then OK — the client-side
+// contract end to end. (fakeServer batches all requests before responding,
+// which would deadlock against DoRetry's sequential retries.)
+func TestDoRetryOverWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var buf []byte
+		for n := 0; n < 2; n++ {
+			f, err := wire.ReadFrame(conn, nil)
+			if err != nil || f.Type != wire.TypeRequest {
+				return
+			}
+			resp := wire.Response{ID: f.Req.ID, Status: wire.StatusBusy, Msg: "server busy"}
+			if n == 1 {
+				resp = wire.Response{ID: f.Req.ID, Status: wire.StatusOK, Value: true}
+			}
+			buf, err = wire.AppendResponse(buf[:0], resp)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(buf); err != nil {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}()
+	addr := ln.Addr().String()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := DoRetry(context.Background(), c, kstm.Task{Key: 7, Op: kstm.OpLookup, Arg: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != true {
+		t.Errorf("value = %v, want true", res.Value)
+	}
+}

@@ -10,16 +10,20 @@
 //	kbench -experiment open-submit -tasks 50000
 //	kbench -experiment sharding -tasks 20000 -json > BENCH_smoke.json
 //	kbench -experiment network -tasks 20000
+//	kbench -experiment migration -tasks 20000
 //	kbench -trend bench/*.json BENCH_smoke.json
 //
 // open-submit exercises the open Executor API (Submit / SubmitAll from
 // goroutine-per-client traffic) on the real executor regardless of -mode;
 // network drives the same workload through the kstmd wire protocol over
-// loopback TCP; see DESIGN.md §3 and "Network front-end".
+// loopback TCP; migration A/Bs sharded re-adaptation under key drift with
+// shard-state migration off vs. on (DESIGN.md §4.1); see DESIGN.md §3 and
+// "Network front-end".
 //
 // -trend folds archived -json snapshots (CI's BENCH_smoke.json artifacts,
 // the bench/ directory) into a perf-trajectory table: one row per snapshot,
-// one column per experiment configuration.
+// one column per experiment configuration. Corrupt or duplicate snapshot
+// files are skipped with a per-file warning rather than aborting the table.
 //
 // In sim mode (default) experiments run on the deterministic discrete-event
 // model of the paper's 16-processor SunFire 6800 testbed, so the figure

@@ -16,6 +16,11 @@ import (
 // table's throughput column (tables without one are skipped). Patterns may
 // be file paths or globs; snapshots render in sorted filename order, so
 // date- or PR-numbered archives read chronologically.
+//
+// A bad archive entry must not sink the whole table: unreadable or
+// malformed snapshot files, and exact duplicates of an already-loaded
+// snapshot under another path, are skipped with a per-file warning on
+// stderr. Only an empty result (no usable snapshot at all) is an error.
 func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 	if len(patterns) == 0 {
 		return fmt.Errorf("-trend needs snapshot files or globs (e.g. bench/*.json)")
@@ -61,6 +66,7 @@ func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 		seen[f] = true
 	}
 	clear(seen)
+	contentOf := map[string]string{} // snapshot content -> first file loaded with it
 	for _, f := range files {
 		if seen[f] {
 			continue
@@ -68,12 +74,19 @@ func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 		seen[f] = true
 		data, err := os.ReadFile(f)
 		if err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "kbench: trend: skipping %s: %v\n", f, err)
+			continue
+		}
+		if first, dup := contentOf[string(data)]; dup {
+			fmt.Fprintf(os.Stderr, "kbench: trend: skipping %s: duplicate of %s\n", f, first)
+			continue
 		}
 		var rep jsonReport
 		if err := json.Unmarshal(data, &rep); err != nil {
-			return fmt.Errorf("%s: %w", f, err)
+			fmt.Fprintf(os.Stderr, "kbench: trend: skipping %s: not a kbench -json snapshot: %v\n", f, err)
+			continue
 		}
+		contentOf[string(data)] = f
 		snap := filepath.Base(f)
 		if baseCount[snap] > 1 {
 			snap = f

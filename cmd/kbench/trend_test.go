@@ -89,6 +89,43 @@ func TestTrendCSVAndMissingCells(t *testing.T) {
 	}
 }
 
+// TestTrendSkipsCorruptAndDuplicateSnapshots: one bad archive entry must
+// not abort the whole trend table — corrupt files and exact duplicates are
+// skipped with a warning, the valid snapshots still fold.
+func TestTrendSkipsCorruptAndDuplicateSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_0001.json", 700, 900)
+	good := writeSnapshot(t, dir, "BENCH_0002.json", 1000, 1100)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_corrupt.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An exact duplicate of BENCH_0002 under another name (e.g. the same CI
+	// artifact archived twice).
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_dup.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false); err != nil {
+		t.Fatalf("trend aborted on a corrupt snapshot: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"BENCH_0001.json", "BENCH_0002.json", "2 snapshot(s)", "1000"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	for _, skip := range []string{"BENCH_corrupt.json", "BENCH_dup.json"} {
+		if strings.Contains(text, skip) {
+			t.Errorf("skipped snapshot %s leaked into the table:\n%s", skip, text)
+		}
+	}
+}
+
 func TestTrendErrors(t *testing.T) {
 	if err := runTrend(&bytes.Buffer{}, nil, false); err == nil {
 		t.Error("no-args trend succeeded")

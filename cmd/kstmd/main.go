@@ -8,6 +8,7 @@
 //	kstmd                                # hash table on :7707, GOMAXPROCS workers
 //	kstmd -addr :9000 -workers 8 -structure rbtree
 //	kstmd -sharding perworker            # private STM + dictionary per worker
+//	kstmd -sharding perworker -migrate   # + epoch-fenced state hand-off on re-adaptation
 //	kstmd -queue-depth 1024              # smaller per-worker queues (earlier busy)
 //
 // The server sheds load instead of stalling connections: full worker queues
@@ -54,13 +55,15 @@ func run(args []string) error {
 		sharding  = fs.String("sharding", "shared", "state partitioning: shared or perworker")
 		depth     = fs.Int("queue-depth", 4096, "per-worker queue bound (busy above it)")
 		threshold = fs.Int("threshold", 10000, "adaptive sample threshold (the paper's 10000)")
+		migrate   = fs.Bool("migrate", false, "move shard state on re-partition (requires -sharding perworker); keeps read-your-writes across adaptations")
+		readapt   = fs.Bool("readapt", false, "re-estimate the key distribution every threshold samples instead of adapting once")
 		statsEach = fs.Duration("stats", 0, "periodic stats line interval (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ex, err := buildExecutor(txds.Kind(*structure), kstm.ShardMode(*sharding), *workers, *depth, *threshold)
+	ex, err := buildExecutor(txds.Kind(*structure), kstm.ShardMode(*sharding), *workers, *depth, *threshold, *migrate, *readapt)
 	if err != nil {
 		return err
 	}
@@ -80,9 +83,18 @@ func run(args []string) error {
 	// fold into the scheduler's 16-bit space, so clients may route by any
 	// 64-bit value (e.g. their own hashes) without collapsing dispatch
 	// onto one worker.
-	srv := server.New(ex,
+	sopts := []server.Option{
 		server.WithMaxOp(uint8(kstm.OpNoop)),
-		server.WithKeyMask(kstm.MaxKey))
+		server.WithKeyMask(kstm.MaxKey),
+	}
+	if *migrate {
+		// Hand-off ranges live in the masked dispatch space: an Arg above
+		// it would dispatch by its masked key but never be extracted by a
+		// dictionary-key range — stranded across re-partitions. Bound Arg
+		// to the dictionary space so the migration guarantee is airtight.
+		sopts = append(sopts, server.WithMaxArg(kstm.MaxKey))
+	}
+	srv := server.New(ex, sopts...)
 	log.Printf("kstmd: serving %s (%s, %d workers, %s sharding) on %s",
 		*structure, "adaptive", ex.Workers(), ex.Sharding(), ln.Addr())
 
@@ -135,8 +147,10 @@ func run(args []string) error {
 
 // buildExecutor assembles the executor for a dictionary structure, shared or
 // per-worker sharded, with reject-mode backpressure — a server sheds load
-// rather than stalling connection handlers.
-func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshold int) (*kstm.Executor, error) {
+// rather than stalling connection handlers. With migrate set, shards are
+// built migratable (hash tables at full prototype size) and the executor
+// runs the epoch-fenced hand-off on every re-partition.
+func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshold int, migrate, readapt bool) (*kstm.Executor, error) {
 	opts := []core.Option{
 		core.WithBackpressure(core.BackpressureReject),
 		core.WithQueueDepth(depth),
@@ -146,6 +160,9 @@ func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshol
 	}
 	switch mode {
 	case kstm.ShardShared:
+		if migrate {
+			return nil, fmt.Errorf("-migrate requires -sharding perworker (shared state needs no migration)")
+		}
 		set, err := txds.New(kind)
 		if err != nil {
 			return nil, err
@@ -156,15 +173,28 @@ func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshol
 		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
+		factory := harness.NewDictFactory(kind, n)
+		if migrate {
+			// Wire clients dispatch on their own (key-masked) Task.Key —
+			// the dictionary key, not a hash output — so hand-off ranges
+			// must be dictionary-key ranges too (key-range stores), or a
+			// hash table would migrate bucket ranges the partition never
+			// moved.
+			factory = harness.NewKeyRangeDictFactory(kind)
+			opts = append(opts, core.WithMigration(core.MigrateOnRepartition))
+		}
 		opts = append(opts,
 			core.WithSharding(core.ShardPerWorker),
-			core.WithWorkloadFactory(harness.NewDictFactory(kind, n)),
+			core.WithWorkloadFactory(factory),
 			core.WithWorkers(n))
 	default:
 		return nil, fmt.Errorf("unknown -sharding %q (want shared or perworker)", mode)
 	}
-	opts = append(opts, core.WithSchedulerKind(core.SchedAdaptive, 0, kstm.MaxKey,
-		core.WithThreshold(threshold)))
+	aopts := []core.AdaptiveOption{core.WithThreshold(threshold)}
+	if readapt {
+		aopts = append(aopts, core.WithReAdaptation())
+	}
+	opts = append(opts, core.WithSchedulerKind(core.SchedAdaptive, 0, kstm.MaxKey, aopts...))
 	return core.NewExecutor(opts...)
 }
 
@@ -173,8 +203,9 @@ func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshol
 func logStats(ex *kstm.Executor, srv *server.Server) {
 	st := ex.Stats()
 	ss := srv.Stats()
-	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d busy=%d failed=%d imbalance=%.2f wait_p95=%v svc_p95=%v",
+	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d busy=%d failed=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v",
 		st.State, ss.OpenConns, ss.Conns, ss.Requests, ss.Responses,
 		st.Completed, st.Cancelled, ss.Busy, st.Failed,
-		st.LoadImbalance(), st.Wait.P95, st.Service.P95)
+		st.LoadImbalance(), st.Wait.P95, st.Service.P95,
+		ss.Migrations.Epochs, ss.Migrations.KeysMoved, time.Duration(ss.Migrations.PauseNs))
 }

@@ -10,7 +10,7 @@ import (
 
 func TestBuildExecutorModes(t *testing.T) {
 	for _, mode := range []kstm.ShardMode{kstm.ShardShared, kstm.ShardPerWorker} {
-		ex, err := buildExecutor(txds.KindHashTable, mode, 2, 64, 10000)
+		ex, err := buildExecutor(txds.KindHashTable, mode, 2, 64, 10000, false, false)
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
@@ -32,11 +32,29 @@ func TestBuildExecutorModes(t *testing.T) {
 }
 
 func TestBuildExecutorRejectsBadConfig(t *testing.T) {
-	if _, err := buildExecutor("btree", kstm.ShardShared, 2, 64, 10000); err == nil {
+	if _, err := buildExecutor("btree", kstm.ShardShared, 2, 64, 10000, false, false); err == nil {
 		t.Error("unknown structure accepted")
 	}
-	if _, err := buildExecutor(txds.KindHashTable, "replicated", 2, 64, 10000); err == nil {
+	if _, err := buildExecutor(txds.KindHashTable, "replicated", 2, 64, 10000, false, false); err == nil {
 		t.Error("unknown sharding mode accepted")
+	}
+	if _, err := buildExecutor(txds.KindHashTable, kstm.ShardShared, 2, 64, 10000, true, false); err == nil {
+		t.Error("-migrate with shared sharding accepted")
+	}
+}
+
+// TestBuildExecutorMigrate checks the -migrate wiring: perworker shards come
+// up migratable and the executor reports the hand-off mode; every structure
+// kind builds (all four dictionaries implement RangeStore).
+func TestBuildExecutorMigrate(t *testing.T) {
+	for _, kind := range []txds.Kind{txds.KindHashTable, txds.KindRBTree, txds.KindSortedList, txds.KindSkipList} {
+		ex, err := buildExecutor(kind, kstm.ShardPerWorker, 2, 64, 10000, true, true)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got := ex.Migration(); got != kstm.MigrateOnRepartition {
+			t.Errorf("%s: Migration() = %q", kind, got)
+		}
 	}
 }
 

@@ -92,7 +92,9 @@ func main() {
 	fmt.Printf("kstmd serving on %s\n", addr)
 
 	// Write fleet: a connection pool shared by goroutine-per-client
-	// handlers, pipelining inserts and deletes.
+	// handlers, pipelining inserts and deletes. DoRetry absorbs shed load
+	// (reject-mode backpressure) with jittered exponential backoff, so a
+	// queue spike delays a request instead of losing it.
 	pool, err := client.DialPool(addr, poolConns)
 	if err != nil {
 		log.Fatal(err)
@@ -111,15 +113,10 @@ func main() {
 				if insert {
 					op = kstm.OpInsert
 				}
-				_, err := pool.Do(ctx, kstm.Task{Key: uint64(key), Op: op, Arg: key})
-				switch {
-				case errors.Is(err, client.ErrBusy):
-					shed.Add(1) // a real handler would 503 or retry
-				case err != nil:
+				if _, err := client.DoRetry(ctx, pool, kstm.Task{Key: uint64(key), Op: op, Arg: key}); err != nil {
 					log.Fatal(err)
-				default:
-					served.Add(1)
 				}
+				served.Add(1)
 			}
 		}(c)
 	}
@@ -171,8 +168,10 @@ func main() {
 
 	// Slow client with a hard deadline. The old in-process demo treated
 	// EVERY Submit error as retirement, so a shed request (queue spike)
-	// retired it exactly like its deadline — a real handler must retry
-	// shed load and retire only on its own deadline.
+	// retired it exactly like its deadline. client.DoRetry now owns that
+	// loop: shed load (ErrBusy) retries with jittered exponential backoff;
+	// the caller's own deadline surfaces as DeadlineExceeded and retires
+	// the request — no hand-rolled backoff in the handler.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -181,24 +180,16 @@ func main() {
 			log.Fatal(err)
 		}
 		defer sc.Close()
-		slowCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		const deadline = 50 * time.Millisecond
+		slowCtx, cancel := context.WithTimeout(ctx, deadline)
 		defer cancel()
-		retries := 0
-		for {
-			_, err := sc.Do(slowCtx, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1})
-			switch {
-			case errors.Is(err, client.ErrBusy):
-				retries++ // shed ≠ dead: back off and try again
-				select {
-				case <-time.After(time.Millisecond):
-				case <-slowCtx.Done():
-				}
-			case errors.Is(err, context.DeadlineExceeded):
-				fmt.Printf("slow client retired at its deadline after %d busy retries\n", retries)
-				return
-			case err != nil:
-				log.Fatalf("slow client: %v", err)
-			}
+		switch _, err := client.DoRetry(slowCtx, sc, kstm.Task{Key: 1, Op: kstm.OpLookup, Arg: 1}); {
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Printf("slow client retired its request at the %v deadline (server busy throughout)\n", deadline)
+		case err != nil:
+			log.Fatalf("slow client: %v", err)
+		default:
+			fmt.Println("slow client served within its deadline (retries absorbed the spikes)")
 		}
 	}()
 

@@ -185,6 +185,7 @@ type execConfig struct {
 	backpressure Backpressure
 	workSteal    bool
 	sortBatch    int
+	migration    MigrationMode
 }
 
 // Option configures an Executor.
@@ -276,6 +277,9 @@ type Executor struct {
 	// entry under ShardShared, one per worker under ShardPerWorker.
 	// Worker i executes in shards[shardOf(i)].
 	shards []shardState
+	// migr runs the epoch-fenced shard-state hand-off; nil unless
+	// MigrateOnRepartition is configured.
+	migr *migrator
 
 	state    atomic.Int32
 	inflight atomic.Int64 // accepted-but-not-finished tasks (incl. blocked submitters)
@@ -309,12 +313,16 @@ type Executor struct {
 
 // envelope carries a task through a worker queue together with its
 // completion plumbing. Fire-and-forget tasks (legacy producers) have a nil
-// fut and ctx and skip all timestamping.
+// fut and ctx and skip all timestamping. A barrier envelope (non-nil
+// barrier, everything else zero) carries no task at all: it marks a drain
+// point in the queue for the migrator — the worker (or halt's sweep) runs
+// the hook once every envelope enqueued before it has been executed.
 type envelope struct {
-	task Task
-	fut  *Future
-	ctx  context.Context
-	enq  time.Time
+	task    Task
+	fut     *Future
+	ctx     context.Context
+	enq     time.Time
+	barrier func()
 }
 
 // shardState is one partition of the executor's transactional state: the
@@ -336,6 +344,7 @@ func defaultExecConfig() execConfig {
 		schedMax:     dist.MaxKey,
 		queueKind:    queue.KindMSCQ,
 		backpressure: BackpressureBlock,
+		migration:    MigrateOff,
 	}
 }
 
@@ -392,6 +401,39 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 		}
 		cfg.scheduler = s
 	}
+	var migr *migrator
+	switch cfg.migration {
+	case MigrateOff, "":
+	case MigrateOnRepartition:
+		if cfg.sharding != ShardPerWorker {
+			return nil, fmt.Errorf("core: WithMigration(MigrateOnRepartition) requires WithSharding(ShardPerWorker); shared state needs no migration")
+		}
+		sf, ok := cfg.factory.(StoreFactory)
+		if !ok {
+			return nil, fmt.Errorf("core: WithMigration(MigrateOnRepartition) requires a WorkloadFactory implementing StoreFactory (shard state must be extractable)")
+		}
+		ad, ok := cfg.scheduler.(*Adaptive)
+		if !ok {
+			return nil, fmt.Errorf("core: WithMigration(MigrateOnRepartition) requires the adaptive scheduler (%q never re-partitions)", cfg.scheduler.Name())
+		}
+		if ad.workers != cfg.workers {
+			// Dispatch clamps a mismatched scheduler's picks into range;
+			// the migrator indexes shards and queues by partition owner
+			// and cannot — reject the configuration up front.
+			return nil, fmt.Errorf("core: WithMigration(MigrateOnRepartition): scheduler partitions %d workers but the executor has %d", ad.workers, cfg.workers)
+		}
+		migr = &migrator{stores: make([]ShardStore, cfg.workers)}
+		for i := range migr.stores {
+			st := sf.Store(i)
+			if st == nil {
+				return nil, fmt.Errorf("core: WithMigration(MigrateOnRepartition): StoreFactory returned a nil store for shard %d", i)
+			}
+			migr.stores[i] = st
+		}
+		ad.setRepartitionGate(migr.onRepartition)
+	default:
+		return nil, fmt.Errorf("core: unknown migration mode %q", cfg.migration)
+	}
 	switch {
 	case cfg.maxDepth < 0:
 		cfg.maxDepth = 0
@@ -402,11 +444,15 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 		cfg:       cfg,
 		queues:    make([]queue.Queue[envelope], cfg.workers),
 		shards:    shards,
+		migr:      migr,
 		completed: make([]paddedCounter, cfg.workers),
 		waitHist:  make([]*latency.Histogram, cfg.workers),
 		execHist:  make([]*latency.Histogram, cfg.workers),
 		stopped:   make(chan struct{}),
 		shutdown:  make(chan struct{}),
+	}
+	if migr != nil {
+		migr.e = e
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.waitHist[i] = latency.New()
@@ -527,6 +573,9 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 // The caller has already counted the envelope in flight; every error path
 // here releases that count exactly once.
 func (e *Executor) dispatch(env envelope, ctx context.Context) error {
+	if e.migr != nil {
+		return e.dispatchGated(env, ctx)
+	}
 	w := e.pick(env.task.Key)
 	if e.cfg.maxDepth > 0 && e.queues[w].Len() >= e.cfg.maxDepth {
 		if e.cfg.backpressure == BackpressureReject {
@@ -552,6 +601,74 @@ func (e *Executor) dispatch(env envelope, ctx context.Context) error {
 	e.queues[w].Put(env)
 	e.submitted.Add(1)
 	return nil
+}
+
+// dispatchGated is dispatch under MigrateOnRepartition: the routing pick
+// and the enqueue happen under the migrator's read gate, so a fence install
+// or release (write gate) never interleaves with a half-routed task — a
+// task either lands in a queue the migrator's drain barrier will cover, or
+// parks on the fence's hold queue for the new owner. The backpressure wait
+// happens OUTSIDE the gate: a submitter blocked on a full queue must not
+// block the fence.
+//
+// Ordering matters: the pick comes BEFORE the fence check. The migrator
+// stores the fence and THEN the scheduler swaps the partition, so a
+// dispatcher whose pick observed the new partition is guaranteed to observe
+// the fence (or its release, which means the hand-off already completed)
+// and park the moved-range task. Checked first, the fence could read nil
+// while the pick reads the new partition — routing a moved-range task to a
+// new owner whose state has not arrived, behind no drain barrier.
+func (e *Executor) dispatchGated(env envelope, ctx context.Context) error {
+	var b backoff
+	for attempt := 0; ; attempt++ {
+		e.migr.gate.RLock()
+		// Sample the key into the adaptive histogram on the first attempt
+		// only; backpressure retries re-route on the current partition
+		// without re-sampling.
+		var w int
+		if attempt == 0 {
+			w = e.pick(env.task.Key)
+		} else {
+			w = e.repick(env.task.Key)
+		}
+		fenced := false
+		if f := e.migr.fence.Load(); f != nil {
+			switch f.park(env, e.cfg.maxDepth) {
+			case parkHeld:
+				e.migr.gate.RUnlock()
+				e.submitted.Add(1)
+				return nil
+			case parkFull:
+				// The moved range's hold queue is at its bound: fall
+				// through to backpressure, but NEVER to a worker queue —
+				// the range's state is in transit.
+				fenced = true
+			}
+		}
+		if !fenced && (e.cfg.maxDepth <= 0 || e.queues[w].Len() < e.cfg.maxDepth) {
+			e.queues[w].Put(env)
+			e.migr.gate.RUnlock()
+			e.submitted.Add(1)
+			return nil
+		}
+		e.migr.gate.RUnlock()
+		if e.cfg.backpressure == BackpressureReject {
+			e.inflight.Add(-1)
+			e.rejected.Add(1)
+			return ErrQueueFull
+		}
+		if e.state.Load() == stateStopped {
+			e.inflight.Add(-1)
+			return ErrStopped
+		}
+		select {
+		case <-ctx.Done():
+			e.inflight.Add(-1)
+			return ctx.Err()
+		default:
+		}
+		b.wait()
+	}
 }
 
 // backoff yields for the first spins and then parks in short sleeps, so a
@@ -611,7 +728,20 @@ func (e *Executor) inject(t Task, count bool) bool {
 // for a different worker count (a configuration mismatch) into range rather
 // than crashing mid-run.
 func (e *Executor) pick(key uint64) int {
-	w := e.cfg.scheduler.Pick(key)
+	return e.clampWorker(e.cfg.scheduler.Pick(key))
+}
+
+// repick is pick for retry loops: schedulers that distinguish routing from
+// sampling (Adaptive.Repick) route without recording the key again, so a
+// submitter blocked in backpressure samples once per task, not per tick.
+func (e *Executor) repick(key uint64) int {
+	if r, ok := e.cfg.scheduler.(interface{ Repick(uint64) int }); ok {
+		return e.clampWorker(r.Repick(key))
+	}
+	return e.clampWorker(e.cfg.scheduler.Pick(key))
+}
+
+func (e *Executor) clampWorker(w int) int {
 	if w < 0 || w >= len(e.queues) {
 		w = ((w % len(e.queues)) + len(e.queues)) % len(e.queues)
 	}
@@ -662,15 +792,29 @@ func (e *Executor) worker(i int) {
 			}
 		}
 		idle = 0
+		if env.barrier != nil {
+			// Migration drain point: everything enqueued before it has
+			// executed; tell the migrator and move on.
+			env.barrier()
+			continue
+		}
 		if batch == nil {
 			e.execOne(i, sh, th, env)
 			continue
 		}
-		// Batch mode: drain up to SortBatch tasks, order by key.
+		// Batch mode: drain up to SortBatch tasks, order by key. A barrier
+		// ends the batch — it must observe every earlier task executed, and
+		// key-sorting across it would let a pre-fence task run after the
+		// migrator starts extracting its range's state.
+		var barrier func()
 		batch = append(batch[:0], env)
 		for len(batch) < e.cfg.sortBatch {
 			more, ok := e.queues[i].Get()
 			if !ok {
+				break
+			}
+			if more.barrier != nil {
+				barrier = more.barrier
 				break
 			}
 			batch = append(batch, more)
@@ -678,6 +822,9 @@ func (e *Executor) worker(i int) {
 		sort.Slice(batch, func(a, b int) bool { return batch[a].task.Key < batch[b].task.Key })
 		for _, be := range batch {
 			e.execOne(i, sh, th, be)
+		}
+		if barrier != nil {
+			barrier()
 		}
 	}
 }
@@ -856,7 +1003,7 @@ func (e *Executor) halt() {
 		close(e.shutdown)
 		e.workers.Wait()
 		var b backoff
-		for e.inflight.Load() > 0 {
+		for {
 			drained := false
 			for i := range e.queues {
 				for {
@@ -865,8 +1012,27 @@ func (e *Executor) halt() {
 						break
 					}
 					drained = true
+					if env.barrier != nil {
+						// Unexecuted migration barrier: signal it so the
+						// migrator unblocks (it observes the stopped state
+						// and aborts); barriers carry no task accounting.
+						env.barrier()
+						continue
+					}
 					e.abandon(i, env, ErrStopped)
 				}
+			}
+			// Tasks parked on a migration fence are in flight too; the
+			// migrator may be mid-hand-off, so strip them here rather than
+			// wait on it.
+			if e.migr != nil {
+				for _, env := range e.migr.takeHeld() {
+					drained = true
+					e.abandon(0, env, ErrStopped)
+				}
+			}
+			if e.inflight.Load() == 0 {
+				return
 			}
 			if !drained {
 				// Remaining in-flight entries are blocked submitters
@@ -936,6 +1102,14 @@ type ExecStats struct {
 	// Shards reports per-shard completion and STM deltas (one entry under
 	// ShardShared, one per worker under ShardPerWorker).
 	Shards []ShardStats
+	// SchedulerEpochs counts the adaptive scheduler's partition rebuilds
+	// (0 under other policies) — with migration on, the re-partitions the
+	// hand-off protocol tracked; without it, the moves that re-routed
+	// ranges away from their state.
+	SchedulerEpochs uint64
+	// Migrations reports the epoch-fenced shard-state hand-off counters;
+	// all zero unless WithMigration(MigrateOnRepartition) is configured.
+	Migrations MigrationStats
 	// Wait holds queue-wait latency percentiles over result-carrying
 	// submissions (Submit/SubmitAsync/SubmitAll; the legacy
 	// fire-and-forget path is unclocked).
@@ -987,6 +1161,12 @@ func (e *Executor) Stats() ExecStats {
 		Steals:      e.steals.Load(),
 		Wait:        latency.Merge(e.waitHist...),
 		Service:     latency.Merge(e.execHist...),
+	}
+	if e.migr != nil {
+		s.Migrations = e.migr.stats()
+	}
+	if ad, ok := e.cfg.scheduler.(*Adaptive); ok {
+		s.SchedulerEpochs = ad.Epochs()
 	}
 	for i := range e.completed {
 		s.PerWorker[i] = e.completed[i].n.Load()
@@ -1050,6 +1230,34 @@ func (e *Executor) ShardWorkload(i int) Workload { return e.shards[i].workload }
 
 // NumShards returns the shard count (1, or workers under ShardPerWorker).
 func (e *Executor) NumShards() int { return len(e.shards) }
+
+// Migration returns the shard-state migration mode in force.
+func (e *Executor) Migration() MigrationMode {
+	if e.migr == nil {
+		return MigrateOff
+	}
+	return MigrateOnRepartition
+}
+
+// MigrationStats returns the hand-off counters without assembling a full
+// Stats snapshot (no per-worker loops, no histogram merges) — the cheap
+// read for periodic operator stats.
+func (e *Executor) MigrationStats() MigrationStats {
+	if e.migr == nil {
+		return MigrationStats{}
+	}
+	return e.migr.stats()
+}
+
+// MigrationErr returns the most recent hand-off error, if any. A failed
+// range keeps its old-owner state (restored on partial failure — the
+// MigrateOff behaviour for that range); execution itself continues.
+func (e *Executor) MigrationErr() error {
+	if e.migr == nil {
+		return nil
+	}
+	return e.migr.Err()
+}
 
 // stopping reports whether the executor no longer accepts producer work;
 // the legacy Pool's producer loops poll it.

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm/internal/hist"
+	"kstm/internal/stm"
+)
+
+// MigrationMode selects whether sharded executor state follows the learned
+// partition when the adaptive scheduler re-partitions the key space.
+type MigrationMode string
+
+// Migration modes.
+const (
+	// MigrateOff keeps the pre-migration semantics: a re-partition re-routes
+	// key ranges between workers without moving shard state, so keys written
+	// through the old owner become invisible through the new one (the
+	// DESIGN.md §4 trade-off). This is the default.
+	MigrateOff MigrationMode = "off"
+	// MigrateOnRepartition runs the epoch-fenced hand-off protocol on every
+	// partition change: dispatch for the moved ranges is fenced (new tasks
+	// park on per-range hold queues while untouched ranges keep executing),
+	// in-flight tasks drain against the old owner, the range's keys move
+	// shard-to-shard through the ShardStore API, and the held tasks are
+	// released to the new owner — preserving read-your-writes across any
+	// adaptation.
+	MigrateOnRepartition MigrationMode = "onrepartition"
+)
+
+// WithMigration selects the shard-state migration mode (default MigrateOff).
+// MigrateOnRepartition requires ShardPerWorker, an adaptive scheduler, and a
+// WorkloadFactory that implements StoreFactory.
+func WithMigration(m MigrationMode) Option {
+	return func(c *execConfig) { c.migration = m }
+}
+
+// ShardStore is the migratable transactional state of one shard. Ranges are
+// in the executor's scheduling-key space (the same space the dispatch
+// partition cuts): the dictionary key itself for ordered structures, the
+// hash output for hash tables. Both methods run on a migrator-owned STM
+// thread of the shard's instance, concurrently with the shard's worker —
+// but the executor guarantees no task for a moving range executes while its
+// state is in transit.
+type ShardStore interface {
+	// ExtractRange removes and returns every key whose scheduling key falls
+	// in the closed range [lo, hi].
+	ExtractRange(th *stm.Thread, lo, hi uint64) ([]uint32, error)
+	// InstallKeys inserts the given keys into the shard.
+	InstallKeys(th *stm.Thread, keys []uint32) error
+}
+
+// StoreFactory is a WorkloadFactory whose shards expose migratable state.
+// Store(worker) is called after NewShard(worker) and must return the store
+// backing that worker's shard (nil disables migration for configuration
+// validation to catch).
+type StoreFactory interface {
+	WorkloadFactory
+	Store(worker int) ShardStore
+}
+
+// MigrationStats reports the epoch-fenced hand-off protocol's work.
+// All counters are monotone over an executor's lifetime.
+type MigrationStats struct {
+	// Epochs counts completed migrations (one per re-partition that moved
+	// at least one range).
+	Epochs uint64
+	// KeysMoved counts keys extracted from an old owner and installed into
+	// a new one, summed over all epochs and ranges.
+	KeysMoved uint64
+	// PauseNs sums, over epochs, the fence duration: from fencing the moved
+	// ranges to releasing their held tasks. Only tasks for moved ranges
+	// pause; untouched ranges execute throughout.
+	PauseNs uint64
+}
+
+// movedRange is one contiguous scheduling-key interval whose owner differs
+// between two partitions.
+type movedRange struct {
+	lo, hi   uint64
+	from, to int
+}
+
+// diffPartitions returns the key ranges whose owner changes from old to new,
+// merged into maximal contiguous runs with identical (from, to) owners. Both
+// partitions must cover the same [min, max] (they come from one scheduler).
+func diffPartitions(oldP, newP *hist.Partition) []movedRange {
+	lo, _ := oldP.RangeOf(0)
+	_, max := oldP.RangeOf(oldP.Workers() - 1)
+	// Elementary intervals: between any two consecutive cut points (interior
+	// bounds of either partition) both Pick functions are constant.
+	cuts := append(oldP.Bounds(), newP.Bounds()...)
+	slices.Sort(cuts)
+	var out []movedRange
+	emit := func(lo, hi uint64) {
+		from, to := oldP.Pick(lo), newP.Pick(lo)
+		if from == to {
+			return
+		}
+		if n := len(out); n > 0 && out[n-1].hi+1 == lo && out[n-1].from == from && out[n-1].to == to {
+			out[n-1].hi = hi
+			return
+		}
+		out = append(out, movedRange{lo: lo, hi: hi, from: from, to: to})
+	}
+	cur := lo
+	for _, b := range cuts {
+		if b < cur || b >= max {
+			continue // duplicate cut, or the outer edge
+		}
+		emit(cur, b)
+		cur = b + 1
+	}
+	emit(cur, max)
+	return out
+}
+
+// fence is one epoch's dispatch barrier: tasks whose key falls in a moved
+// range park on the range's hold queue instead of being enqueued, until the
+// migrator releases them to the new owner.
+type fence struct {
+	ranges []movedRange
+	// min/max are the partition's key bounds: out-of-range keys clamp onto
+	// the edge ranges, mirroring Partition.Pick — a stray key must fence
+	// with the edge range it dispatches into, not slip past it.
+	min, max uint64
+
+	mu       sync.Mutex
+	held     [][]envelope // parked tasks, one hold queue per moved range
+	released bool         // set once held tasks are taken; parking then declines
+}
+
+// rangeOf returns the index of the moved range containing key, or -1.
+func (f *fence) rangeOf(key uint64) int {
+	if key < f.min {
+		key = f.min
+	}
+	if key > f.max {
+		key = f.max
+	}
+	for i, r := range f.ranges {
+		if key >= r.lo && key <= r.hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// parkResult is the outcome of offering an envelope to the fence.
+type parkResult int
+
+const (
+	// parkMiss: the key is not in a moved range (or the fence is already
+	// released) — dispatch normally.
+	parkMiss parkResult = iota
+	// parkHeld: the envelope is parked on its range's hold queue.
+	parkHeld
+	// parkFull: the range's hold queue is at the depth bound — apply the
+	// executor's backpressure policy; do NOT enqueue to a worker (the
+	// range's state is in transit).
+	parkFull
+)
+
+// park holds env if its key is in a moved range. bound caps each hold queue
+// (0 = unbounded), mirroring the per-worker queue depth so a fenced range
+// sheds or blocks exactly like a full worker queue instead of absorbing
+// unbounded load mid-hand-off.
+func (f *fence) park(env envelope, bound int) parkResult {
+	i := f.rangeOf(env.task.Key)
+	if i < 0 {
+		return parkMiss
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.released {
+		return parkMiss
+	}
+	if bound > 0 && len(f.held[i]) >= bound {
+		return parkFull
+	}
+	f.held[i] = append(f.held[i], env)
+	return parkHeld
+}
+
+// take removes and returns all held envelopes, marking the fence released so
+// later park attempts fall through to normal dispatch. Idempotent.
+func (f *fence) take() [][]envelope {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.released = true
+	held := f.held
+	f.held = nil
+	return held
+}
+
+// migrator owns the executor's epoch-fenced shard-state hand-off. It is
+// present (non-nil on the Executor) only under MigrateOnRepartition.
+type migrator struct {
+	e      *Executor
+	stores []ShardStore
+
+	// gate orders dispatch against fence transitions: every dispatch holds
+	// the read side across its fence-check + enqueue, so installing or
+	// releasing a fence (write side) never interleaves with a half-routed
+	// task.
+	gate  sync.RWMutex
+	fence atomic.Pointer[fence]
+	// active serializes migrations: a re-partition arriving while one is in
+	// flight is skipped (the scheduler re-samples and retries next window).
+	active atomic.Bool
+
+	epochs    atomic.Uint64
+	keysMoved atomic.Uint64
+	pauseNs   atomic.Uint64
+	lastErr   atomic.Pointer[error]
+}
+
+// onRepartition is the adaptive scheduler's gate: called after a new
+// partition is computed, before it is installed. It fences the moved ranges
+// and returns the commit hook that starts the background hand-off once the
+// scheduler has switched. Returning ok=false skips this re-partition.
+//
+// It runs on a submitting goroutine that already holds the read side of
+// m.gate (dispatchGated → pick → Adaptive.Pick → maybeAdapt), so it must
+// not take the write side: the fence is installed with a plain atomic store,
+// and migrate() quiesces straddling dispatchers before it enqueues the
+// drain barriers.
+func (m *migrator) onRepartition(oldP, newP *hist.Partition) (commit func(), ok bool) {
+	if !m.active.CompareAndSwap(false, true) {
+		return nil, false // hand-off still in flight; keep the old partition
+	}
+	ranges := diffPartitions(oldP, newP)
+	if len(ranges) == 0 {
+		m.active.Store(false)
+		return func() {}, true // identical ownership: swap without ceremony
+	}
+	lo, _ := oldP.RangeOf(0)
+	_, hi := oldP.RangeOf(oldP.Workers() - 1)
+	f := &fence{ranges: ranges, min: lo, max: hi, held: make([][]envelope, len(ranges))}
+	m.fence.Store(f)
+	start := time.Now()
+	return func() { go m.migrate(f, start) }, true
+}
+
+// migrate runs the hand-off for one epoch: drain the old owners past the
+// fence point, move each range's keys store-to-store, then release the held
+// tasks to their new owners. It runs on its own goroutine; workers keep
+// executing unmoved ranges throughout.
+func (m *migrator) migrate(f *fence, start time.Time) {
+	e := m.e
+	// Quiesce: a dispatcher that loaded a nil fence just before it was
+	// installed may still be routing a moved-range task to its old owner.
+	// Every dispatch holds the read gate across fence-check + enqueue, so
+	// one write-side acquisition waits all such stragglers out; dispatchers
+	// arriving afterwards observe the fence (the store happened before the
+	// unlock) and park. Only then is a drain barrier meaningful.
+	m.gate.Lock()
+	m.gate.Unlock() //nolint:staticcheck // empty critical section is the point
+	// Phase 1 — drain: a barrier envelope per old owner. The queues are
+	// FIFO and the fence stops new moved-range tasks, so when the barrier
+	// executes, every task routed to the old owner before the fence has
+	// finished.
+	barriers := make(map[int]chan struct{})
+	for _, r := range f.ranges {
+		if _, ok := barriers[r.from]; !ok {
+			barriers[r.from] = make(chan struct{})
+		}
+	}
+	for w, ch := range barriers {
+		done := ch
+		e.queues[w].Put(envelope{barrier: func() { close(done) }})
+	}
+	for _, ch := range barriers {
+		select {
+		case <-ch:
+		case <-e.stopped:
+			m.abort(f)
+			return
+		}
+	}
+	// Deterministic stop check: halt's queue sweep signals unexecuted
+	// barriers too, so when both channels are ready the select above may
+	// have taken the barrier branch — a stopped executor must not run the
+	// hand-off (and mutate Stats) after Stop/Drain has returned.
+	select {
+	case <-e.stopped:
+		m.abort(f)
+		return
+	default:
+	}
+	// Phase 2 — hand-off: extract each moved range from its old shard and
+	// install it into the new one, on migrator-owned STM threads. The fence
+	// guarantees no task for these ranges is executing, so the only
+	// concurrency is with unmoved-range transactions (handled by the STM).
+	threads := make(map[int]*stm.Thread)
+	thOf := func(shard int) *stm.Thread {
+		th, ok := threads[shard]
+		if !ok {
+			th = e.shards[shard].stm.NewThread()
+			threads[shard] = th
+		}
+		return th
+	}
+	for _, r := range f.ranges {
+		// Re-check stop at each range boundary so a Stop() mid-hand-off
+		// stops mutating stats and shard state promptly (ranges already
+		// moved stay moved; the fence's held tasks are abandoned).
+		select {
+		case <-e.stopped:
+			m.abort(f)
+			return
+		default:
+		}
+		keys, err := m.stores[r.from].ExtractRange(thOf(r.from), r.lo, r.hi)
+		if err != nil {
+			// A partial extraction's keys are already out of the old
+			// shard; restore them so a failed range degrades to the
+			// MigrateOff semantics instead of losing data.
+			m.restore(r.from, thOf(r.from), keys,
+				fmt.Errorf("core: migrate extract [%d,%d] from shard %d: %w", r.lo, r.hi, r.from, err))
+			continue
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		if err := m.stores[r.to].InstallKeys(thOf(r.to), keys); err != nil {
+			m.restore(r.from, thOf(r.from), keys,
+				fmt.Errorf("core: migrate install [%d,%d] into shard %d: %w", r.lo, r.hi, r.to, err))
+			continue
+		}
+		m.keysMoved.Add(uint64(len(keys)))
+	}
+	// Stopped between hand-off and unpark: the held tasks must settle as
+	// ErrStopped (halt is sweeping for exactly that) rather than be
+	// enqueued to exited workers, and the epoch counters must not move
+	// after Stop returned.
+	select {
+	case <-e.stopped:
+		m.abort(f)
+		return
+	default:
+	}
+	// Phase 3 — unpark: under the write gate (so no new task can slip ahead
+	// of the held ones), hand every hold queue to its range's new owner and
+	// clear the fence.
+	m.gate.Lock()
+	held := f.take()
+	m.fence.Store(nil)
+	for i, envs := range held {
+		for _, env := range envs {
+			e.queues[f.ranges[i].to].Put(env)
+		}
+	}
+	m.gate.Unlock()
+	m.pauseNs.Add(uint64(time.Since(start)))
+	m.epochs.Add(1)
+	m.active.Store(false)
+}
+
+// abort settles a migration cut short by executor stop: held tasks are
+// abandoned with ErrStopped (halt's queue sweep handles everything already
+// enqueued).
+func (m *migrator) abort(f *fence) {
+	for i, envs := range f.take() {
+		for _, env := range envs {
+			m.e.abandon(f.ranges[i].to, env, ErrStopped)
+		}
+	}
+	m.fence.Store(nil)
+	m.active.Store(false)
+}
+
+// takeHeld strips the current fence's hold queues (halt path). It returns
+// the envelopes flattened; the fence stays installed but released, so racing
+// parkers fall through to queues halt is already sweeping.
+func (m *migrator) takeHeld() []envelope {
+	f := m.fence.Load()
+	if f == nil {
+		return nil
+	}
+	var out []envelope
+	for _, envs := range f.take() {
+		out = append(out, envs...)
+	}
+	return out
+}
+
+// restore puts a failed range's in-hand keys back into the shard they were
+// extracted from (best-effort — InstallKeys retries transactionally, so a
+// second failure means the shard's STM itself is broken) and records the
+// range's error. A restored range keeps its old-owner state, which is
+// exactly the MigrateOff behaviour for that range.
+func (m *migrator) restore(shard int, th *stm.Thread, keys []uint32, cause error) {
+	if len(keys) > 0 {
+		if rerr := m.stores[shard].InstallKeys(th, keys); rerr != nil {
+			cause = fmt.Errorf("%w (restore of %d keys into shard %d also failed: %v)", cause, len(keys), shard, rerr)
+		}
+	}
+	m.fail(cause)
+}
+
+// fail records the most recent migration error (stats/debugging).
+func (m *migrator) fail(err error) {
+	p := &err
+	m.lastErr.Store(p)
+}
+
+// Err returns the most recent migration error, if any.
+func (m *migrator) Err() error {
+	if p := m.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// stats snapshots the migration counters.
+func (m *migrator) stats() MigrationStats {
+	return MigrationStats{
+		Epochs:    m.epochs.Load(),
+		KeysMoved: m.keysMoved.Load(),
+		PauseNs:   m.pauseNs.Load(),
+	}
+}

@@ -99,8 +99,22 @@ type Adaptive struct {
 	h       *hist.Histogram
 	current atomic.Pointer[hist.Partition]
 	adapted atomic.Bool
-	adaptMu sync.Mutex // serializes partition rebuilds
+	adaptMu sync.Mutex // serializes partition rebuilds; also guards gate
 	epochs  atomic.Uint64
+	// gate, when set, is consulted before every partition swap: it may fence
+	// the moved ranges and returns a commit hook to run after the swap, or
+	// ok=false to skip this re-partition entirely (e.g. a shard-state
+	// migration is still in flight). Installed by the executor's migrator.
+	gate func(old, new *hist.Partition) (commit func(), ok bool)
+}
+
+// setRepartitionGate installs the pre-swap hook (see gate above). It must be
+// installed before dispatch traffic starts; the executor calls it from
+// NewExecutor.
+func (a *Adaptive) setRepartitionGate(fn func(old, new *hist.Partition) (func(), bool)) {
+	a.adaptMu.Lock()
+	a.gate = fn
+	a.adaptMu.Unlock()
 }
 
 // AdaptiveOption configures the adaptive scheduler.
@@ -190,13 +204,35 @@ func (a *Adaptive) maybeAdapt() {
 	if err != nil {
 		return
 	}
+	commit := func() {}
+	if a.gate != nil {
+		c, ok := a.gate(a.current.Load(), part)
+		if !ok {
+			// The gate declined (a migration is still in flight). Drop
+			// this window's estimate and sample a fresh one, so Pick does
+			// not rebuild the CDF on every call until the gate reopens.
+			a.h.Reset()
+			return
+		}
+		if c != nil {
+			commit = c
+		}
+	}
 	a.current.Store(part)
 	a.adapted.Store(true)
 	a.epochs.Add(1)
 	if a.readapt {
 		a.h.Reset()
 	}
+	commit()
 }
+
+// Repick returns the worker for key on the current partition WITHOUT
+// sampling the key into the histogram. Dispatch retry loops (backpressure
+// waits) use it so a submitter blocked for many backoff ticks contributes
+// one sample per task, not one per tick — otherwise a saturated queue's
+// keys would dominate the learned distribution.
+func (a *Adaptive) Repick(key uint64) int { return a.current.Load().Pick(key) }
 
 // Name implements Scheduler.
 func (a *Adaptive) Name() string { return string(SchedAdaptive) }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kstm/internal/core"
 	"kstm/internal/dist"
 	"kstm/internal/queue"
+	"kstm/internal/rng"
 	"kstm/internal/sim"
 	"kstm/internal/stats"
 	"kstm/internal/stm"
@@ -171,6 +173,12 @@ func Experiments() []Experiment {
 			Title: "In-process submission vs. loopback wire protocol (kstmd front-end)",
 			Paper: "beyond the paper: network front-end (ROADMAP)",
 			Run:   runNetwork,
+		},
+		Experiment{
+			ID:    "migration",
+			Title: "Sharded re-adaptation under key drift: state migration off vs. on",
+			Paper: "beyond the paper: epoch-fenced shard-state migration (ROADMAP)",
+			Run:   runMigration,
 		},
 	)
 	return exps
@@ -883,6 +891,145 @@ func ShardingPoint(o Options, distName string, mode core.ShardMode, workers, cli
 	default:
 	}
 	return ex.Stats(), elapsed, nil
+}
+
+// runMigration is the tentpole acceptance experiment: ShardPerWorker with
+// re-adaptation under a drifting Gaussian key stream, with shard-state
+// migration off (the DESIGN.md §4.1 visibility trade) and on (epoch-fenced
+// hand-off). Clients insert fresh keys and re-look-up their own earlier
+// inserts; since nothing ever deletes, every lookup miss is a visibility
+// error — a key stranded in a shard its range was re-routed away from.
+// Wait percentiles double as the pause measure: a parked task's wait
+// includes its time on the fence's hold queue.
+func runMigration(o Options) ([]*Table, error) {
+	const workers, clients = 8, 8
+	t := &Table{
+		ID: "migration",
+		Title: fmt.Sprintf("Sharded re-adaptation, drifting gaussian, migration off vs. on, %d workers, %d clients (real)",
+			workers, clients),
+		Cols: []string{"mode", "throughput", "vis_errors", "epochs", "keys_moved", "pause_ms",
+			"wait_p50_us", "wait_p95_us", "wait_p99_us"},
+	}
+	for mi, mode := range []core.MigrationMode{core.MigrateOff, core.MigrateOnRepartition} {
+		var thr, errs []float64
+		var last core.ExecStats
+		// One unrecorded warmup run per mode, mirroring runSharding.
+		if _, _, _, err := MigrationPoint(o, mode, workers, clients, o.Seed); err != nil {
+			return nil, err
+		}
+		for r := 0; r < max(1, o.Runs); r++ {
+			st, vis, elapsed, err := MigrationPoint(o, mode, workers, clients, o.Seed+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			if elapsed > 0 {
+				thr = append(thr, float64(st.Completed)/elapsed.Seconds())
+			}
+			errs = append(errs, float64(vis))
+			last = st
+		}
+		us := func(d time.Duration) float64 { return float64(d.Microseconds()) }
+		epochs := float64(last.Migrations.Epochs)
+		if mode == core.MigrateOff {
+			// Off mode still re-partitions; count the scheduler's epochs so
+			// the A/B shows both sides adapting.
+			epochs = float64(last.SchedulerEpochs)
+		}
+		t.Rows = append(t.Rows, []float64{float64(mi), stats.Summarize(thr).Mean,
+			stats.Summarize(errs).Mean, epochs, float64(last.Migrations.KeysMoved),
+			float64(last.Migrations.PauseNs) / 1e6,
+			us(last.Wait.P50), us(last.Wait.P95), us(last.Wait.P99)})
+	}
+	t.Notes = append(t.Notes,
+		"mode: 0=MigrateOff (re-routes ranges without their state — the §4.1 trade) 1=MigrateOnRepartition (epoch-fenced hand-off)",
+		"vis_errors: lookups of a client's own earlier insert that missed (mean per run); nothing deletes, so every miss is a stranded key",
+		"epochs/keys_moved/pause_ms are the final run's ExecStats.Migrations (off mode reports scheduler re-partitions as epochs)",
+		"wait percentiles include hold-queue time for fenced tasks; only moved ranges pause")
+	return []*Table{t}, nil
+}
+
+// MigrationPoint runs one migration-experiment configuration and returns the
+// final ExecStats, the visibility-error count, and the load wall-clock.
+// Exported for the harness tests and kbench -json.
+func MigrationPoint(o Options, mode core.MigrationMode, workers, clients int, seed uint64) (core.ExecStats, uint64, time.Duration, error) {
+	// A low threshold gives several re-adaptation windows within CI-sized
+	// traffic; production callers keep the paper's 10,000 default.
+	const threshold = 1500
+	ex, keyFn, err := NewMigratableShardedExecutor(txds.KindHashTable, workers, mode,
+		core.WithThreshold(threshold), core.WithReAdaptation())
+	if err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	total := max(clients, o.RealTasks)
+	per := total / clients
+	// The key stream drifts as a function of GLOBAL progress: a Gaussian
+	// whose mean slides from 1/8 to 7/8 of the key space over the run, so
+	// every adaptation window sees a different mass profile and the learned
+	// partitions genuinely move.
+	var progress atomic.Uint64
+	const (
+		keyStart, keyEnd = 8192.0, 57344.0
+		keyStddev        = 3000.0
+	)
+	var visErrors atomic.Uint64
+	errCh := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(c)*0x9e37)
+			var inserted []uint32
+			for i := 0; i < per; i++ {
+				frac := float64(progress.Add(1)) / float64(total)
+				mean := keyStart + frac*(keyEnd-keyStart)
+				kf := mean + keyStddev*r.NormFloat64()
+				if kf < 0 {
+					kf = 0
+				}
+				if kf > dist.MaxKey {
+					kf = dist.MaxKey
+				}
+				k := uint32(kf)
+				if _, err := ex.Submit(ctx, core.Task{Key: keyFn(k), Op: core.OpInsert, Arg: k}); err != nil {
+					errCh <- err
+					return
+				}
+				inserted = append(inserted, k)
+				if i%4 == 3 {
+					// Re-read one of this client's own earlier inserts.
+					q := inserted[r.Intn(len(inserted))]
+					res, err := ex.Submit(ctx, core.Task{Key: keyFn(q), Op: core.OpLookup, Arg: q})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if found, _ := res.Value.(bool); !found {
+						visErrors.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := ex.Drain(); err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return core.ExecStats{}, 0, 0, err
+	default:
+	}
+	if err := ex.MigrationErr(); err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	return ex.Stats(), visErrors.Load(), elapsed, nil
 }
 
 // RunAll executes every experiment and returns the tables in registry

@@ -462,6 +462,98 @@ func TestShardingExperiment(t *testing.T) {
 	t.Logf("sharding table: shared=%.0f txn/s, perworker=%.0f txn/s", thr[0], thr[1])
 }
 
+// TestMigrationExperiment is the tentpole acceptance in test form: under
+// ShardPerWorker + re-adaptation on a drifting key stream, the migration
+// point must report ZERO visibility errors with MigrateOnRepartition while
+// completing at least one hand-off epoch — and the MigrateOff side of the
+// A/B must still run (its error count is workload-timing dependent, so only
+// the migrated side is asserted exactly; the deterministic off-mode
+// reproducer lives in internal/core).
+func TestMigrationExperiment(t *testing.T) {
+	o := fastOptions()
+	o.RealTasks = 8000 // enough for several 1500-sample re-adaptation windows
+	st, vis, elapsed, err := MigrationPoint(o, core.MigrateOnRepartition, 4, 4, o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vis != 0 {
+		t.Errorf("MigrateOnRepartition: %d visibility errors, want 0", vis)
+	}
+	if st.Migrations.Epochs == 0 {
+		t.Error("no migration epoch completed — the drift did not force a re-partition")
+	}
+	if st.Migrations.Epochs > 0 && st.Migrations.KeysMoved == 0 {
+		t.Error("migration epochs completed without moving keys")
+	}
+	if elapsed <= 0 || st.Completed == 0 {
+		t.Errorf("degenerate run: completed=%d elapsed=%v", st.Completed, elapsed)
+	}
+	// The off side of the A/B stays runnable on the identical layout.
+	stOff, _, _, err := MigrationPoint(o, core.MigrateOff, 4, 4, o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOff.Migrations.Epochs != 0 || stOff.Migrations.KeysMoved != 0 {
+		t.Errorf("MigrateOff reported migrations: %+v", stOff.Migrations)
+	}
+	if stOff.SchedulerEpochs == 0 {
+		t.Error("MigrateOff: scheduler never re-partitioned")
+	}
+}
+
+// TestKeyRangeDictFactoryAliasing pins the kstmd store pairing: with
+// dict-key dispatch (Task.Key == Arg), hand-off ranges are dictionary-key
+// ranges — a hash-table store must move ONLY the keys in the range, not
+// every key aliased into the same buckets (k and k+30031 share a bucket).
+func TestKeyRangeDictFactoryAliasing(t *testing.T) {
+	f := NewKeyRangeDictFactory(txds.KindHashTable)
+	f.NewShard(0)
+	f.NewShard(1)
+	src, dst := f.Store(0), f.Store(1)
+	if src == nil || dst == nil {
+		t.Fatal("key-range factory returned nil stores")
+	}
+	s := stm.New()
+	th := s.NewThread()
+	table := f.Shard(0).(*txds.HashTable)
+	alias := uint32(table.Buckets()) + 7 // same bucket as key 7
+	for _, k := range []uint32{7, alias} {
+		if _, err := table.Insert(th, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := src.ExtractRange(th, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != 7 {
+		t.Fatalf("ExtractRange(0,1000) = %v, want [7] (alias %d must stay)", keys, alias)
+	}
+	if err := dst.InstallKeys(th, keys); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := table.Contains(th, alias); err != nil || !found {
+		t.Fatalf("aliased key %d lost from the source shard: %v %v", alias, found, err)
+	}
+	// The structure-space factory keeps bucket semantics for the harness
+	// executors (keyFn = Hash): the same range moves the whole bucket.
+	g := NewMigratableDictFactory(txds.KindHashTable)
+	g.NewShard(0)
+	gt := g.Shard(0).(*txds.HashTable)
+	for _, k := range []uint32{7, alias} {
+		if _, err := gt.Insert(th, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bkeys, err := g.Store(0).ExtractRange(th, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bkeys) != 2 {
+		t.Fatalf("bucket-space ExtractRange(0,1000) = %v, want both aliases", bkeys)
+	}
+}
+
 // TestShardedThroughputNotWorse is the acceptance guard in test form:
 // ShardPerWorker must not fall meaningfully below shared-mode throughput on
 // the Gaussian adaptive workload at 8 workers. The hard "≥" demonstration

@@ -79,10 +79,21 @@ func (d *DictWorkload) Execute(th *stm.Thread, t core.Task) (any, error) {
 // right-sized to its share of the keys (shardedBuckets), keeping the
 // sharded configuration's total footprint equal to the shared one instead
 // of multiplying it by the worker count.
+//
+// A migratable factory (NewMigratableDictFactory) instead keeps every shard
+// hash table at the prototype size: shard-state migration moves keys by
+// scheduling-key range, so every shard must agree with the dispatch
+// partition — and with each other — on the key→bucket mapping. The other
+// structures schedule by the dictionary key itself and need no such
+// alignment.
 type DictFactory struct {
 	kind    txds.Kind
 	buckets int // per-shard hash-table size; 0 = the structure default
-	shards  []txds.IntSet
+	// keyRange: Store() migrates by DICTIONARY-key range instead of the
+	// structure's own scheduling space — for deployments (kstmd) whose
+	// dispatch keys are the dictionary keys themselves, not hash outputs.
+	keyRange bool
+	shards   []txds.IntSet
 }
 
 // NewDictFactory returns a factory producing fresh kind-structures per
@@ -96,6 +107,28 @@ func NewDictFactory(kind txds.Kind, workers int) *DictFactory {
 		f.buckets = shardedBuckets(workers)
 	}
 	return f
+}
+
+// NewMigratableDictFactory returns a factory whose shards support
+// core.ShardStore hand-off in the STRUCTURE's scheduling space: dictionary
+// keys for the ordered structures, bucket indices for the hash table.
+// Pair it with a dispatcher whose transaction keys live in that space
+// (NewMigratableShardedExecutor's keyFn does; hash tables then dispatch on
+// Hash output over [0, buckets-1]).
+func NewMigratableDictFactory(kind txds.Kind) *DictFactory {
+	return &DictFactory{kind: kind}
+}
+
+// NewKeyRangeDictFactory returns a migratable factory whose stores
+// interpret hand-off ranges as DICTIONARY-key ranges for every structure —
+// the right pairing when dispatch keys are the dictionary keys themselves,
+// as with kstmd's wire clients (scheduler over [0, MaxKey], Task.Key ==
+// Arg). With the structure-space factory there, a hash table would migrate
+// bucket-index ranges while the partition moved raw-key ranges: aliased
+// keys (k and k+buckets share a bucket) would be relocated out from under
+// live unfenced traffic.
+func NewKeyRangeDictFactory(kind txds.Kind) *DictFactory {
+	return &DictFactory{kind: kind, keyRange: true}
 }
 
 // shardedBuckets returns a prime near DefaultBuckets/workers: each shard
@@ -149,6 +182,60 @@ func (f *DictFactory) Shard(worker int) txds.IntSet {
 		return nil
 	}
 	return f.shards[worker]
+}
+
+// Store implements core.StoreFactory: the migratable face of the worker's
+// shard. It returns nil — disabling migration at executor validation — when
+// the shard structure does not implement txds.RangeStore, or when hash-table
+// shards were right-sized (their bucket spaces then disagree with the
+// dispatch partition's; use NewMigratableDictFactory).
+func (f *DictFactory) Store(worker int) core.ShardStore {
+	if f.kind == txds.KindHashTable && f.buckets > 0 {
+		return nil
+	}
+	set := f.Shard(worker)
+	rs, ok := set.(txds.RangeStore)
+	if !ok {
+		return nil
+	}
+	if f.keyRange {
+		if ht, isHash := set.(*txds.HashTable); isHash {
+			return dictStore{rs: keyRangeHashStore{t: ht}}
+		}
+		// The ordered structures' scheduling space IS the dictionary key.
+	}
+	return dictStore{rs: rs}
+}
+
+// keyRangeHashStore views a hash table through dictionary-key ranges
+// (ExtractKeyRange) instead of its native bucket ranges.
+type keyRangeHashStore struct{ t *txds.HashTable }
+
+func (s keyRangeHashStore) ExtractRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
+	return s.t.ExtractKeyRange(th, lo, hi)
+}
+
+func (s keyRangeHashStore) InstallKeys(th *stm.Thread, keys []uint32) error {
+	return s.t.InstallKeys(th, keys)
+}
+
+// dictStore adapts a txds.RangeStore (32-bit scheduling keys) to
+// core.ShardStore (the partition's 64-bit key space).
+type dictStore struct{ rs txds.RangeStore }
+
+func (s dictStore) ExtractRange(th *stm.Thread, lo, hi uint64) ([]uint32, error) {
+	const max32 = uint64(^uint32(0))
+	if lo > max32 {
+		return nil, nil // whole range above the 32-bit dictionary space
+	}
+	if hi > max32 {
+		hi = max32
+	}
+	return s.rs.ExtractRange(th, uint32(lo), uint32(hi))
+}
+
+func (s dictStore) InstallKeys(th *stm.Thread, keys []uint32) error {
+	return s.rs.InstallKeys(th, keys)
 }
 
 // NewRealConfig assembles a real-mode executor config for a benchmark
@@ -216,6 +303,39 @@ func NewOpenExecutor(kind txds.Kind, sched core.SchedulerKind, workers int, opts
 		core.WithWorkers(workers),
 		core.WithSchedulerKind(sched, 0, maxKey, opts...),
 	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, keyFn, nil
+}
+
+// NewMigratableShardedExecutor assembles a ShardPerWorker adaptive executor
+// whose shards support epoch-fenced state hand-off (migratable DictFactory:
+// structure defaults in every shard, so hash-table shards share the
+// prototype's bucket space). mode selects whether the hand-off runs —
+// MigrateOff keeps the §4 visibility trade on an otherwise identical
+// configuration, which is exactly the A/B the migration experiment needs.
+func NewMigratableShardedExecutor(kind txds.Kind, workers int, mode core.MigrationMode, opts ...core.AdaptiveOption) (ex *core.Executor, keyFn func(uint32) uint64, err error) {
+	proto, err := txds.New(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyFn = func(k uint32) uint64 { return uint64(k) }
+	maxKey := uint64(dist.MaxKey)
+	if ht, ok := proto.(*txds.HashTable); ok {
+		keyFn = func(k uint32) uint64 { return uint64(ht.Hash(k)) }
+		maxKey = uint64(ht.Buckets() - 1)
+	}
+	eopts := []core.Option{
+		core.WithSharding(core.ShardPerWorker),
+		core.WithWorkloadFactory(NewMigratableDictFactory(kind)),
+		core.WithWorkers(workers),
+		core.WithSchedulerKind(core.SchedAdaptive, 0, maxKey, opts...),
+	}
+	if mode != "" && mode != core.MigrateOff {
+		eopts = append(eopts, core.WithMigration(mode))
+	}
+	ex, err = core.NewExecutor(eopts...)
 	if err != nil {
 		return nil, nil, err
 	}

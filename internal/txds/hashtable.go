@@ -155,6 +155,108 @@ func (t *HashTable) Len(th *stm.Thread) (int, error) {
 	return n, err
 }
 
+// ExtractRange implements RangeStore. For the hash table the scheduling key
+// is the bucket index (the Hash output the executor dispatches on), so
+// [lo, hi] selects whole buckets; hi clamps to the table size. Each bucket
+// drains in its own transaction: the moved range is quiesced by the caller,
+// so per-bucket atomicity is enough and keeps the operation obstruction-
+// friendly against concurrent traffic on other buckets.
+func (t *HashTable) ExtractRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
+	if int(hi) >= len(t.buckets) {
+		hi = uint32(len(t.buckets) - 1)
+	}
+	var out []uint32
+	for b := lo; b <= hi; b++ {
+		obj := t.buckets[b]
+		mark := len(out)
+		err := th.Atomic(func(tx *stm.Tx) error {
+			out = out[:mark] // an aborted attempt must not leave its appends
+			v, err := tx.Read(obj)
+			if err != nil {
+				return err
+			}
+			if len(v.(*bucket).keys) == 0 {
+				return nil // empty bucket: no write acquisition
+			}
+			w, err := tx.Write(obj)
+			if err != nil {
+				return err
+			}
+			bk := w.(*bucket)
+			out = append(out, bk.keys...)
+			bk.keys = nil
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+		if b == hi {
+			break // hi may be the maximum uint32; b++ would wrap
+		}
+	}
+	return out, nil
+}
+
+// ExtractKeyRange removes and returns every DICTIONARY key in [lo, hi] —
+// for deployments that dispatch on the dictionary key itself rather than
+// the hash output (e.g. kstmd's wire clients, which choose their own
+// scheduling keys). A dictionary-key range is scattered across buckets, so
+// this scans the whole table, filtering per bucket; migration is rare and
+// fenced, so the O(buckets) pass is paid off the execution path.
+func (t *HashTable) ExtractKeyRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
+	var out []uint32
+	for _, obj := range t.buckets {
+		obj := obj
+		mark := len(out)
+		err := th.Atomic(func(tx *stm.Tx) error {
+			out = out[:mark]
+			v, err := tx.Read(obj)
+			if err != nil {
+				return err
+			}
+			hit := false
+			for _, k := range v.(*bucket).keys {
+				if k >= lo && k <= hi {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return nil
+			}
+			w, err := tx.Write(obj)
+			if err != nil {
+				return err
+			}
+			bk := w.(*bucket)
+			kept := bk.keys[:0]
+			for _, k := range bk.keys {
+				if k >= lo && k <= hi {
+					out = append(out, k)
+				} else {
+					kept = append(kept, k)
+				}
+			}
+			bk.keys = kept
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// InstallKeys implements RangeStore.
+func (t *HashTable) InstallKeys(th *stm.Thread, keys []uint32) error {
+	for _, k := range keys {
+		if _, err := t.Insert(th, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func containsKey(keys []uint32, key uint32) bool {
 	for _, k := range keys {
 		if k == key {

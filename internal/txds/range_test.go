@@ -1,0 +1,254 @@
+package txds
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"kstm/internal/stm"
+)
+
+// rangeKinds lists every structure implementing RangeStore, with the mapping
+// from a dictionary key to its scheduling key (identity except for the hash
+// table, whose scheduling key is the bucket index).
+func rangeKinds(t *testing.T) map[Kind]func(IntSet) func(uint32) uint32 {
+	t.Helper()
+	ident := func(IntSet) func(uint32) uint32 {
+		return func(k uint32) uint32 { return k }
+	}
+	return map[Kind]func(IntSet) func(uint32) uint32{
+		KindHashTable: func(s IntSet) func(uint32) uint32 {
+			ht := s.(*HashTable)
+			return ht.Hash
+		},
+		KindRBTree:     ident,
+		KindSortedList: ident,
+		KindSkipList:   ident,
+	}
+}
+
+// TestExtractInstallRoundTrip seeds each structure, extracts a scheduling-key
+// range into a second (empty) instance, and checks the partition: extracted
+// keys land in the target, the rest stay in the source, nothing is lost or
+// duplicated.
+func TestExtractInstallRoundTrip(t *testing.T) {
+	for kind, keyFnOf := range rangeKinds(t) {
+		kind, keyFnOf := kind, keyFnOf
+		t.Run(string(kind), func(t *testing.T) {
+			s := stm.New()
+			th := s.NewThread()
+			src, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keyFn := keyFnOf(src)
+			// A spread of keys (sparse, so list-based structures stay fast).
+			var all []uint32
+			for k := uint32(0); k < 2000; k += 7 {
+				all = append(all, k)
+				if added, err := src.Insert(th, k); err != nil || !added {
+					t.Fatalf("seed insert %d: added=%v err=%v", k, added, err)
+				}
+			}
+			const lo, hi = 300, 900
+			inRange := func(k uint32) bool { sk := keyFn(k); return sk >= lo && sk <= hi }
+
+			rs := src.(RangeStore)
+			moved, err := rs.ExtractRange(th, lo, hi)
+			if err != nil {
+				t.Fatalf("ExtractRange: %v", err)
+			}
+			if err := dst.(RangeStore).InstallKeys(th, moved); err != nil {
+				t.Fatalf("InstallKeys: %v", err)
+			}
+
+			var wantMoved []uint32
+			for _, k := range all {
+				if inRange(k) {
+					wantMoved = append(wantMoved, k)
+				}
+			}
+			gotMoved := append([]uint32(nil), moved...)
+			sort.Slice(gotMoved, func(i, j int) bool { return gotMoved[i] < gotMoved[j] })
+			if len(gotMoved) != len(wantMoved) {
+				t.Fatalf("extracted %d keys, want %d", len(gotMoved), len(wantMoved))
+			}
+			for i := range wantMoved {
+				if gotMoved[i] != wantMoved[i] {
+					t.Fatalf("extracted[%d] = %d, want %d", i, gotMoved[i], wantMoved[i])
+				}
+			}
+			// Every key is in exactly the structure its scheduling key says.
+			for _, k := range all {
+				inSrc, err := src.Contains(th, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inDst, err := dst.Contains(th, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if inRange(k) && (inSrc || !inDst) {
+					t.Fatalf("key %d (moved): src=%v dst=%v", k, inSrc, inDst)
+				}
+				if !inRange(k) && (!inSrc || inDst) {
+					t.Fatalf("key %d (kept): src=%v dst=%v", k, inSrc, inDst)
+				}
+			}
+			// Empty re-extraction: the range is gone from the source.
+			again, err := rs.ExtractRange(th, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(again) != 0 {
+				t.Fatalf("second extract returned %d keys", len(again))
+			}
+		})
+	}
+}
+
+// TestExtractRangeEmptyAndEdges exercises empty structures, empty ranges and
+// the top of the key space (clamping, no uint32 wraparound).
+func TestExtractRangeEmptyAndEdges(t *testing.T) {
+	for kind := range rangeKinds(t) {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			s := stm.New()
+			th := s.NewThread()
+			set, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := set.(RangeStore)
+			if keys, err := rs.ExtractRange(th, 0, ^uint32(0)); err != nil || len(keys) != 0 {
+				t.Fatalf("empty extract = (%v, %v)", keys, err)
+			}
+			if _, err := set.Insert(th, 5); err != nil {
+				t.Fatal(err)
+			}
+			// A range that misses the only key.
+			if keys, err := rs.ExtractRange(th, 100, 200); err != nil || len(keys) != 0 {
+				t.Fatalf("miss extract = (%v, %v)", keys, err)
+			}
+			if found, err := set.Contains(th, 5); err != nil || !found {
+				t.Fatalf("key 5 lost by miss extract: found=%v err=%v", found, err)
+			}
+			if err := rs.InstallKeys(th, nil); err != nil {
+				t.Fatalf("empty install: %v", err)
+			}
+			// Install with a duplicate is a no-op for the existing key.
+			if err := rs.InstallKeys(th, []uint32{5, 6}); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []uint32{5, 6} {
+				if found, err := set.Contains(th, k); err != nil || !found {
+					t.Fatalf("key %d after install: found=%v err=%v", k, found, err)
+				}
+			}
+		})
+	}
+}
+
+// TestHashTableExtractKeyRange pins the dictionary-key-range view of the
+// hash table: aliased keys (k and k+buckets share a bucket) must NOT travel
+// together — only the keys inside the requested dictionary range move.
+func TestHashTableExtractKeyRange(t *testing.T) {
+	s := stm.New()
+	th := s.NewThread()
+	ht := NewHashTable(0)
+	alias := uint32(ht.Buckets()) + 5 // same bucket as key 5
+	for _, k := range []uint32{5, alias, 42, 60000} {
+		if _, err := ht.Insert(th, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := ht.ExtractKeyRange(th, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) != 2 || keys[0] != 5 || keys[1] != 42 {
+		t.Fatalf("ExtractKeyRange(0,100) = %v, want [5 42]", keys)
+	}
+	// The aliased key stayed put even though its bucket was touched.
+	for k, want := range map[uint32]bool{5: false, 42: false, alias: true, 60000: true} {
+		found, err := ht.Contains(th, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != want {
+			t.Errorf("key %d: found=%v want=%v", k, found, want)
+		}
+	}
+	// Re-install round-trips.
+	if err := ht.InstallKeys(th, keys); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := ht.Contains(th, 5); err != nil || !found {
+		t.Fatalf("key 5 after reinstall: %v %v", found, err)
+	}
+}
+
+// TestExtractRangeUnderConcurrency extracts a quiesced range while other
+// goroutines hammer keys outside it — the migration fence's exact contract.
+// Run with -race.
+func TestExtractRangeUnderConcurrency(t *testing.T) {
+	for kind := range rangeKinds(t) {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			s := stm.New()
+			th := s.NewThread()
+			set, err := New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Quiesced range [0, 99]; contenders work on [1000, 1100).
+			for k := uint32(0); k < 100; k += 3 {
+				if _, err := set.Insert(th, k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					gth := s.NewThread()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := uint32(1000 + (g*25+i)%100)
+						if i%2 == 0 {
+							if _, err := set.Insert(gth, k); err != nil {
+								t.Error(err)
+								return
+							}
+						} else {
+							if _, err := set.Delete(gth, k); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			keys, err := set.(RangeStore).ExtractRange(th, 0, 99)
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("ExtractRange under concurrency: %v", err)
+			}
+			if want := (100 + 2) / 3; len(keys) != want {
+				t.Fatalf("extracted %d keys, want %d", len(keys), want)
+			}
+		})
+	}
+}

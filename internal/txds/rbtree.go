@@ -566,6 +566,69 @@ func (t *RBTree) walk(tx *stm.Tx, obj *stm.Object, out *[]uint32) error {
 	return t.walk(tx, n.kids[1], out)
 }
 
+// ExtractRange implements RangeStore: the tree's scheduling key is the
+// dictionary key, so [lo, hi] selects keys directly. The keys are collected
+// in one range-pruned walk transaction, then removed with the ordinary
+// per-key Delete — each operation retries internally, so concurrent traffic
+// on keys outside the (caller-quiesced) range cannot wedge the extraction.
+func (t *RBTree) ExtractRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
+	var keys []uint32
+	err := th.Atomic(func(tx *stm.Tx) error {
+		keys = keys[:0]
+		rv, err := tx.Read(t.root)
+		if err != nil {
+			return err
+		}
+		return t.walkRange(tx, rv.(*rbRoot).child, int64(lo), int64(hi), &keys)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if _, err := t.Delete(th, k); err != nil {
+			// Partial extraction: keys[:i] are already out of the tree —
+			// return them with the error so the caller can restore or
+			// forward them instead of losing them.
+			return keys[:i], err
+		}
+	}
+	return keys, nil
+}
+
+// walkRange appends the subtree's keys within [lo, hi], pruning branches
+// wholly outside the range.
+func (t *RBTree) walkRange(tx *stm.Tx, obj *stm.Object, lo, hi int64, out *[]uint32) error {
+	if obj == nil {
+		return nil
+	}
+	n, err := readNode(tx, obj)
+	if err != nil {
+		return err
+	}
+	if n.key > lo {
+		if err := t.walkRange(tx, n.kids[0], lo, hi, out); err != nil {
+			return err
+		}
+	}
+	if n.key >= lo && n.key <= hi {
+		*out = append(*out, uint32(n.key))
+	}
+	if n.key < hi {
+		return t.walkRange(tx, n.kids[1], lo, hi, out)
+	}
+	return nil
+}
+
+// InstallKeys implements RangeStore.
+func (t *RBTree) InstallKeys(th *stm.Thread, keys []uint32) error {
+	for _, k := range keys {
+		if _, err := t.Insert(th, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CheckInvariants verifies the red-black invariants in one transaction:
 // binary-search order, no red node with a red child, equal black height on
 // every root-leaf path, and a black root. It returns the node count.

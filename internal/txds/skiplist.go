@@ -211,6 +211,54 @@ func (l *SkipList) Contains(th *stm.Thread, key uint32) (bool, error) {
 	return found, err
 }
 
+// ExtractRange implements RangeStore: the skip list's scheduling key is the
+// dictionary key. Keys in [lo, hi] are collected in one bottom-level walk
+// transaction and then removed with the ordinary per-key Delete (which
+// repairs every affected tower level and retries internally).
+func (l *SkipList) ExtractRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
+	var keys []uint32
+	err := th.Atomic(func(tx *stm.Tx) error {
+		keys = keys[:0]
+		_, currObj, err := l.findPreds(tx, int64(lo))
+		if err != nil {
+			return err
+		}
+		for currObj != nil {
+			curr, err := readSkip(tx, currObj)
+			if err != nil {
+				return err
+			}
+			if curr.key > int64(hi) {
+				break
+			}
+			keys = append(keys, uint32(curr.key))
+			currObj = curr.next[0]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if _, err := l.Delete(th, k); err != nil {
+			// Partial extraction: keys[:i] are already unlinked — return
+			// them with the error so the caller can restore them.
+			return keys[:i], err
+		}
+	}
+	return keys, nil
+}
+
+// InstallKeys implements RangeStore.
+func (l *SkipList) InstallKeys(th *stm.Thread, keys []uint32) error {
+	for _, k := range keys {
+		if _, err := l.Insert(th, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Keys returns the contents in order via the bottom level.
 func (l *SkipList) Keys(th *stm.Thread) ([]uint32, error) {
 	var out []uint32

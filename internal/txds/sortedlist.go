@@ -150,6 +150,61 @@ func (l *SortedList) Contains(th *stm.Thread, key uint32) (bool, error) {
 	return found, err
 }
 
+// ExtractRange implements RangeStore: the list's scheduling key is the
+// dictionary key. The whole range is spliced out in one transaction — find
+// the predecessor of lo with early release, then unlink through hi, write-
+// acquiring each removed node so readers standing on it fail validation.
+func (l *SortedList) ExtractRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
+	var out []uint32
+	err := th.Atomic(func(tx *stm.Tx) error {
+		out = out[:0]
+		w, err := l.find(tx, int64(lo))
+		if err != nil {
+			return err
+		}
+		currObj, curr := w.currObj, w.curr
+		for currObj != nil && curr.key <= int64(hi) {
+			cw, err := tx.Write(currObj)
+			if err != nil {
+				return err
+			}
+			victim := cw.(*listNode)
+			out = append(out, uint32(victim.key))
+			currObj = victim.next
+			if currObj != nil {
+				cv, err := tx.Read(currObj)
+				if err != nil {
+					return err
+				}
+				curr = cv.(*listNode)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		pw, err := tx.Write(w.prevObj)
+		if err != nil {
+			return err
+		}
+		pw.(*listNode).next = currObj
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InstallKeys implements RangeStore.
+func (l *SortedList) InstallKeys(th *stm.Thread, keys []uint32) error {
+	for _, k := range keys {
+		if _, err := l.Insert(th, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Len counts the list's nodes in one traversal (with early release).
 func (l *SortedList) Len(th *stm.Thread) (int, error) {
 	var n int

@@ -137,6 +137,11 @@ var (
 // IntSet is the abstract dictionary interface of the benchmarks.
 type IntSet = txds.IntSet
 
+// RangeStore is the shard-migration face of a dictionary: extract every key
+// in a scheduling-key range, install a batch of keys. All four structures
+// implement it.
+type RangeStore = txds.RangeStore
+
 // HashTable is the paper's 30031-bucket chained hash table.
 type HashTable = txds.HashTable
 
@@ -221,6 +226,34 @@ const (
 	ShardShared    = core.ShardShared
 	ShardPerWorker = core.ShardPerWorker
 )
+
+// MigrationMode selects whether sharded shard state follows the learned
+// partition when the adaptive scheduler re-partitions.
+type MigrationMode = core.MigrationMode
+
+// Migration modes: keep state where it was written (the §4 visibility
+// trade-off, default), or run the epoch-fenced hand-off so sharded
+// execution gives read-your-writes across any re-adaptation.
+const (
+	MigrateOff           = core.MigrateOff
+	MigrateOnRepartition = core.MigrateOnRepartition
+)
+
+// WithMigration selects the shard-state migration mode. MigrateOnRepartition
+// requires ShardPerWorker, the adaptive scheduler, and a WorkloadFactory
+// implementing StoreFactory.
+var WithMigration = core.WithMigration
+
+// MigrationStats reports the epoch-fenced hand-off counters
+// (ExecStats.Migrations): completed epochs, keys moved, total fence pause.
+type MigrationStats = core.MigrationStats
+
+// ShardStore is the migratable transactional state of one shard: range
+// extraction and key installation in the executor's scheduling-key space.
+type ShardStore = core.ShardStore
+
+// StoreFactory is a WorkloadFactory whose shards expose migratable state.
+type StoreFactory = core.StoreFactory
 
 // ShardStats reports one shard's completions and STM counter deltas.
 type ShardStats = core.ShardStats

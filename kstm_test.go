@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"kstm"
 )
@@ -329,4 +330,117 @@ func ExampleNewBox() {
 	v, _ := account.Read(tx)
 	fmt.Println(*v)
 	// Output: 70
+}
+
+// migFacadeFactory is the migration quick-start written purely against the
+// facade: hash-table shards at full size (every shard agrees with the
+// dispatch partition on the key→bucket mapping) exposed as ShardStores.
+type migFacadeFactory struct {
+	tables []*kstm.HashTable
+}
+
+func (f *migFacadeFactory) NewShard(worker int) kstm.Workload {
+	table := kstm.NewHashTable(0)
+	for len(f.tables) <= worker {
+		f.tables = append(f.tables, nil)
+	}
+	f.tables[worker] = table
+	return kstm.WorkloadFunc(func(th *kstm.Thread, t kstm.Task) (any, error) {
+		switch t.Op {
+		case kstm.OpInsert:
+			return table.Insert(th, t.Arg)
+		case kstm.OpLookup:
+			return table.Contains(th, t.Arg)
+		default:
+			return nil, fmt.Errorf("bad op %v", t.Op)
+		}
+	})
+}
+
+func (f *migFacadeFactory) Store(worker int) kstm.ShardStore {
+	return hashRangeStore{t: f.tables[worker]}
+}
+
+// hashRangeStore adapts the exported RangeStore (32-bit scheduling keys) to
+// the executor's 64-bit ShardStore ranges.
+type hashRangeStore struct{ t *kstm.HashTable }
+
+func (s hashRangeStore) ExtractRange(th *kstm.Thread, lo, hi uint64) ([]uint32, error) {
+	if m := uint64(^uint32(0)); hi > m {
+		hi = m
+	}
+	return s.t.ExtractRange(th, uint32(lo), uint32(hi))
+}
+
+func (s hashRangeStore) InstallKeys(th *kstm.Thread, keys []uint32) error {
+	return s.t.InstallKeys(th, keys)
+}
+
+// TestFacadeMigration drives the epoch-fenced migration through exported
+// names only: sharded executor, adaptive re-adaptation, WithMigration — a
+// key written before the forced re-partition stays readable after it.
+func TestFacadeMigration(t *testing.T) {
+	factory := &migFacadeFactory{}
+	proto := kstm.NewHashTable(0)
+	maxKey := uint64(proto.Buckets() - 1)
+	keyFn := func(k uint32) uint64 { return uint64(proto.Hash(k)) }
+	const threshold = 800
+	ex, err := kstm.NewExecutor(
+		kstm.WithWorkers(2),
+		kstm.WithSharding(kstm.ShardPerWorker),
+		kstm.WithWorkloadFactory(factory),
+		kstm.WithSchedulerKind(kstm.SchedAdaptive, 0, maxKey,
+			kstm.WithThreshold(threshold), kstm.WithReAdaptation()),
+		kstm.WithMigration(kstm.MigrateOnRepartition),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Migration() != kstm.MigrateOnRepartition {
+		t.Fatalf("Migration() = %q", ex.Migration())
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	// Probe bucket 10000: inside worker 0's uniform half (boundary ~15015
+	// of the 30031-bucket space) until the low-key sample mass pulls the
+	// PD boundary down to ~2048 and the probe's range moves to worker 1.
+	const probe = uint32(10000)
+	if found, err := kstm.SubmitTyped[bool](ctx, ex, kstm.Task{Key: keyFn(probe), Op: kstm.OpInsert, Arg: probe}); err != nil || !found {
+		t.Fatalf("probe insert: (%v, %v)", found, err)
+	}
+	// Concentrate sampled mass well below the probe to force a boundary
+	// shift on adaptation; the trigger task uses key 1 (never moves).
+	for i := 1; i < threshold; i++ {
+		k := uint32(i*4) % 4096
+		if i == threshold-1 {
+			k = 1
+		}
+		if _, err := ex.Submit(ctx, kstm.Task{Key: keyFn(k), Op: kstm.OpInsert, Arg: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ex.Stats().Migrations.Epochs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no migration epoch after forced re-partition")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	found, err := kstm.SubmitTyped[bool](ctx, ex, kstm.Task{Key: keyFn(probe), Op: kstm.OpLookup, Arg: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("pre-migration insert invisible after re-partition with MigrateOnRepartition")
+	}
+	if err := ex.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := ex.Stats()
+	if st.Migrations.KeysMoved == 0 || st.SchedulerEpochs == 0 {
+		t.Errorf("Migrations = %+v, SchedulerEpochs = %d", st.Migrations, st.SchedulerEpochs)
+	}
 }

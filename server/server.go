@@ -52,6 +52,11 @@ type Stats struct {
 	Busy, Cancelled, Stopped, BadRequest, Failed uint64
 	// ProtocolErrors counts connections dropped for undecodable input.
 	ProtocolErrors uint64
+	// Migrations mirrors the executor's shard-state hand-off counters
+	// (ExecStats.Migrations), so an operator reading the server's stats
+	// line sees re-partition hand-offs without a second probe; all zero
+	// unless the executor runs WithMigration(MigrateOnRepartition).
+	Migrations kstm.MigrationStats
 }
 
 // Option configures a Server.
@@ -69,6 +74,15 @@ func WithMaxOp(op uint8) Option { return func(s *Server) { s.maxOp = op } }
 // default) passes keys through untouched.
 func WithKeyMask(mask uint64) Option { return func(s *Server) { s.keyMask = mask } }
 
+// WithMaxArg rejects requests whose dictionary argument exceeds max with
+// StatusBadRequest. A migrating executor needs it: hand-off ranges live in
+// the masked dispatch-key space, so an Arg outside that space would be
+// dispatched by its masked key but never matched by a dictionary-key
+// extraction — stranded in its old shard across re-partitions. Bounding
+// Arg to the dispatch space (kstmd -migrate uses kstm.MaxKey) keeps the
+// read-your-writes guarantee airtight. Zero (the default) accepts any Arg.
+func WithMaxArg(max uint32) Option { return func(s *Server) { s.maxArg = max } }
+
 // WithLogger sets the connection-error logger (default log.Default; use a
 // discarding logger in tests).
 func WithLogger(l *log.Logger) Option { return func(s *Server) { s.log = l } }
@@ -77,6 +91,7 @@ func WithLogger(l *log.Logger) Option { return func(s *Server) { s.log = l } }
 type Server struct {
 	ex      *kstm.Executor
 	maxOp   uint8
+	maxArg  uint32
 	keyMask uint64
 	log     *log.Logger
 
@@ -198,6 +213,7 @@ func (s *Server) Stats() Stats {
 		BadRequest:     s.nBadReq.Load(),
 		Failed:         s.nFailed.Load(),
 		ProtocolErrors: s.nProtoErr.Load(),
+		Migrations:     s.ex.MigrationStats(),
 	}
 }
 
@@ -265,6 +281,14 @@ func (s *Server) handle(conn net.Conn) {
 			s.respond(ctx, respCh, wire.Response{
 				ID: req.ID, Status: wire.StatusBadRequest,
 				Msg: fmt.Sprintf("opcode %d above maximum %d", req.Op, s.maxOp),
+			})
+			continue
+		}
+		if s.maxArg != 0 && req.Arg > s.maxArg {
+			s.nBadReq.Add(1)
+			s.respond(ctx, respCh, wire.Response{
+				ID: req.ID, Status: wire.StatusBadRequest,
+				Msg: fmt.Sprintf("argument %d above maximum %d", req.Arg, s.maxArg),
 			})
 			continue
 		}

@@ -328,6 +328,29 @@ func TestBadRequestMapping(t *testing.T) {
 	}
 }
 
+// TestMaxArgBound: with WithMaxArg set (the migrating-server contract —
+// hand-off ranges live in the dispatch-key space, so out-of-space Args
+// would strand), oversized arguments are refused with StatusBadRequest;
+// in-bound requests are unaffected.
+func TestMaxArgBound(t *testing.T) {
+	_, srv, addr, shutdown := startServer(t, dictExecutorOpts(t), server.WithMaxArg(kstm.MaxKey))
+	defer shutdown()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do(context.Background(), kstm.Task{Key: 1, Op: kstm.OpInsert, Arg: 70000}); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("arg 70000: %v, want ErrBadRequest", err)
+	}
+	if _, err := c.DoBool(context.Background(), kstm.Task{Key: 1, Op: kstm.OpInsert, Arg: 42}); err != nil {
+		t.Fatalf("in-bound arg after refusal: %v", err)
+	}
+	if ss := srv.Stats(); ss.BadRequest != 1 {
+		t.Errorf("BadRequest = %d, want 1", ss.BadRequest)
+	}
+}
+
 // TestWorkloadErrorMapping: hard workload errors travel back as ServerError
 // with the message intact.
 func TestWorkloadErrorMapping(t *testing.T) {
