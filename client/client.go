@@ -101,10 +101,16 @@ func WithDialTimeout(d time.Duration) Option {
 // concurrent use; concurrent calls pipeline over the single connection.
 type Client struct {
 	conn    net.Conn
-	wmu     sync.Mutex // serializes frame writes; guards bw and scratch
+	wmu     sync.Mutex // serializes frame writes; guards bw, scratch, needFlush
 	bw      *bufio.Writer
 	scratch []byte // frame-encoding buffer reused across calls
-	nextID  atomic.Uint64
+	// pend counts senders between their declaration of intent and their
+	// write: a sender that observes later arrivals skips its Flush and lets
+	// the LAST writer in the burst flush once — auto-coalescing that turns N
+	// concurrent DoAsync calls into one syscall without any timer.
+	pend      atomic.Int64
+	needFlush bool // buffered frames awaiting the burst's last writer
+	nextID    atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -159,6 +165,7 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 	c.pending[call.id] = call
 	c.mu.Unlock()
 
+	c.pend.Add(1)
 	c.wmu.Lock()
 	// Re-check after the (possibly long) wait for the write lock, and make
 	// a cancellation mid-write unblock the socket: the deadline poisons
@@ -167,36 +174,18 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 	// and the frame is built in a scratch buffer reused under wmu — the
 	// pipelining hot path stays allocation-free per call.
 	if err := ctx.Err(); err != nil {
+		ferr := c.abandonWriteLocked()
 		c.wmu.Unlock()
 		c.forget(call.id)
+		if ferr != nil {
+			c.fail(ferr)
+		}
 		return nil, err
 	}
 	c.scratch = wire.AppendRequest(c.scratch[:0], wire.Request{
 		ID: call.id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg,
 	})
-	var poisoned chan struct{}
-	var stop func() bool
-	if ctx.Done() != nil {
-		poisoned = make(chan struct{})
-		stop = context.AfterFunc(ctx, func() {
-			c.conn.SetWriteDeadline(time.Unix(1, 0)) // long past: fail the write now
-			close(poisoned)
-		})
-	}
-	_, err := c.bw.Write(c.scratch)
-	if err == nil {
-		err = c.bw.Flush()
-	}
-	if stop != nil {
-		if !stop() {
-			// The poison fired (perhaps after the write already
-			// succeeded); wait for it to land before clearing, so the
-			// reset below cannot be overwritten and leak a dead deadline
-			// to the next caller.
-			<-poisoned
-		}
-		c.conn.SetWriteDeadline(time.Time{})
-	}
+	err := c.writeLocked(ctx, c.scratch)
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(call.id)
@@ -211,6 +200,131 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 		return nil, fmt.Errorf("%w: %w", ErrClosed, err)
 	}
 	return call, nil
+}
+
+// DoBatch sends tasks as version-1 batch frames — one frame (one syscall)
+// carries up to wire.MaxBatch requests; larger batches split across frames
+// but still land in one write burst — and returns their pending Calls,
+// position-aligned with tasks. Responses arrive independently and possibly
+// out of order; Wait each Call. ctx bounds only the send. On error no task
+// was sent (a batch frame is all-or-nothing on the stream).
+//
+// Talking batch also invites the server to coalesce ITS responses into
+// batch frames on this connection, shrinking the return path's syscalls
+// symmetrically.
+func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	calls := make([]*Call, len(tasks))
+	reqs := make([]wire.Request, len(tasks))
+	for i, t := range tasks {
+		calls[i] = &Call{id: c.nextID.Add(1), done: make(chan struct{})}
+		reqs[i] = wire.Request{ID: calls[i].id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg}
+	}
+	forgetAll := func() {
+		c.mu.Lock()
+		for _, call := range calls {
+			delete(c.pending, call.id)
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	for _, call := range calls {
+		c.pending[call.id] = call
+	}
+	c.mu.Unlock()
+
+	c.pend.Add(1)
+	c.wmu.Lock()
+	if err := ctx.Err(); err != nil {
+		ferr := c.abandonWriteLocked()
+		c.wmu.Unlock()
+		forgetAll()
+		if ferr != nil {
+			c.fail(ferr)
+		}
+		return nil, err
+	}
+	c.scratch = c.scratch[:0]
+	for rest := reqs; len(rest) > 0; {
+		n := min(len(rest), wire.MaxBatch)
+		// Cannot fail: the chunk is non-empty and within MaxBatch.
+		c.scratch, _ = wire.AppendBatchRequest(c.scratch, rest[:n])
+		rest = rest[n:]
+	}
+	err := c.writeLocked(ctx, c.scratch)
+	c.wmu.Unlock()
+	if err != nil {
+		forgetAll()
+		c.fail(err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("%w: %w", ErrClosed, err)
+	}
+	return calls, nil
+}
+
+// writeLocked writes buf into the connection's buffered writer under wmu,
+// poisoning the socket write if ctx fires mid-write, and flushes — unless
+// another sender has already declared intent (c.pend), in which case the
+// flush is deferred to the burst's last writer: back-to-back pipelined
+// sends coalesce into one syscall with no timer and no added latency,
+// because the last writer always flushes before releasing wmu to a reader
+// of its result.
+func (c *Client) writeLocked(ctx context.Context, buf []byte) error {
+	var poisoned chan struct{}
+	var stop func() bool
+	if ctx.Done() != nil {
+		poisoned = make(chan struct{})
+		stop = context.AfterFunc(ctx, func() {
+			c.conn.SetWriteDeadline(time.Unix(1, 0)) // long past: fail the write now
+			close(poisoned)
+		})
+	}
+	_, err := c.bw.Write(buf)
+	if err == nil {
+		if c.pend.Add(-1) > 0 {
+			c.needFlush = true
+		} else {
+			c.needFlush = false
+			err = c.bw.Flush()
+		}
+	} else {
+		c.pend.Add(-1)
+	}
+	if stop != nil {
+		if !stop() {
+			// The poison fired (perhaps after the write already
+			// succeeded); wait for it to land before clearing, so the
+			// reset below cannot be overwritten and leak a dead deadline
+			// to the next caller.
+			<-poisoned
+		}
+		c.conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// abandonWriteLocked settles the coalescing accounting for a sender that
+// declared intent but wrote nothing (its ctx died waiting for wmu): if it
+// was the burst's last writer and earlier frames await a flush, it must
+// flush them — otherwise they would sit in the buffer until the next send.
+func (c *Client) abandonWriteLocked() error {
+	if c.pend.Add(-1) > 0 || !c.needFlush {
+		return nil
+	}
+	c.needFlush = false
+	return c.bw.Flush()
 }
 
 // Doer runs one task to completion: *Client and *Pool both implement it,
@@ -331,7 +445,8 @@ func (c *Client) fail(cause error) {
 	}
 }
 
-// readLoop decodes response frames and settles their calls.
+// readLoop decodes response frames — single or batch — and settles their
+// calls.
 func (c *Client) readLoop() {
 	defer close(c.readerDone)
 	br := bufio.NewReaderSize(c.conn, 32*1024)
@@ -342,28 +457,38 @@ func (c *Client) readLoop() {
 			c.fail(err)
 			return
 		}
-		if frame.Type != wire.TypeResponse {
+		switch frame.Type {
+		case wire.TypeResponse:
+			c.settleResp(frame.Resp)
+		case wire.TypeBatchResponse:
+			for _, resp := range frame.Resps {
+				c.settleResp(resp)
+			}
+		default:
 			c.fail(fmt.Errorf("unexpected frame type %d", frame.Type))
 			return
 		}
-		resp := frame.Resp
-		c.mu.Lock()
-		call := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
-		if call == nil {
-			// A response for a call we no longer track — a server bug
-			// or duplicate; drop it rather than kill the connection.
-			continue
-		}
-		call.res = Result{
-			Value: resp.Value,
-			Wait:  time.Duration(resp.WaitNS),
-			Exec:  time.Duration(resp.ExecNS),
-		}
-		call.err = statusError(resp)
-		close(call.done)
 	}
+}
+
+// settleResp completes the pending call a response answers.
+func (c *Client) settleResp(resp wire.Response) {
+	c.mu.Lock()
+	call := c.pending[resp.ID]
+	delete(c.pending, resp.ID)
+	c.mu.Unlock()
+	if call == nil {
+		// A response for a call we no longer track — a server bug
+		// or duplicate; drop it rather than kill the connection.
+		return
+	}
+	call.res = Result{
+		Value: resp.Value,
+		Wait:  time.Duration(resp.WaitNS),
+		Exec:  time.Duration(resp.ExecNS),
+	}
+	call.err = statusError(resp)
+	close(call.done)
 }
 
 // statusError maps a response status to the package's error vocabulary.

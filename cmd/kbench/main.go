@@ -65,13 +65,15 @@ func run(args []string) error {
 		csv        = fs.Bool("csv", false, "emit CSV instead of text tables")
 		asJSON     = fs.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 		trend      = fs.Bool("trend", false, "fold -json snapshot files (args or globs) into a perf-trajectory table")
+		gate       = fs.Float64("gate", 0, "with -trend: fail when a gated experiment's series drops more than this percent vs the previous snapshot (0 = off)")
+		gateExps   = fs.String("gate-experiments", "sharding,batching", "with -trend -gate: comma-separated experiment IDs the gate applies to")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *trend {
-		return runTrend(os.Stdout, fs.Args(), *csv)
+		return runTrend(os.Stdout, fs.Args(), *csv, *gate, *gateExps)
 	}
 	if *list {
 		fmt.Println("Available experiments (see DESIGN.md §7 for the paper mapping):")

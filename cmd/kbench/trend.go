@@ -21,7 +21,14 @@ import (
 // malformed snapshot files, and exact duplicates of an already-loaded
 // snapshot under another path, are skipped with a per-file warning on
 // stderr. Only an empty result (no usable snapshot at all) is an error.
-func runTrend(w io.Writer, patterns []string, asCSV bool) error {
+//
+// The rendered table ends with a "Δ% vs prev" row: each configuration's
+// relative change from the previous snapshot that has a value to the newest
+// one. With gatePct > 0 the delta doubles as a CI perf-regression gate: any
+// series whose experiment is named in gateExps (comma-separated table IDs)
+// and whose newest value dropped more than gatePct percent fails the run
+// with a non-nil error.
+func runTrend(w io.Writer, patterns []string, asCSV bool, gatePct float64, gateExps string) error {
 	if len(patterns) == 0 {
 		return fmt.Errorf("-trend needs snapshot files or globs (e.g. bench/*.json)")
 	}
@@ -116,7 +123,37 @@ func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 		return fmt.Errorf("no metric tables found in %d snapshot(s)", len(snaps))
 	}
 
-	// Render: snapshots down, configurations across.
+	// Per-series delta: the newest snapshot's value against the most recent
+	// earlier snapshot that has one. Series missing from the newest
+	// snapshot, or with no earlier value, have no delta.
+	deltaOf := map[string]float64{}
+	hasDelta := map[string]bool{}
+	if len(snaps) >= 2 {
+		last := snaps[len(snaps)-1]
+		for _, label := range order {
+			s := byLabel[label]
+			cur, ok := s.values[last]
+			if !ok {
+				continue
+			}
+			for i := len(snaps) - 2; i >= 0; i-- {
+				if prev, ok := s.values[snaps[i]]; ok && prev != 0 {
+					deltaOf[label] = (cur - prev) / prev * 100
+					hasDelta[label] = true
+					break
+				}
+			}
+		}
+	}
+	deltaCell := func(label string) string {
+		if !hasDelta[label] {
+			return "-"
+		}
+		return fmt.Sprintf("%+.1f%%", deltaOf[label])
+	}
+
+	// Render: snapshots down, configurations across, the delta row last.
+	const deltaRowName = "Δ% vs prev"
 	cols := append([]string{"snapshot"}, order...)
 	if asCSV {
 		fmt.Fprintln(w, strings.Join(cols, ","))
@@ -127,11 +164,16 @@ func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 			}
 			fmt.Fprintln(w, strings.Join(cells, ","))
 		}
-		return nil
+		cells := []string{deltaRowName}
+		for _, label := range order {
+			cells = append(cells, deltaCell(label))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+		return gateCheck(gatePct, gateExps, order, deltaOf, hasDelta)
 	}
 	fmt.Fprintf(w, "## perf trajectory — %d snapshot(s)\n\n", len(snaps))
 	widths := make([]int, len(cols))
-	rows := make([][]string, len(snaps))
+	rows := make([][]string, len(snaps)+1)
 	for i, c := range cols {
 		widths[i] = len(c)
 	}
@@ -141,7 +183,15 @@ func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 		for i, label := range order {
 			rows[r][i+1] = trendCell(byLabel[label].values, snap)
 		}
-		for i, cell := range rows[r] {
+	}
+	dr := make([]string, len(cols))
+	dr[0] = deltaRowName
+	for i, label := range order {
+		dr[i+1] = deltaCell(label)
+	}
+	rows[len(snaps)] = dr
+	for _, row := range rows {
+		for i, cell := range row {
 			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
@@ -162,6 +212,37 @@ func runTrend(w io.Writer, patterns []string, asCSV bool) error {
 			fmt.Fprintf(w, "%-*s", widths[i], cell)
 		}
 		fmt.Fprintln(w)
+	}
+	return gateCheck(gatePct, gateExps, order, deltaOf, hasDelta)
+}
+
+// gateCheck fails the run when a gated experiment's series dropped more than
+// gatePct percent between the previous snapshot and the newest. Series
+// without a comparable pair (new experiments, missing rows) pass — a gate
+// must catch regressions, not block additions.
+func gateCheck(gatePct float64, gateExps string, order []string, deltaOf map[string]float64, hasDelta map[string]bool) error {
+	if gatePct <= 0 {
+		return nil
+	}
+	gated := map[string]bool{}
+	for _, e := range strings.Split(gateExps, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			gated[e] = true
+		}
+	}
+	var failures []string
+	for _, label := range order {
+		exp, _, _ := strings.Cut(label, "/")
+		if !gated[exp] || !hasDelta[label] {
+			continue
+		}
+		if d := deltaOf[label]; d < -gatePct {
+			failures = append(failures, fmt.Sprintf("%s %+.1f%%", label, d))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate: %d series dropped more than %.0f%% vs the previous snapshot: %s",
+			len(failures), gatePct, strings.Join(failures, "; "))
 	}
 	return nil
 }

@@ -38,7 +38,7 @@ func TestTrendFoldsSnapshots(t *testing.T) {
 	writeSnapshot(t, dir, "BENCH_0003.json", 1200, 1500)
 
 	var out bytes.Buffer
-	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false); err != nil {
+	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -74,18 +74,73 @@ func TestTrendCSVAndMissingCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := runTrend(&out, []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}, true); err != nil {
+	if err := runTrend(&out, []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}, true, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), out.String())
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows + delta:\n%s", len(lines), out.String())
 	}
 	if !strings.HasPrefix(lines[0], "snapshot,") {
 		t.Fatalf("bad header: %s", lines[0])
 	}
+	if !strings.HasPrefix(lines[3], "Δ% vs prev,") {
+		t.Fatalf("last row is not the delta row: %s", lines[3])
+	}
 	if !strings.Contains(out.String(), "-") {
 		t.Error("missing cells not rendered as '-'")
+	}
+}
+
+// TestTrendDeltaRow pins the delta computation: newest snapshot vs the most
+// recent earlier one carrying the series, rendered as a signed percentage.
+func TestTrendDeltaRow(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_0001.json", 1000, 2000)
+	writeSnapshot(t, dir, "BENCH_0002.json", 1200, 1000)
+
+	var out bytes.Buffer
+	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// mode=0 rose 1000→1200 (+20%), mode=1 halved 2000→1000 (-50%).
+	for _, want := range []string{"Δ% vs prev", "+20.0%", "-50.0%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestTrendGate pins the CI perf gate: a gated experiment dropping past the
+// threshold fails the run naming the series; rises, small dips, ungated
+// experiments and series without a comparison pass.
+func TestTrendGate(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "BENCH_0001.json", 1000, 2000)
+	writeSnapshot(t, dir, "BENCH_0002.json", 1200, 1000) // mode=1 down 50%
+
+	glob := []string{filepath.Join(dir, "*.json")}
+	err := runTrend(&bytes.Buffer{}, glob, false, 25, "sharding,batching")
+	if err == nil {
+		t.Fatal("50% drop passed a 25% gate")
+	}
+	if !strings.Contains(err.Error(), "sharding/throughput mode=1") || !strings.Contains(err.Error(), "-50.0%") {
+		t.Errorf("gate error does not name the dropped series: %v", err)
+	}
+	// A looser gate passes.
+	if err := runTrend(&bytes.Buffer{}, glob, false, 60, "sharding,batching"); err != nil {
+		t.Errorf("60%% gate failed on a 50%% drop: %v", err)
+	}
+	// The drop is invisible to a gate scoped to other experiments.
+	if err := runTrend(&bytes.Buffer{}, glob, false, 25, "batching"); err != nil {
+		t.Errorf("ungated experiment tripped the gate: %v", err)
+	}
+	// A single snapshot has no deltas, so nothing can trip.
+	solo := t.TempDir()
+	writeSnapshot(t, solo, "BENCH_0001.json", 10, 10)
+	if err := runTrend(&bytes.Buffer{}, []string{filepath.Join(solo, "*.json")}, false, 25, "sharding"); err != nil {
+		t.Errorf("single snapshot tripped the gate: %v", err)
 	}
 }
 
@@ -110,7 +165,7 @@ func TestTrendSkipsCorruptAndDuplicateSnapshots(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false); err != nil {
+	if err := runTrend(&out, []string{filepath.Join(dir, "*.json")}, false, 0, ""); err != nil {
 		t.Fatalf("trend aborted on a corrupt snapshot: %v", err)
 	}
 	text := out.String()
@@ -127,16 +182,16 @@ func TestTrendSkipsCorruptAndDuplicateSnapshots(t *testing.T) {
 }
 
 func TestTrendErrors(t *testing.T) {
-	if err := runTrend(&bytes.Buffer{}, nil, false); err == nil {
+	if err := runTrend(&bytes.Buffer{}, nil, false, 0, ""); err == nil {
 		t.Error("no-args trend succeeded")
 	}
-	if err := runTrend(&bytes.Buffer{}, []string{filepath.Join(t.TempDir(), "nope*.json")}, false); err == nil {
+	if err := runTrend(&bytes.Buffer{}, []string{filepath.Join(t.TempDir(), "nope*.json")}, false, 0, ""); err == nil {
 		t.Error("empty glob succeeded")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("not json"), 0o644)
-	if err := runTrend(&bytes.Buffer{}, []string{bad}, false); err == nil {
+	if err := runTrend(&bytes.Buffer{}, []string{bad}, false, 0, ""); err == nil {
 		t.Error("malformed snapshot succeeded")
 	}
 }

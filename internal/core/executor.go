@@ -108,66 +108,6 @@ type TaskResult struct {
 	Exec time.Duration
 }
 
-// Future is the pending result of SubmitAsync. All methods are safe for
-// concurrent use; a Future completes exactly once.
-type Future struct {
-	done chan struct{}
-	res  TaskResult
-}
-
-func newFuture() *Future { return &Future{done: make(chan struct{})} }
-
-// complete resolves the future; callers must invoke it at most once.
-func (f *Future) complete(res TaskResult) {
-	f.res = res
-	close(f.done)
-}
-
-// Done returns a channel closed when the result is available.
-func (f *Future) Done() <-chan struct{} { return f.done }
-
-// Wait blocks for the result or the context, whichever comes first. On
-// completion it returns the result and the task's own error (res.Err).
-//
-// Orphaned-task contract: a ctx.Err() return means only that the CALLER
-// stopped waiting — the task itself remains accepted and may still execute
-// and mutate transactional state (its Future settles normally; Poll it later
-// to observe the outcome). A task is guaranteed not to run only when its
-// own completion error (res.Err) is a context error or ErrStopped: workers
-// re-check the submission context immediately before execution and settle
-// such tasks as cancelled, counted under ExecStats.Cancelled. To abandon the
-// work itself, cancel the context passed to Submit/SubmitAsync, not just the
-// one passed to Wait.
-func (f *Future) Wait(ctx context.Context) (TaskResult, error) {
-	select {
-	case <-f.done:
-		return f.res, f.res.Err
-	case <-ctx.Done():
-		return TaskResult{}, ctx.Err()
-	}
-}
-
-// WaitValue blocks like Wait and returns only the task's value: the typed
-// submission path for callers that want a lookup's result without unpacking
-// a TaskResult. The error is the task's own completion error (or ctx's).
-func (f *Future) WaitValue(ctx context.Context) (any, error) {
-	res, err := f.Wait(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return res.Value, nil
-}
-
-// Poll returns the result without blocking; ok is false while pending.
-func (f *Future) Poll() (res TaskResult, ok bool) {
-	select {
-	case <-f.done:
-		return f.res, true
-	default:
-		return TaskResult{}, false
-	}
-}
-
 // execConfig is the resolved option set of an Executor.
 type execConfig struct {
 	stm          *stm.STM
@@ -292,14 +232,17 @@ type Executor struct {
 	startMu   sync.Mutex // guards started/stoppedAt/shard baselines against concurrent Stats
 	started   time.Time
 	stoppedAt time.Time
+	// base is the executor's monotonic epoch, fixed at construction: enq
+	// stamps and service clocks are durations since it, so an envelope
+	// carries 8 bytes of timestamp instead of 24.
+	base time.Time
 
 	submitted atomic.Uint64
 	rejected  atomic.Uint64
-	failed    atomic.Uint64
-	cancelled atomic.Uint64
-	empty     atomic.Uint64
-	steals    atomic.Uint64
-	completed []paddedCounter
+	// wstats holds the worker-side counters, one cache-line-padded block per
+	// worker so the hot completion path never bounces a shared line between
+	// cores; Stats folds them into totals on demand.
+	wstats []workerCounters
 	// waitHist/execHist record queue-wait and service time per worker for
 	// result-carrying submissions; merged into ExecStats percentiles.
 	waitHist []*latency.Histogram
@@ -313,16 +256,50 @@ type Executor struct {
 
 // envelope carries a task through a worker queue together with its
 // completion plumbing. Fire-and-forget tasks (legacy producers) have a nil
-// fut and ctx and skip all timestamping. A barrier envelope (non-nil
-// barrier, everything else zero) carries no task at all: it marks a drain
-// point in the queue for the migrator — the worker (or halt's sweep) runs
-// the hook once every envelope enqueued before it has been executed.
+// fut and ctx and skip all timestamping. Result-carrying tasks settle
+// through fut — a waiter shell (Submit/SubmitAsync/SubmitAll) or a callback
+// shell (SubmitFunc). A barrier envelope (non-nil barrier, everything else
+// zero) carries no task at all: it marks a drain point in the queue for the
+// migrator — the worker (or halt's sweep) runs the hook once every envelope
+// enqueued before it has been executed.
+//
+// The struct is deliberately lean (56 bytes): every enqueue copies it into
+// a queue node, and keeping node+envelope inside the 64-byte allocator size
+// class is worth ~10% on the closed-world hot path — which is why enq is a
+// monotonic duration since the executor's base instant (8 bytes) rather
+// than a time.Time (24), and why SubmitFunc's callback rides in the Future
+// shell rather than here.
 type envelope struct {
 	task    Task
 	fut     *Future
 	ctx     context.Context
-	enq     time.Time
+	enq     time.Duration // monotonic submit stamp: time.Since(e.base)
 	barrier func()
+}
+
+// carries reports whether the envelope's submitter wants the task's result
+// (and therefore its timestamps).
+func (env *envelope) carries() bool { return env.fut != nil }
+
+// settle delivers the completion to the envelope's shell (waiter or
+// callback).
+func (env *envelope) settle(res TaskResult) {
+	if env.fut != nil {
+		env.fut.complete(res)
+	}
+}
+
+// workerCounters is one worker's statistics block, padded to a cache line so
+// per-task increments on neighbouring workers never contend — the same
+// false-sharing discipline paddedCounter applies to the legacy Pool, widened
+// to every counter the worker loop touches.
+type workerCounters struct {
+	completed atomic.Uint64
+	cancelled atomic.Uint64
+	failed    atomic.Uint64
+	empty     atomic.Uint64
+	steals    atomic.Uint64
+	_         [24]byte
 }
 
 // shardState is one partition of the executor's transactional state: the
@@ -441,15 +418,16 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 		cfg.maxDepth = defaultMaxQueueDepth
 	}
 	e := &Executor{
-		cfg:       cfg,
-		queues:    make([]queue.Queue[envelope], cfg.workers),
-		shards:    shards,
-		migr:      migr,
-		completed: make([]paddedCounter, cfg.workers),
-		waitHist:  make([]*latency.Histogram, cfg.workers),
-		execHist:  make([]*latency.Histogram, cfg.workers),
-		stopped:   make(chan struct{}),
-		shutdown:  make(chan struct{}),
+		cfg:      cfg,
+		queues:   make([]queue.Queue[envelope], cfg.workers),
+		shards:   shards,
+		migr:     migr,
+		wstats:   make([]workerCounters, cfg.workers),
+		waitHist: make([]*latency.Histogram, cfg.workers),
+		execHist: make([]*latency.Histogram, cfg.workers),
+		stopped:  make(chan struct{}),
+		shutdown: make(chan struct{}),
+		base:     time.Now(),
 	}
 	if migr != nil {
 		migr.e = e
@@ -523,6 +501,9 @@ func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {
 // SubmitAsync dispatches one task and returns its Future. Under
 // BackpressureReject a full target queue returns ErrQueueFull; under
 // BackpressureBlock the call waits for space, ctx cancellation, or stop.
+//
+// The Future comes from a pool: it is single-consumer, and the Wait/WaitValue
+// call that returns the task's result recycles it (see Future).
 func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -539,34 +520,235 @@ func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 		return nil, ErrNotRunning
 	}
 	fut := newFuture()
-	env := envelope{task: t, fut: fut, ctx: ctx, enq: time.Now()}
+	env := envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)}
 	if err := e.dispatch(env, ctx); err != nil {
+		// Never shared: the envelope did not reach a queue, so the shell
+		// can go straight back to the pool.
+		fut.discard()
 		return nil, err
 	}
 	return fut, nil
 }
 
-// SubmitAll dispatches a batch in order, amortizing the per-call overhead
-// for throughput-oriented callers.
+// SubmitFunc dispatches one task and invokes done with its TaskResult when
+// it settles (executed, cancelled, or abandoned at stop — res.Err carries the
+// completion error exactly as Future.Wait would). It is SubmitAsync without
+// the Future: no per-request shell, no bridging goroutine — the callback
+// form servers use to keep a connection's cost flat regardless of
+// pipelining depth.
 //
-// Partial-failure contract: on error the returned slice holds the futures
-// of the prefix that WAS accepted, paired with the error that stopped the
-// batch (ErrQueueFull under BackpressureReject, ctx.Err on cancellation,
-// ErrNotRunning past Drain/Stop). Those prefix futures are live and
-// settled normally — each completes when its task executes (or with
-// ErrStopped if the executor halts first) — so callers must still Wait
-// them; dropping them leaks no resources but loses those tasks' results.
-// Tasks after the failing index were never submitted.
+// done runs on an executor goroutine (usually the settling worker) and MUST
+// NOT block: park the result on your own queue and return. Acceptance errors
+// (ErrQueueFull, ErrNotRunning, ctx.Err) return from SubmitFunc itself, in
+// which case done will never be called.
+func (e *Executor) SubmitFunc(ctx context.Context, t Task, done func(TaskResult)) error {
+	if done == nil {
+		return fmt.Errorf("core: SubmitFunc requires a non-nil callback")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.inflight.Add(1)
+	if e.state.Load() != stateRunning {
+		e.inflight.Add(-1)
+		return ErrNotRunning
+	}
+	fut := newFuture()
+	fut.cb = done
+	if err := e.dispatch(envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)}, ctx); err != nil {
+		fut.cb = nil
+		fut.discard()
+		return err
+	}
+	return nil
+}
+
+// SubmitAll dispatches a batch, amortizing the per-call overhead for
+// throughput-oriented callers: the batch is stamped with ONE clock read,
+// routed under one partition read, grouped by destination worker, and each
+// group lands in its queue as a single contiguous enqueue with one
+// in-flight/stat update — so the per-task cost is the queue append, not the
+// full dispatch stack. Tasks bound for the same worker keep their relative
+// order; tasks for different workers may be enqueued in any order.
+//
+// The returned slice is position-aligned with tasks: futs[i] is task i's
+// Future. On success every entry is non-nil. On error (ErrQueueFull under
+// BackpressureReject, ctx.Err on cancellation, ErrNotRunning/ErrStopped past
+// Drain/Stop) entries for tasks that were never submitted are nil; the
+// non-nil futures are live and settle normally — each completes when its
+// task executes (or with ErrStopped if the executor halts first) — so
+// callers must still Wait them; dropping them leaks no resources but loses
+// those tasks' results.
 func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, error) {
-	futs := make([]*Future, 0, len(tasks))
-	for _, t := range tasks {
-		fut, err := e.SubmitAsync(ctx, t)
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.migr != nil {
+		// Fence ordering (pick under the migration read gate) is per-task;
+		// batch grouping would route around an installing fence. Keep the
+		// gated path exact and amortize only the clock read.
+		return e.submitAllGated(ctx, tasks)
+	}
+	if len(tasks) == 1 {
+		// Degenerate batch: the grouping machinery would cost more than it
+		// amortizes.
+		fut, err := e.SubmitAsync(ctx, tasks[0])
 		if err != nil {
+			return []*Future{nil}, err
+		}
+		return []*Future{fut}, nil
+	}
+	e.inflight.Add(int64(len(tasks)))
+	if e.state.Load() != stateRunning {
+		e.inflight.Add(int64(-len(tasks)))
+		return nil, ErrNotRunning
+	}
+	// One index block serves the whole scatter: worker per task, original
+	// index per slot (for the position-aligned result and for nil-ing out
+	// unsubmitted slots on failure), and per-worker counts/cursors.
+	nW := len(e.queues)
+	idx := make([]int, 2*len(tasks)+2*nW)
+	workerOf := idx[:len(tasks)]
+	origIdx := idx[len(tasks) : 2*len(tasks)]
+	counts := idx[2*len(tasks) : 2*len(tasks)+nW]
+	cursor := idx[2*len(tasks)+nW:]
+	e.pickAll(tasks, workerOf)
+	for _, w := range workerOf {
+		counts[w]++
+	}
+	sum := 0
+	for w, c := range counts {
+		cursor[w] = sum
+		sum += c
+	}
+	// Scatter into contiguous per-worker segments of one backing array;
+	// cursor[w] ends at each segment's END, so segment w is
+	// envs[cursor[w]-counts[w] : cursor[w]].
+	envs := make([]envelope, len(tasks))
+	futs := make([]*Future, len(tasks))
+	now := time.Since(e.base) // one enq stamp for the whole batch
+	for i := range tasks {
+		w := workerOf[i]
+		fut := newFuture()
+		futs[i] = fut
+		envs[cursor[w]] = envelope{task: tasks[i], fut: fut, ctx: ctx, enq: now}
+		origIdx[cursor[w]] = i
+		cursor[w]++
+	}
+	for w := 0; w < nW; w++ {
+		if counts[w] == 0 {
+			continue
+		}
+		lo := cursor[w] - counts[w]
+		n, err := e.enqueueGroup(w, envs[lo:cursor[w]], ctx)
+		if err != nil {
+			// Segments are laid out in worker order, so everything not yet
+			// submitted — this group's remainder and every later group —
+			// is the contiguous tail of envs.
+			unsub := envs[lo+n:]
+			for j := range unsub {
+				futs[origIdx[lo+n+j]] = nil
+				unsub[j].fut.discard()
+			}
+			e.inflight.Add(int64(-len(unsub)))
+			if errors.Is(err, ErrQueueFull) {
+				e.rejected.Add(uint64(len(unsub)))
+			}
 			return futs, err
 		}
-		futs = append(futs, fut)
 	}
 	return futs, nil
+}
+
+// enqueueGroup appends a contiguous batch onto one worker's queue, honouring
+// the depth bound per group: block mode feeds the queue in as-big-as-fits
+// chunks, reject mode returns ErrQueueFull with the count already enqueued.
+// The caller has counted the whole group in flight.
+func (e *Executor) enqueueGroup(w int, group []envelope, ctx context.Context) (int, error) {
+	q := e.queues[w]
+	put := 0
+	var b backoff
+	for put < len(group) {
+		free := len(group) - put
+		if e.cfg.maxDepth > 0 {
+			free = e.cfg.maxDepth - q.Len()
+			if free <= 0 {
+				if e.cfg.backpressure == BackpressureReject {
+					return put, ErrQueueFull
+				}
+				if e.state.Load() == stateStopped {
+					return put, ErrStopped
+				}
+				select {
+				case <-ctx.Done():
+					return put, ctx.Err()
+				default:
+				}
+				b.wait()
+				continue
+			}
+			if free > len(group)-put {
+				free = len(group) - put
+			}
+		}
+		q.PutAll(group[put : put+free])
+		e.submitted.Add(uint64(free))
+		put += free
+	}
+	return put, nil
+}
+
+// submitAllGated is SubmitAll under MigrateOnRepartition: per-task dispatch
+// through the fence-ordered gate, with the batch's single clock read kept.
+// The position-aligned contract holds: on error the accepted prefix is
+// non-nil and the rest nil.
+func (e *Executor) submitAllGated(ctx context.Context, tasks []Task) ([]*Future, error) {
+	futs := make([]*Future, len(tasks))
+	now := time.Since(e.base)
+	for i, t := range tasks {
+		e.inflight.Add(1)
+		if e.state.Load() != stateRunning {
+			e.inflight.Add(-1)
+			return futs, ErrNotRunning
+		}
+		fut := newFuture()
+		if err := e.dispatch(envelope{task: t, fut: fut, ctx: ctx, enq: now}, ctx); err != nil {
+			fut.discard()
+			return futs, err
+		}
+		futs[i] = fut
+	}
+	return futs, nil
+}
+
+// submitKeys is a reusable per-batch key buffer for pickAll; SubmitAll
+// batches are bounded only by the caller, so the pool keeps the steady-state
+// path allocation-free without pinning one large buffer per executor.
+var submitKeys = sync.Pool{New: func() any { return new([]uint64) }}
+
+// pickAll routes a batch: schedulers that support it (batchPicker) route the
+// whole slice under one partition read; others fall back to per-task Pick.
+func (e *Executor) pickAll(tasks []Task, out []int) {
+	if bp, ok := e.cfg.scheduler.(batchPicker); ok {
+		kp := submitKeys.Get().(*[]uint64)
+		keys := (*kp)[:0]
+		for i := range tasks {
+			keys = append(keys, tasks[i].Key)
+		}
+		bp.PickAll(keys, out)
+		*kp = keys
+		submitKeys.Put(kp)
+		for i, w := range out {
+			out[i] = e.clampWorker(w)
+		}
+		return
+	}
+	for i := range tasks {
+		out[i] = e.pick(tasks[i].Key)
+	}
 }
 
 // dispatch routes an envelope to its worker queue, applying backpressure.
@@ -748,17 +930,29 @@ func (e *Executor) clampWorker(w int) int {
 	return w
 }
 
+// drainBatch is how many envelopes a worker takes from its queue per poll
+// when no SortBatch is configured: enough to amortize the per-poll state
+// checks and clock reads, small enough that a Stop still lands promptly
+// (execBatch re-checks the state before every task).
+const drainBatch = 32
+
 // worker follows the paper's regimen (§4.1): get the next transaction,
-// execute it (the workload retries until success), bump the local counter.
-// With SortBatch set, the worker drains a batch and executes it in key
-// order (§2's buffer-reordering capability).
+// execute it (the workload retries until success), bump the local counter —
+// batched: each poll drains up to drainBatch (or SortBatch) envelopes and
+// executes them in one pass, threading a single clock read from each task's
+// settle into the next task's service start. With SortBatch set the batch
+// executes in ascending key order (§2's buffer-reordering capability).
 func (e *Executor) worker(i int) {
 	sh := &e.shards[e.shardOf(i)]
 	th := sh.stm.NewThread()
-	var batch []envelope
+	wc := &e.wstats[i]
+	// SortBatch, when set, bounds the drain exactly (its contract is "drain
+	// up to n and key-order them"); otherwise drain the default batch.
+	capN := drainBatch
 	if e.cfg.sortBatch > 1 {
-		batch = make([]envelope, 0, e.cfg.sortBatch)
+		capN = e.cfg.sortBatch
 	}
+	batch := make([]envelope, 0, capN)
 	var idle backoff
 	for {
 		// Check the state before taking more work so that Stop abandons
@@ -769,7 +963,7 @@ func (e *Executor) worker(i int) {
 		}
 		env, ok := e.queues[i].Get()
 		if !ok && e.cfg.workSteal {
-			env, ok = e.steal(i)
+			env, ok = e.steal(i, wc)
 		}
 		if !ok {
 			switch e.state.Load() {
@@ -786,7 +980,7 @@ func (e *Executor) worker(i int) {
 			default:
 				// Park after a sustained empty streak: a long-lived
 				// idle executor must not pin a core per worker.
-				e.empty.Add(1)
+				wc.empty.Add(1)
 				idle.wait()
 				continue
 			}
@@ -798,17 +992,12 @@ func (e *Executor) worker(i int) {
 			env.barrier()
 			continue
 		}
-		if batch == nil {
-			e.execOne(i, sh, th, env)
-			continue
-		}
-		// Batch mode: drain up to SortBatch tasks, order by key. A barrier
-		// ends the batch — it must observe every earlier task executed, and
-		// key-sorting across it would let a pre-fence task run after the
-		// migrator starts extracting its range's state.
+		// Drain a batch. A barrier ends it — it must observe every earlier
+		// task executed, and reordering across it would let a pre-fence task
+		// run after the migrator starts extracting its range's state.
 		var barrier func()
 		batch = append(batch[:0], env)
-		for len(batch) < e.cfg.sortBatch {
+		for len(batch) < capN {
 			more, ok := e.queues[i].Get()
 			if !ok {
 				break
@@ -819,19 +1008,40 @@ func (e *Executor) worker(i int) {
 			}
 			batch = append(batch, more)
 		}
-		sort.Slice(batch, func(a, b int) bool { return batch[a].task.Key < batch[b].task.Key })
-		for _, be := range batch {
-			e.execOne(i, sh, th, be)
+		if e.cfg.sortBatch > 1 && len(batch) > 1 {
+			sort.Slice(batch, func(a, b int) bool { return batch[a].task.Key < batch[b].task.Key })
 		}
+		e.execBatch(i, sh, th, wc, batch)
 		if barrier != nil {
 			barrier()
 		}
+		// Envelopes hold futures and contexts; drop the references before
+		// the next poll parks so a long-idle worker pins none of them.
+		clear(batch)
+	}
+}
+
+// execBatch runs one drained batch, re-checking the stop state before every
+// task (a batched worker must not delay Stop by up to a batch) and threading
+// the settle-side clock read of task k into the service start of task k+1 —
+// one time.Now per result-carrying task in steady state instead of two.
+func (e *Executor) execBatch(i int, sh *shardState, th *stm.Thread, wc *workerCounters, batch []envelope) {
+	var now time.Duration
+	for k := range batch {
+		if e.state.Load() == stateStopped {
+			e.abandon(i, batch[k], ErrStopped)
+			continue
+		}
+		now = e.execOne(i, sh, th, wc, &batch[k], now)
 	}
 }
 
 // execOne executes a single envelope in its worker's shard and settles its
-// completion plumbing.
-func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, env envelope) {
+// completion plumbing. Clocks are monotonic offsets from e.base: start,
+// when non-zero, is a read taken after the previous task settled — it IS
+// this task's service start; execOne returns its own settle-side read for
+// the next task (zero when it read no clock).
+func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCounters, env *envelope, start time.Duration) time.Duration {
 	// Abandoned before execution? Settle without running the transaction.
 	// This is cancellation, not completion: the task never executed, so it
 	// must not inflate Completed (and through it Throughput and
@@ -839,33 +1049,36 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, env envelope) 
 	if env.ctx != nil {
 		select {
 		case <-env.ctx.Done():
-			e.abandon(i, env, env.ctx.Err())
-			return
+			e.abandon(i, *env, env.ctx.Err())
+			return start
 		default:
 		}
 	}
-	if env.fut == nil {
+	if !env.carries() {
 		// Fire-and-forget fast path: no clocks, errors are fatal. A
 		// failed task is NOT counted as completed, matching the legacy
 		// Pool accounting the harness results are built on.
 		if _, err := sh.workload.Execute(th, env.task); err != nil {
-			e.failed.Add(1)
+			wc.failed.Add(1)
 			e.fail(err)
 			e.inflight.Add(-1)
-			return
+			return 0 // an unclocked stretch: invalidate the chain
 		}
-		e.finish(i, env, TaskResult{})
-		return
+		e.finish(i, wc, env, TaskResult{})
+		return 0
 	}
-	start := time.Now()
+	if start == 0 {
+		start = time.Since(e.base)
+	}
 	val, err := sh.workload.Execute(th, env.task)
 	if err != nil {
-		e.failed.Add(1)
+		wc.failed.Add(1)
 	}
-	wait, exec := start.Sub(env.enq), time.Since(start)
+	end := time.Since(e.base)
+	wait, exec := start-env.enq, end-start
 	e.waitHist[i].Observe(wait)
 	e.execHist[i].Observe(exec)
-	e.finish(i, env, TaskResult{
+	e.finish(i, wc, env, TaskResult{
 		Task:   env.task,
 		Worker: i,
 		Value:  val,
@@ -873,16 +1086,15 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, env envelope) 
 		Wait:   wait,
 		Exec:   exec,
 	})
+	return end
 }
 
-// finish updates completion accounting and resolves the future, if any. It
-// is reached only for tasks that actually executed; tasks abandoned before
-// execution go through abandon instead.
-func (e *Executor) finish(i int, env envelope, res TaskResult) {
-	e.completed[i].n.Add(1)
-	if env.fut != nil {
-		env.fut.complete(res)
-	}
+// finish updates completion accounting and settles the submitter's plumbing.
+// It is reached only for tasks that actually executed; tasks abandoned
+// before execution go through abandon instead.
+func (e *Executor) finish(i int, wc *workerCounters, env *envelope, res TaskResult) {
+	wc.completed.Add(1)
+	env.settle(res)
 	e.inflight.Add(-1)
 	if e.onDone != nil {
 		e.onDone()
@@ -895,10 +1107,8 @@ func (e *Executor) finish(i int, env envelope, res TaskResult) {
 // not run, so completion counters (and the throughput and load-imbalance
 // figures built on them) must not see it.
 func (e *Executor) abandon(i int, env envelope, err error) {
-	e.cancelled.Add(1)
-	if env.fut != nil {
-		env.fut.complete(TaskResult{Task: env.task, Worker: i, Err: err})
-	}
+	e.wstats[i].cancelled.Add(1)
+	env.settle(TaskResult{Task: env.task, Worker: i, Err: err})
 	e.inflight.Add(-1)
 	if e.onDone != nil {
 		e.onDone()
@@ -919,7 +1129,7 @@ func (e *Executor) shardOf(worker int) int {
 // same transactional state it was dispatched to, so under ShardPerWorker
 // (every worker its own shard) there is nothing to steal from and the scan
 // degenerates to a no-op.
-func (e *Executor) steal(i int) (envelope, bool) {
+func (e *Executor) steal(i int, wc *workerCounters) (envelope, bool) {
 	n := len(e.queues)
 	myShard := e.shardOf(i)
 	for off := 1; off < n; off++ {
@@ -928,7 +1138,7 @@ func (e *Executor) steal(i int) (envelope, bool) {
 			continue
 		}
 		if env, ok := e.queues[j].Get(); ok {
-			e.steals.Add(1)
+			wc.steals.Add(1)
 			return env, true
 		}
 	}
@@ -1143,7 +1353,9 @@ func (s ExecStats) LoadImbalance() float64 {
 	return worst
 }
 
-// Stats returns a live snapshot.
+// Stats returns a live snapshot. The worker-side counters live in per-worker
+// cache-line-padded blocks; this is where they fold into totals, so the hot
+// path pays local increments and only the (rare) stats reader walks them.
 func (e *Executor) Stats() ExecStats {
 	s := ExecStats{
 		State:       stateName(e.state.Load()),
@@ -1152,13 +1364,9 @@ func (e *Executor) Stats() ExecStats {
 		Sharding:    e.cfg.sharding,
 		Submitted:   e.submitted.Load(),
 		Rejected:    e.rejected.Load(),
-		Cancelled:   e.cancelled.Load(),
-		Failed:      e.failed.Load(),
 		InFlight:    e.inflight.Load(),
-		PerWorker:   make([]uint64, len(e.completed)),
+		PerWorker:   make([]uint64, len(e.wstats)),
 		QueueDepths: make([]int, len(e.queues)),
-		EmptyPolls:  e.empty.Load(),
-		Steals:      e.steals.Load(),
 		Wait:        latency.Merge(e.waitHist...),
 		Service:     latency.Merge(e.execHist...),
 	}
@@ -1168,9 +1376,14 @@ func (e *Executor) Stats() ExecStats {
 	if ad, ok := e.cfg.scheduler.(*Adaptive); ok {
 		s.SchedulerEpochs = ad.Epochs()
 	}
-	for i := range e.completed {
-		s.PerWorker[i] = e.completed[i].n.Load()
+	for i := range e.wstats {
+		wc := &e.wstats[i]
+		s.PerWorker[i] = wc.completed.Load()
 		s.Completed += s.PerWorker[i]
+		s.Cancelled += wc.cancelled.Load()
+		s.Failed += wc.failed.Load()
+		s.EmptyPolls += wc.empty.Load()
+		s.Steals += wc.steals.Load()
 	}
 	for i, q := range e.queues {
 		s.QueueDepths[i] = q.Len()
@@ -1185,7 +1398,7 @@ func (e *Executor) Stats() ExecStats {
 	s.Shards = make([]ShardStats, len(e.shards))
 	for i := range e.shards {
 		ss := ShardStats{Shard: i}
-		for w := range e.completed {
+		for w := range e.wstats {
 			if e.shardOf(w) == i {
 				ss.Workers = append(ss.Workers, w)
 				ss.Completed += s.PerWorker[w]

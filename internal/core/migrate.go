@@ -63,6 +63,22 @@ type StoreFactory interface {
 	Store(worker int) ShardStore
 }
 
+// Range is one contiguous closed interval of the executor's scheduling-key
+// space.
+type Range struct{ Lo, Hi uint64 }
+
+// RangeBatchStore is the optional batch face of a ShardStore: extract
+// several disjoint ranges in ONE pass, returning the removed keys per range
+// (out[i] belongs to ranges[i]). When a re-partition moves more than one
+// range out of a shard, the migrator groups them and calls this once per
+// shard per epoch — for stores whose extraction is a full structure scan
+// (dictionary-key hash-table views), that turns O(ranges) scans inside the
+// fence window into one.
+type RangeBatchStore interface {
+	ShardStore
+	ExtractRanges(th *stm.Thread, ranges []Range) ([][]uint32, error)
+}
+
 // MigrationStats reports the epoch-fenced hand-off protocol's work.
 // All counters are monotone over an executor's lifetime.
 type MigrationStats struct {
@@ -305,8 +321,12 @@ func (m *migrator) migrate(f *fence, start time.Time) {
 		}
 		return th
 	}
-	for _, r := range f.ranges {
-		// Re-check stop at each range boundary so a Stop() mid-hand-off
+	// Group the epoch's moved ranges by their old owner so a shard whose
+	// store supports batch extraction (RangeBatchStore) is scanned once per
+	// epoch, not once per range — the multi-range re-partition saving that
+	// shrinks the fence window.
+	for _, g := range groupByFrom(f.ranges) {
+		// Re-check stop at each shard boundary so a Stop() mid-hand-off
 		// stops mutating stats and shard state promptly (ranges already
 		// moved stay moved; the fence's held tasks are abandoned).
 		select {
@@ -315,24 +335,43 @@ func (m *migrator) migrate(f *fence, start time.Time) {
 			return
 		default:
 		}
-		keys, err := m.stores[r.from].ExtractRange(thOf(r.from), r.lo, r.hi)
-		if err != nil {
-			// A partial extraction's keys are already out of the old
-			// shard; restore them so a failed range degrades to the
-			// MigrateOff semantics instead of losing data.
-			m.restore(r.from, thOf(r.from), keys,
-				fmt.Errorf("core: migrate extract [%d,%d] from shard %d: %w", r.lo, r.hi, r.from, err))
+		bs, batched := m.stores[g.from].(RangeBatchStore)
+		if batched && len(g.ranges) > 1 {
+			ranges := make([]Range, len(g.ranges))
+			for i, r := range g.ranges {
+				ranges[i] = Range{Lo: r.lo, Hi: r.hi}
+			}
+			keysPer, err := bs.ExtractRanges(thOf(g.from), ranges)
+			if err != nil {
+				// Whatever the one-pass extraction removed before failing
+				// goes back; the whole shard degrades to MigrateOff for
+				// this epoch instead of losing data.
+				var all []uint32
+				for _, keys := range keysPer {
+					all = append(all, keys...)
+				}
+				m.restore(g.from, thOf(g.from), all,
+					fmt.Errorf("core: migrate batch-extract %d ranges from shard %d: %w", len(ranges), g.from, err))
+				continue
+			}
+			for i, keys := range keysPer {
+				r := g.ranges[i]
+				m.installRange(r, keys, thOf)
+			}
 			continue
 		}
-		if len(keys) == 0 {
-			continue
+		for _, r := range g.ranges {
+			keys, err := m.stores[r.from].ExtractRange(thOf(r.from), r.lo, r.hi)
+			if err != nil {
+				// A partial extraction's keys are already out of the old
+				// shard; restore them so a failed range degrades to the
+				// MigrateOff semantics instead of losing data.
+				m.restore(r.from, thOf(r.from), keys,
+					fmt.Errorf("core: migrate extract [%d,%d] from shard %d: %w", r.lo, r.hi, r.from, err))
+				continue
+			}
+			m.installRange(r, keys, thOf)
 		}
-		if err := m.stores[r.to].InstallKeys(thOf(r.to), keys); err != nil {
-			m.restore(r.from, thOf(r.from), keys,
-				fmt.Errorf("core: migrate install [%d,%d] into shard %d: %w", r.lo, r.hi, r.to, err))
-			continue
-		}
-		m.keysMoved.Add(uint64(len(keys)))
 	}
 	// Stopped between hand-off and unpark: the held tasks must settle as
 	// ErrStopped (halt is sweeping for exactly that) rather than be
@@ -359,6 +398,44 @@ func (m *migrator) migrate(f *fence, start time.Time) {
 	m.pauseNs.Add(uint64(time.Since(start)))
 	m.epochs.Add(1)
 	m.active.Store(false)
+}
+
+// installRange hands one extracted range's keys to their new owner,
+// restoring them to the old one if the install fails.
+func (m *migrator) installRange(r movedRange, keys []uint32, thOf func(int) *stm.Thread) {
+	if len(keys) == 0 {
+		return
+	}
+	if err := m.stores[r.to].InstallKeys(thOf(r.to), keys); err != nil {
+		m.restore(r.from, thOf(r.from), keys,
+			fmt.Errorf("core: migrate install [%d,%d] into shard %d: %w", r.lo, r.hi, r.to, err))
+		return
+	}
+	m.keysMoved.Add(uint64(len(keys)))
+}
+
+// fromGroup is one old owner's share of an epoch: the moved ranges leaving
+// that shard, in partition order.
+type fromGroup struct {
+	from   int
+	ranges []movedRange
+}
+
+// groupByFrom buckets moved ranges by their old owner, preserving first-seen
+// shard order and per-shard range order.
+func groupByFrom(ranges []movedRange) []fromGroup {
+	var out []fromGroup
+	idx := make(map[int]int)
+	for _, r := range ranges {
+		i, ok := idx[r.from]
+		if !ok {
+			i = len(out)
+			idx[r.from] = i
+			out = append(out, fromGroup{from: r.from})
+		}
+		out[i].ranges = append(out[i].ranges, r)
+	}
+	return out
 }
 
 // abort settles a migration cut short by executor stop: held tasks are

@@ -671,3 +671,141 @@ func TestDiffPartitions(t *testing.T) {
 		}
 	}
 }
+
+// batchMapShard is a mapShard whose store also implements RangeBatchStore,
+// counting how the migrator reaches it.
+type batchMapShard struct {
+	mapShard
+	batchCalls  *atomic.Int32 // ExtractRanges invocations (shared across shards)
+	batchRanges *atomic.Int32 // ranges covered by those invocations
+	singleCalls *atomic.Int32 // per-range ExtractRange invocations
+}
+
+func (m *batchMapShard) ExtractRange(th *stm.Thread, lo, hi uint64) ([]uint32, error) {
+	m.singleCalls.Add(1)
+	return m.mapShard.ExtractRange(th, lo, hi)
+}
+
+func (m *batchMapShard) ExtractRanges(th *stm.Thread, ranges []Range) ([][]uint32, error) {
+	m.batchCalls.Add(1)
+	m.batchRanges.Add(int32(len(ranges)))
+	out := make([][]uint32, len(ranges))
+	for i, r := range ranges {
+		keys, err := m.mapShard.ExtractRange(th, r.Lo, r.Hi)
+		out[i] = keys
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+type batchMapFactory struct {
+	batchCalls, batchRanges, singleCalls atomic.Int32
+	shards                               []*batchMapShard
+}
+
+func (f *batchMapFactory) NewShard(worker int) Workload {
+	sh := &batchMapShard{
+		mapShard:    mapShard{keys: make(map[uint32]bool)},
+		batchCalls:  &f.batchCalls,
+		batchRanges: &f.batchRanges,
+		singleCalls: &f.singleCalls,
+	}
+	for len(f.shards) <= worker {
+		f.shards = append(f.shards, nil)
+	}
+	f.shards[worker] = sh
+	return sh
+}
+
+func (f *batchMapFactory) Store(worker int) ShardStore { return f.shards[worker] }
+
+// TestMigrationBatchExtraction pins the epoch-batched hand-off: when one
+// re-partition moves SEVERAL ranges out of one shard, a RangeBatchStore is
+// asked for all of them in one ExtractRanges call (one structure pass per
+// shard per epoch), single-range shards keep the per-range path, and
+// read-your-writes holds for keys in every moved range.
+func TestMigrationBatchExtraction(t *testing.T) {
+	factory := &batchMapFactory{}
+	ex, err := NewExecutor(
+		WithWorkers(3),
+		WithSharding(ShardPerWorker),
+		WithWorkloadFactory(factory),
+		WithSchedulerKind(SchedAdaptive, 0, 65535, WithThreshold(reproThreshold), WithReAdaptation()),
+		WithMigration(MigrateOnRepartition),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	// Sample all mass into [0, 8191]: the initial uniform 3-way partition
+	// (boundaries ~21845/~43690) re-partitions with both new boundaries
+	// inside [0, 8192), so old worker 0 loses TWO ranges — one to worker 1,
+	// one to worker 2 — and old worker 1 loses exactly one to worker 2.
+	// The inserted keys live in shard 0 until the hand-off moves them.
+	for i := 0; i < reproThreshold; i++ {
+		k := uint64(i*8) % 8192
+		if i == reproThreshold-1 {
+			k = 1 // the trigger key must not be in a moved range
+		}
+		if _, err := ex.Submit(ctx, Task{Key: k, Op: OpInsert, Arg: uint32(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "migration epoch", func() bool { return ex.MigrationStats().Epochs >= 1 })
+	if err := ex.MigrationErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got := factory.batchCalls.Load(); got != 1 {
+		t.Errorf("ExtractRanges calls = %d, want 1 (one pass for the multi-range shard)", got)
+	}
+	if got := factory.batchRanges.Load(); got < 2 {
+		t.Errorf("batched ranges = %d, want >= 2", got)
+	}
+	if got := factory.singleCalls.Load(); got != 1 {
+		t.Errorf("per-range ExtractRange calls = %d, want 1 (the single-range shard)", got)
+	}
+	if moved := ex.MigrationStats().KeysMoved; moved == 0 {
+		t.Error("no keys moved")
+	}
+	// Read-your-writes across every moved range: each inserted key answers
+	// true through whatever worker now owns it.
+	for _, k := range []uint64{2992, 4504, 6000, 7984} {
+		res, err := ex.Submit(ctx, Task{Key: k, Op: OpLookup, Arg: uint32(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found, _ := res.Value.(bool); !found {
+			t.Errorf("key %d invisible after batched hand-off", k)
+		}
+	}
+	if err := ex.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupByFrom pins the epoch grouping: ranges bucket by old owner in
+// first-seen order, preserving per-shard range order.
+func TestGroupByFrom(t *testing.T) {
+	in := []movedRange{
+		{lo: 0, hi: 9, from: 2, to: 0},
+		{lo: 10, hi: 19, from: 0, to: 1},
+		{lo: 20, hi: 29, from: 2, to: 1},
+		{lo: 30, hi: 39, from: 0, to: 2},
+	}
+	got := groupByFrom(in)
+	if len(got) != 2 {
+		t.Fatalf("%d groups, want 2", len(got))
+	}
+	if got[0].from != 2 || len(got[0].ranges) != 2 || got[0].ranges[0].lo != 0 || got[0].ranges[1].lo != 20 {
+		t.Errorf("group 0 = %+v", got[0])
+	}
+	if got[1].from != 0 || len(got[1].ranges) != 2 || got[1].ranges[0].lo != 10 || got[1].ranges[1].lo != 30 {
+		t.Errorf("group 1 = %+v", got[1])
+	}
+}

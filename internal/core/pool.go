@@ -248,14 +248,21 @@ func (p *Pool) execute(d time.Duration, count int64) (Result, error) {
 // Pool always builds shared-mode executors, so shard 0 holds the run's STM
 // baseline.
 func (p *Pool) buildResult(ex *Executor, elapsed time.Duration) Result {
-	return p.newResult(elapsed, ex.submitted.Load(), ex.empty.Load(), ex.steals.Load(),
-		ex.completed, p.cfg.STM.Stats().Sub(ex.shards[0].before))
+	perWorker := make([]uint64, len(ex.wstats))
+	var empty, steals uint64
+	for i := range ex.wstats {
+		perWorker[i] = ex.wstats[i].completed.Load()
+		empty += ex.wstats[i].empty.Load()
+		steals += ex.wstats[i].steals.Load()
+	}
+	return p.newResult(elapsed, ex.submitted.Load(), empty, steals,
+		perWorker, p.cfg.STM.Stats().Sub(ex.shards[0].before))
 }
 
 // newResult assembles a Result from run counters; every model funnels
 // through it so a new field cannot silently stay zero for one model.
 func (p *Pool) newResult(elapsed time.Duration, produced, emptyPolls, steals uint64,
-	completed []paddedCounter, stmDelta stm.StatsSnapshot) Result {
+	perWorker []uint64, stmDelta stm.StatsSnapshot) Result {
 	res := Result{
 		Model:      p.cfg.Model,
 		Workers:    p.cfg.Workers,
@@ -264,7 +271,7 @@ func (p *Pool) newResult(elapsed time.Duration, produced, emptyPolls, steals uin
 		WorkSteal:  p.cfg.WorkSteal,
 		Elapsed:    elapsed,
 		Produced:   produced,
-		PerWorker:  make([]uint64, len(completed)),
+		PerWorker:  perWorker,
 		EmptyPolls: emptyPolls,
 		Steals:     steals,
 		STM:        stmDelta,
@@ -274,9 +281,8 @@ func (p *Pool) newResult(elapsed time.Duration, produced, emptyPolls, steals uin
 	} else {
 		res.Scheduler = "none"
 	}
-	for i := range completed {
-		res.PerWorker[i] = completed[i].n.Load()
-		res.Completed += res.PerWorker[i]
+	for _, n := range perWorker {
+		res.Completed += n
 	}
 	return res
 }
@@ -384,7 +390,11 @@ func (p *Pool) executeNoExecutor(d time.Duration, count int64) (Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	res := p.newResult(elapsed, produced.Load(), 0, 0, completed, p.cfg.STM.Stats().Sub(stmBefore))
+	perWorker := make([]uint64, len(completed))
+	for i := range completed {
+		perWorker[i] = completed[i].n.Load()
+	}
+	res := p.newResult(elapsed, produced.Load(), 0, 0, perWorker, p.cfg.STM.Stats().Sub(stmBefore))
 	if errp := workErr.Load(); errp != nil {
 		return res, *errp
 	}

@@ -314,8 +314,10 @@ func (l *legacyCounter) Execute(th *stm.Thread, t Task) error {
 }
 
 // TestSubmitAllPartialFutures pins the SubmitAll contract: when the batch
-// stops early (reject-mode queue full here), the returned prefix futures
-// are live and settle normally once the executor gets to them.
+// stops early (reject-mode queue full here), the returned slice stays
+// position-aligned with the tasks — accepted tasks carry live futures that
+// settle normally once the executor gets to them, never-submitted tasks are
+// nil.
 func TestSubmitAllPartialFutures(t *testing.T) {
 	gate := newGateWorkload()
 	ex, err := NewExecutor(
@@ -351,22 +353,34 @@ func TestSubmitAllPartialFutures(t *testing.T) {
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("SubmitAll error = %v, want ErrQueueFull", err)
 	}
-	if len(futs) == 0 || len(futs) >= len(tasks) {
-		t.Fatalf("partial futures = %d, want a non-empty strict prefix of %d", len(futs), len(tasks))
+	if len(futs) != len(tasks) {
+		t.Fatalf("futures slice = %d entries, want position-aligned %d", len(futs), len(tasks))
 	}
-	// The prefix is usable: release the worker and every returned future
-	// settles with a normal completion.
+	accepted := 0
+	for _, f := range futs {
+		if f != nil {
+			accepted++
+		}
+	}
+	if accepted == 0 || accepted >= len(tasks) {
+		t.Fatalf("accepted = %d, want a non-empty strict subset of %d", accepted, len(tasks))
+	}
+	// The accepted futures are usable: release the worker and every one of
+	// them settles with a normal completion echoing its own task.
 	gate.release()
 	if _, err := first.Wait(ctx); err != nil {
 		t.Fatal(err)
 	}
 	for i, f := range futs {
+		if f == nil {
+			continue
+		}
 		res, err := f.Wait(ctx)
 		if err != nil {
-			t.Fatalf("prefix future %d: %v", i, err)
+			t.Fatalf("accepted future %d: %v", i, err)
 		}
 		if res.Task.Arg != uint32(i) {
-			t.Errorf("prefix future %d echoes task %d", i, res.Task.Arg)
+			t.Errorf("future at slot %d echoes task %d", i, res.Task.Arg)
 		}
 	}
 	if err := ex.Drain(); err != nil {

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+
+	"kstm/internal/core"
+	"kstm/internal/stm"
+	"kstm/internal/txds"
+)
+
+// TestBatchingPointModes smokes every batching-experiment configuration at
+// CI-friendly sizes: each mode completes its traffic and reports a positive
+// throughput (relative ordering is the experiment's job, not this test's).
+func TestBatchingPointModes(t *testing.T) {
+	o := DefaultOptions()
+	o.Runs = 1
+	o.RealTasks = 400
+	for _, mode := range BatchModes() {
+		for _, size := range []int{1, 8} {
+			thr, err := BatchingPoint(o, mode, size, 2, 2, 1)
+			if err != nil {
+				t.Fatalf("%v size=%d: %v", mode, size, err)
+			}
+			if thr <= 0 {
+				t.Errorf("%v size=%d reported throughput %v", mode, size, thr)
+			}
+		}
+	}
+	if _, err := BatchingPoint(o, BatchSubmitAll, 0, 2, 2, 1); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}
+
+// TestKeyRangeStoreBatches pins the kstmd store pairing: the dictionary-key
+// hash store exposes the core.RangeBatchStore face and its one-pass
+// extraction matches per-range extraction.
+func TestKeyRangeStoreBatches(t *testing.T) {
+	f := NewKeyRangeDictFactory(txds.KindHashTable)
+	w := f.NewShard(0)
+	st := f.Store(0)
+	if st == nil {
+		t.Fatal("key-range hash store is nil")
+	}
+	bs, ok := st.(core.RangeBatchStore)
+	if !ok {
+		t.Fatal("key-range hash store does not implement core.RangeBatchStore")
+	}
+	th := stm.New().NewThread()
+	for _, k := range []uint32{10, 20, 5000, 5001, 60000} {
+		if _, err := w.Execute(th, core.Task{Op: core.OpInsert, Arg: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := bs.ExtractRanges(th, []core.Range{{Lo: 0, Hi: 100}, {Lo: 4000, Hi: 6000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 2 || len(out[1]) != 2 {
+		t.Fatalf("batch extraction = %v", out)
+	}
+	// The out-of-range key survives; the extracted ones are gone.
+	set := f.Shard(0)
+	for k, want := range map[uint32]bool{10: false, 5000: false, 60000: true} {
+		found, err := set.Contains(th, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != want {
+			t.Errorf("key %d present = %v, want %v", k, found, want)
+		}
+	}
+}

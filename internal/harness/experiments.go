@@ -180,6 +180,12 @@ func Experiments() []Experiment {
 			Paper: "beyond the paper: epoch-fenced shard-state migration (ROADMAP)",
 			Run:   runMigration,
 		},
+		Experiment{
+			ID:    "batching",
+			Title: "Per-task vs. batched submission, in-process and over the wire",
+			Paper: "beyond the paper: hot-path batching overhaul (ROADMAP)",
+			Run:   runBatching,
+		},
 	)
 	return exps
 }

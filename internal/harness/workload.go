@@ -208,11 +208,17 @@ func (f *DictFactory) Store(worker int) core.ShardStore {
 }
 
 // keyRangeHashStore views a hash table through dictionary-key ranges
-// (ExtractKeyRange) instead of its native bucket ranges.
+// (ExtractKeyRange) instead of its native bucket ranges. It implements
+// txds.RangeBatchStore: a dictionary-key extraction is a full-table scan, so
+// batching an epoch's ranges into ExtractKeyRanges pays that scan once.
 type keyRangeHashStore struct{ t *txds.HashTable }
 
 func (s keyRangeHashStore) ExtractRange(th *stm.Thread, lo, hi uint32) ([]uint32, error) {
 	return s.t.ExtractKeyRange(th, lo, hi)
+}
+
+func (s keyRangeHashStore) ExtractRanges(th *stm.Thread, ranges []txds.KeyRange) ([][]uint32, error) {
+	return s.t.ExtractKeyRanges(th, ranges)
 }
 
 func (s keyRangeHashStore) InstallKeys(th *stm.Thread, keys []uint32) error {
@@ -220,18 +226,60 @@ func (s keyRangeHashStore) InstallKeys(th *stm.Thread, keys []uint32) error {
 }
 
 // dictStore adapts a txds.RangeStore (32-bit scheduling keys) to
-// core.ShardStore (the partition's 64-bit key space).
+// core.ShardStore (the partition's 64-bit key space). It always offers the
+// core.RangeBatchStore face: wrapped stores that batch natively (the
+// dictionary-key hash view) extract every range in one pass, the rest fall
+// back to a per-range loop with identical semantics.
 type dictStore struct{ rs txds.RangeStore }
 
-func (s dictStore) ExtractRange(th *stm.Thread, lo, hi uint64) ([]uint32, error) {
+// clampRange folds a 64-bit partition range into the 32-bit dictionary
+// space; ok is false when the whole range lies above it.
+func clampRange(lo, hi uint64) (lo32, hi32 uint32, ok bool) {
 	const max32 = uint64(^uint32(0))
 	if lo > max32 {
-		return nil, nil // whole range above the 32-bit dictionary space
+		return 0, 0, false
 	}
 	if hi > max32 {
 		hi = max32
 	}
-	return s.rs.ExtractRange(th, uint32(lo), uint32(hi))
+	return uint32(lo), uint32(hi), true
+}
+
+func (s dictStore) ExtractRange(th *stm.Thread, lo, hi uint64) ([]uint32, error) {
+	lo32, hi32, ok := clampRange(lo, hi)
+	if !ok {
+		return nil, nil // whole range above the 32-bit dictionary space
+	}
+	return s.rs.ExtractRange(th, lo32, hi32)
+}
+
+func (s dictStore) ExtractRanges(th *stm.Thread, ranges []core.Range) ([][]uint32, error) {
+	out := make([][]uint32, len(ranges))
+	if bs, ok := s.rs.(txds.RangeBatchStore); ok {
+		// One structure pass for the whole epoch. Ranges above the 32-bit
+		// space extract nothing; their output slot stays empty.
+		krs := make([]txds.KeyRange, 0, len(ranges))
+		slot := make([]int, 0, len(ranges))
+		for i, r := range ranges {
+			if lo32, hi32, ok := clampRange(r.Lo, r.Hi); ok {
+				krs = append(krs, txds.KeyRange{Lo: lo32, Hi: hi32})
+				slot = append(slot, i)
+			}
+		}
+		got, err := bs.ExtractRanges(th, krs)
+		for i, keys := range got {
+			out[slot[i]] = keys
+		}
+		return out, err
+	}
+	for i, r := range ranges {
+		keys, err := s.ExtractRange(th, r.Lo, r.Hi)
+		out[i] = keys
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 func (s dictStore) InstallKeys(th *stm.Thread, keys []uint32) error {

@@ -57,6 +57,46 @@ func (q *Queue[T]) Enqueue(v T) {
 	}
 }
 
+// EnqueueAll appends vs in order as one splice: the nodes are allocated in a
+// single block and linked locally, then the whole chain is attached with one
+// successful CAS on the last node's next pointer — the batch is contiguous
+// in the queue and the per-element cost drops to a copy.
+//
+// The tail pointer may lag behind the chain's end until the trailing CAS (or
+// a helping operation) advances it; both Enqueue and Dequeue already walk a
+// lagging tail forward one step per retry, so the M&S invariant "tail is
+// reachable from head and at or behind the last node" is preserved.
+func (q *Queue[T]) EnqueueAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	nodes := make([]node[T], len(vs))
+	for i := range vs {
+		nodes[i].value = vs[i]
+		if i > 0 {
+			nodes[i-1].next.Store(&nodes[i])
+		}
+	}
+	first, last := &nodes[0], &nodes[len(vs)-1]
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, first) {
+			// Linearization point for the whole batch.
+			q.tail.CompareAndSwap(tail, last)
+			q.size.Add(int64(len(vs)))
+			return
+		}
+	}
+}
+
 // Dequeue removes and returns the head element. ok is false if the queue
 // was observed empty.
 func (q *Queue[T]) Dequeue() (v T, ok bool) {

@@ -254,3 +254,82 @@ func BenchmarkEnqueueOnly(b *testing.B) {
 		q.Enqueue(i)
 	}
 }
+
+// TestEnqueueAllSplice: the batch chain splices atomically (contiguous,
+// in order) and coexists with concurrent single enqueues and dequeues.
+func TestEnqueueAllSplice(t *testing.T) {
+	q := New[int]()
+	q.EnqueueAll([]int{1, 2, 3})
+	q.EnqueueAll(nil)
+	q.Enqueue(4)
+	q.EnqueueAll([]int{5, 6})
+	if n := q.Len(); n != 6 {
+		t.Fatalf("Len = %d, want 6", n)
+	}
+	for want := 1; want <= 6; want++ {
+		got, ok := q.Dequeue()
+		if !ok || got != want {
+			t.Fatalf("Dequeue = %d,%v want %d", got, ok, want)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+
+	// Concurrent mixed producers + consumers: everything enqueued comes
+	// out exactly once, and each batch stays in order relative to itself.
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i += 5 {
+				batch := make([]int, 5)
+				for j := range batch {
+					batch[j] = p*perProducer + i + j
+				}
+				q.EnqueueAll(batch)
+			}
+		}(p)
+	}
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					select {
+					case <-stop:
+						if v, ok := q.Dequeue(); ok {
+							mu.Lock()
+							seen[v] = true
+							mu.Unlock()
+							continue
+						}
+						return
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d dequeued twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d of %d", len(seen), producers*perProducer)
+	}
+}

@@ -23,6 +23,12 @@ import (
 type Queue[T any] interface {
 	// Put appends v.
 	Put(v T)
+	// PutAll appends vs in order as one operation, amortizing the cost to
+	// one synchronization per batch where the implementation allows (one
+	// CAS splice for mscq, one lock acquisition for the mutex ring — both
+	// of which also keep the batch contiguous; the channel variant keeps
+	// order but a concurrent fast-path Put may interleave).
+	PutAll(vs []T)
 	// Get removes the oldest element; ok is false if empty.
 	Get() (v T, ok bool)
 	// Len returns the approximate queue depth (for load statistics).
@@ -68,6 +74,9 @@ func NewMS[T any]() *MS[T] { return &MS[T]{q: mscq.New[T]()} }
 // Put implements Queue.
 func (m *MS[T]) Put(v T) { m.q.Enqueue(v) }
 
+// PutAll implements Queue: one node block, one CAS splice.
+func (m *MS[T]) PutAll(vs []T) { m.q.EnqueueAll(vs) }
+
 // Get implements Queue.
 func (m *MS[T]) Get() (T, bool) { return m.q.Dequeue() }
 
@@ -95,6 +104,22 @@ func (q *Mutex[T]) Put(v T) {
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = v
 	q.n++
+	q.mu.Unlock()
+}
+
+// PutAll implements Queue: one lock acquisition for the whole batch.
+func (q *Mutex[T]) PutAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	for q.n+len(vs) > len(q.buf) {
+		q.grow()
+	}
+	for _, v := range vs {
+		q.buf[(q.head+q.n)%len(q.buf)] = v
+		q.n++
+	}
 	q.mu.Unlock()
 }
 
@@ -168,6 +193,34 @@ func (q *Chan[T]) Put(v T) {
 		q.overflow = append(q.overflow, v)
 		q.mu.Unlock()
 	}
+}
+
+// PutAll implements Queue: the batch is appended in order under one lock —
+// through the overflow list when anything already waits there (preserving
+// FIFO), the channel otherwise. A concurrent fast-path Put (which skips the
+// lock when nothing has overflowed) may interleave between batch elements;
+// per-producer FIFO still holds, which is all the executor relies on.
+func (q *Chan[T]) PutAll(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if len(q.overflow) > 0 {
+		q.overflow = append(q.overflow, vs...)
+		q.refillLocked()
+		q.mu.Unlock()
+		return
+	}
+	for i, v := range vs {
+		select {
+		case q.ch <- v:
+		default:
+			q.overflow = append(q.overflow, vs[i:]...)
+			q.mu.Unlock()
+			return
+		}
+	}
+	q.mu.Unlock()
 }
 
 // refillLocked moves overflow entries into the channel while space permits.

@@ -187,3 +187,73 @@ func BenchmarkQueues(b *testing.B) {
 		})
 	}
 }
+
+// TestPutAllFIFOAndContiguity: every implementation delivers a PutAll batch
+// in order, and concurrent batches never interleave their elements.
+func TestPutAllFIFOAndContiguity(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			q, err := New[int](k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Order within a batch, across batches from one producer.
+			q.PutAll([]int{1, 2, 3})
+			q.Put(4)
+			q.PutAll([]int{5})
+			q.PutAll(nil) // no-op
+			for want := 1; want <= 5; want++ {
+				got, ok := q.Get()
+				if !ok || got != want {
+					t.Fatalf("Get = %d,%v want %d", got, ok, want)
+				}
+			}
+			if _, ok := q.Get(); ok {
+				t.Fatal("queue not empty")
+			}
+			// Contiguity under concurrency: producers tag elements with
+			// their batch, consumers must see each batch's elements in
+			// order and adjacent.
+			const producers, batches, batchLen = 4, 50, 8
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for b := 0; b < batches; b++ {
+						batch := make([]int, batchLen)
+						for i := range batch {
+							batch[i] = (p*batches+b)*batchLen + i
+						}
+						q.PutAll(batch)
+					}
+				}(p)
+			}
+			wg.Wait()
+			total := producers * batches * batchLen
+			got := make([]int, 0, total)
+			for {
+				v, ok := q.Get()
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+			if len(got) != total {
+				t.Fatalf("drained %d of %d", len(got), total)
+			}
+			for i := 0; i < total; i += batchLen {
+				base := got[i]
+				if base%batchLen != 0 {
+					t.Fatalf("batch boundary at %d starts mid-batch (%d)", i, base)
+				}
+				for j := 1; j < batchLen; j++ {
+					if got[i+j] != base+j {
+						t.Fatalf("batch starting %d interleaved: element %d is %d", base, j, got[i+j])
+					}
+				}
+			}
+		})
+	}
+}

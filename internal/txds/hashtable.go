@@ -247,6 +247,72 @@ func (t *HashTable) ExtractKeyRange(th *stm.Thread, lo, hi uint32) ([]uint32, er
 	return out, nil
 }
 
+// ExtractKeyRanges is the batch form of ExtractKeyRange: one pass over the
+// table's buckets removes every dictionary key falling in ANY of the given
+// disjoint closed ranges, returning the removed keys per range (out[i]
+// belongs to ranges[i]). A multi-range re-partition epoch therefore costs
+// one O(buckets) scan instead of one per range — the fence-window saving
+// the epoch-fenced migrator batches for.
+func (t *HashTable) ExtractKeyRanges(th *stm.Thread, ranges []KeyRange) ([][]uint32, error) {
+	out := make([][]uint32, len(ranges))
+	if len(ranges) == 0 {
+		return out, nil
+	}
+	rangeOf := func(k uint32) int {
+		for i, r := range ranges {
+			if k >= r.Lo && k <= r.Hi {
+				return i
+			}
+		}
+		return -1
+	}
+	marks := make([]int, len(ranges))
+	for _, obj := range t.buckets {
+		for i := range out {
+			marks[i] = len(out[i])
+		}
+		err := th.Atomic(func(tx *stm.Tx) error {
+			// An aborted attempt must not leave its appends.
+			for i := range out {
+				out[i] = out[i][:marks[i]]
+			}
+			v, err := tx.Read(obj)
+			if err != nil {
+				return err
+			}
+			hit := false
+			for _, k := range v.(*bucket).keys {
+				if rangeOf(k) >= 0 {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return nil // no write acquisition for untouched buckets
+			}
+			w, err := tx.Write(obj)
+			if err != nil {
+				return err
+			}
+			bk := w.(*bucket)
+			kept := bk.keys[:0]
+			for _, k := range bk.keys {
+				if ri := rangeOf(k); ri >= 0 {
+					out[ri] = append(out[ri], k)
+				} else {
+					kept = append(kept, k)
+				}
+			}
+			bk.keys = kept
+			return nil
+		})
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // InstallKeys implements RangeStore.
 func (t *HashTable) InstallKeys(th *stm.Thread, keys []uint32) error {
 	for _, k := range keys {

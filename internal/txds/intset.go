@@ -50,6 +50,20 @@ type RangeStore interface {
 	InstallKeys(th *stm.Thread, keys []uint32) error
 }
 
+// KeyRange is one closed scheduling-key interval for batch extraction.
+type KeyRange struct{ Lo, Hi uint32 }
+
+// RangeBatchStore is the optional batch face of a RangeStore: extract
+// several disjoint ranges in ONE pass over the structure, returning the
+// removed keys per range (out[i] belongs to ranges[i]). Implementations
+// whose single-range extraction already scans the whole structure (the hash
+// table's dictionary-key view) cut a multi-range epoch's cost from one full
+// scan per range to one per epoch.
+type RangeBatchStore interface {
+	RangeStore
+	ExtractRanges(th *stm.Thread, ranges []KeyRange) ([][]uint32, error)
+}
+
 // Kind names a benchmark data structure.
 type Kind string
 

@@ -1,6 +1,7 @@
 package txds
 
 import (
+	"reflect"
 	"sort"
 	"sync"
 	"testing"
@@ -250,5 +251,50 @@ func TestExtractRangeUnderConcurrency(t *testing.T) {
 				t.Fatalf("extracted %d keys, want %d", len(keys), want)
 			}
 		})
+	}
+}
+
+// TestHashTableExtractKeyRanges pins the one-pass multi-range extraction:
+// every key lands in ITS range's output slot, aliased and out-of-range keys
+// stay, and the result matches what per-range ExtractKeyRange calls would
+// have produced — at one table scan instead of one per range.
+func TestHashTableExtractKeyRanges(t *testing.T) {
+	s := stm.New()
+	th := s.NewThread()
+	ht := NewHashTable(0)
+	alias := uint32(ht.Buckets()) + 5 // same bucket as key 5
+	for _, k := range []uint32{5, 42, 99, alias, 300, 301, 60000} {
+		if _, err := ht.Insert(th, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ht.ExtractKeyRanges(th, []KeyRange{{Lo: 0, Hi: 100}, {Lo: 300, Hi: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d output slots for 2 ranges", len(out))
+	}
+	sort.Slice(out[0], func(i, j int) bool { return out[0][i] < out[0][j] })
+	sort.Slice(out[1], func(i, j int) bool { return out[1][i] < out[1][j] })
+	if want := []uint32{5, 42, 99}; !reflect.DeepEqual(out[0], want) {
+		t.Fatalf("range [0,100] extracted %v, want %v", out[0], want)
+	}
+	if want := []uint32{300, 301}; !reflect.DeepEqual(out[1], want) {
+		t.Fatalf("range [300,400] extracted %v, want %v", out[1], want)
+	}
+	// Extracted keys are gone; the aliased and out-of-range keys survive.
+	for k, want := range map[uint32]bool{5: false, 42: false, 99: false, 300: false, 301: false, alias: true, 60000: true} {
+		found, err := ht.Contains(th, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != want {
+			t.Errorf("key %d present = %v, want %v", k, found, want)
+		}
+	}
+	// An empty range list is a no-op, not a scan failure.
+	if out, err := ht.ExtractKeyRanges(th, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty ranges: %v, %v", out, err)
 	}
 }

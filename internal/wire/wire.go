@@ -24,8 +24,17 @@
 //
 // where value is a tagged scalar (TagNil/TagFalse/TagTrue/TagUint/TagInt/
 // TagFloat/TagBytes) and msg is a u16-length-prefixed UTF-8 error message,
-// empty for StatusOK. See DESIGN.md "Network front-end" for the status ↔
-// executor error mapping.
+// empty for StatusOK.
+//
+// Batch frames amortize the per-frame syscall for pipelined traffic:
+//
+//	TypeBatchRequest body:  count u16 | count × request body
+//	TypeBatchResponse body: count u16 | count × response body
+//
+// A batch request frame carries at most MaxBatch requests; batch responses
+// pack greedily up to MaxFrame. Servers answer with batch frames only on
+// connections that have sent one (older clients keep getting TypeResponse).
+// See DESIGN.md "Network front-end" for the status ↔ executor error mapping.
 package wire
 
 import (
@@ -48,7 +57,20 @@ const MaxFrame = 64 * 1024
 const (
 	TypeRequest  uint8 = 1
 	TypeResponse uint8 = 2
+	// TypeBatchRequest carries many requests in one frame (one syscall):
+	// body is a u16 count followed by count request bodies back to back.
+	TypeBatchRequest uint8 = 3
+	// TypeBatchResponse carries many responses in one frame: a u16 count
+	// followed by count response bodies back to back. A server sends it
+	// only to peers that have sent a TypeBatchRequest on the connection
+	// (proof they speak version-1 batching); plain clients keep receiving
+	// TypeResponse frames.
+	TypeBatchResponse uint8 = 4
 )
+
+// MaxBatch is the most requests one TypeBatchRequest frame can carry; bigger
+// batches must be split across frames.
+const MaxBatch = (MaxFrame - headerSize - 2) / requestSize
 
 // Status codes carried in responses.
 const (
@@ -156,6 +178,111 @@ func AppendRequest(dst []byte, req Request) []byte {
 	dst = append(dst, req.Op)
 	dst = binary.BigEndian.AppendUint32(dst, req.Arg)
 	return dst
+}
+
+// AppendBatchRequest appends reqs as one TypeBatchRequest frame to dst. It
+// fails only on an empty batch or one above MaxBatch (split those).
+func AppendBatchRequest(dst []byte, reqs []Request) ([]byte, error) {
+	if len(reqs) == 0 {
+		return dst, fmt.Errorf("%w: empty batch", ErrBadBody)
+	}
+	if len(reqs) > MaxBatch {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+2+len(reqs)*requestSize))
+	dst = append(dst, Version, TypeBatchRequest)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(reqs)))
+	for _, req := range reqs {
+		dst = binary.BigEndian.AppendUint64(dst, req.ID)
+		dst = binary.BigEndian.AppendUint64(dst, req.Key)
+		dst = append(dst, req.Op)
+		dst = binary.BigEndian.AppendUint32(dst, req.Arg)
+	}
+	return dst, nil
+}
+
+// AppendBatchResponses appends as many of resps as fit one TypeBatchResponse
+// frame (greedy, in order, at least one) and returns the extended slice and
+// the count consumed; callers loop until the batch is drained. Values must
+// already be wire-encodable (CheckValue) — an unencodable value aborts the
+// frame with ErrBadValue and consumed 0.
+func AppendBatchResponses(dst []byte, resps []Response) (out []byte, consumed int, err error) {
+	if len(resps) == 0 {
+		return dst, 0, fmt.Errorf("%w: empty batch", ErrBadBody)
+	}
+	frameStart := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // length patched below
+	dst = append(dst, Version, TypeBatchResponse)
+	dst = binary.BigEndian.AppendUint16(dst, 0) // count patched below
+	for _, resp := range resps {
+		mark := len(dst)
+		var aerr error
+		dst, aerr = appendResponseBody(dst, resp)
+		if aerr != nil {
+			if consumed == 0 {
+				return dst[:frameStart], 0, aerr
+			}
+			dst = dst[:mark]
+			break
+		}
+		if len(dst)-frameStart-4 > MaxFrame {
+			// This response overflows the frame: roll it back. consumed==0
+			// means the single response alone is too large — the caller
+			// should fall back to AppendResponse, which truncates.
+			dst = dst[:mark]
+			if consumed == 0 {
+				return dst[:frameStart], 0, ErrFrameTooLarge
+			}
+			break
+		}
+		consumed++
+	}
+	binary.BigEndian.PutUint32(dst[frameStart:], uint32(len(dst)-frameStart-4))
+	binary.BigEndian.PutUint16(dst[frameStart+6:], uint16(consumed))
+	return dst, consumed, nil
+}
+
+// appendResponseBody appends one response body (no frame header) to dst,
+// rolling back on an unencodable value. Messages truncate to the u16 bound.
+func appendResponseBody(dst []byte, resp Response) ([]byte, error) {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint64(dst, resp.ID)
+	dst = append(dst, resp.Status)
+	dst = binary.BigEndian.AppendUint64(dst, resp.WaitNS)
+	dst = binary.BigEndian.AppendUint64(dst, resp.ExecNS)
+	var err error
+	dst, err = appendValue(dst, resp.Value)
+	if err != nil {
+		return dst[:start], err
+	}
+	msg := resp.Msg
+	if len(msg) > maxMsgLen {
+		msg = msg[:maxMsgLen]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...), nil
+}
+
+// CheckValue reports whether v is in the wire's tagged-scalar vocabulary
+// (and, for byte/string payloads, within the size bound) — the pre-flight a
+// server runs before batching a response, so encoding cannot fail mid-frame.
+func CheckValue(v any) error {
+	switch x := v.(type) {
+	case nil, bool, uint64, uint32, int64, int, float64:
+		return nil
+	case string:
+		if len(x) > maxValueLen || len(x) > maxMsgLen {
+			return ErrFrameTooLarge
+		}
+		return nil
+	case []byte:
+		if len(x) > maxValueLen || len(x) > maxMsgLen {
+			return ErrFrameTooLarge
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %T", ErrBadValue, v)
+	}
 }
 
 // AppendResponse appends resp as one frame to dst. It fails only on a value
@@ -269,12 +396,14 @@ func decodeValue(b []byte) (any, []byte, error) {
 	}
 }
 
-// Frame is one decoded frame: exactly one of Req/Resp is meaningful,
-// selected by Type.
+// Frame is one decoded frame, selected by Type: Req for TypeRequest, Resp
+// for TypeResponse, Reqs for TypeBatchRequest, Resps for TypeBatchResponse.
 type Frame struct {
-	Type uint8
-	Req  Request
-	Resp Response
+	Type  uint8
+	Req   Request
+	Resp  Response
+	Reqs  []Request
+	Resps []Response
 }
 
 // ReadFrame reads and decodes one frame from r. A short read surfaces as
@@ -343,31 +472,96 @@ func DecodeFrame(b []byte) (Frame, error) {
 			Arg: binary.BigEndian.Uint32(body[17:21]),
 		}}, nil
 	case TypeResponse:
-		if len(body) < respFixed {
-			return Frame{}, fmt.Errorf("%w: response body %d bytes, want >= %d", ErrBadBody, len(body), respFixed)
-		}
-		resp := Response{
-			ID:     binary.BigEndian.Uint64(body[0:8]),
-			Status: body[8],
-			WaitNS: binary.BigEndian.Uint64(body[9:17]),
-			ExecNS: binary.BigEndian.Uint64(body[17:25]),
-		}
-		val, rest, err := decodeValue(body[respFixed:])
+		resp, rest, err := decodeResponseBody(body)
 		if err != nil {
 			return Frame{}, err
 		}
-		resp.Value = val
-		if len(rest) < 2 {
-			return Frame{}, fmt.Errorf("%w: missing message length", ErrBadBody)
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("%w: %d trailing bytes after response", ErrBadBody, len(rest))
 		}
-		msgLen := int(binary.BigEndian.Uint16(rest))
-		rest = rest[2:]
-		if len(rest) != msgLen {
-			return Frame{}, fmt.Errorf("%w: message %d bytes, length says %d", ErrBadBody, len(rest), msgLen)
-		}
-		resp.Msg = string(rest)
 		return Frame{Type: TypeResponse, Resp: resp}, nil
+	case TypeBatchRequest:
+		if len(body) < 2 {
+			return Frame{}, fmt.Errorf("%w: missing batch count", ErrBadBody)
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if n == 0 {
+			return Frame{}, fmt.Errorf("%w: empty batch", ErrBadBody)
+		}
+		// The size check precedes the allocation: a hostile count cannot
+		// reserve more than the (already MaxFrame-bounded) body justifies.
+		if len(body) != n*requestSize {
+			return Frame{}, fmt.Errorf("%w: batch body %d bytes, %d requests want %d", ErrBadBody, len(body), n, n*requestSize)
+		}
+		reqs := make([]Request, n)
+		for i := range reqs {
+			b := body[i*requestSize:]
+			reqs[i] = Request{
+				ID:  binary.BigEndian.Uint64(b[0:8]),
+				Key: binary.BigEndian.Uint64(b[8:16]),
+				Op:  b[16],
+				Arg: binary.BigEndian.Uint32(b[17:21]),
+			}
+		}
+		return Frame{Type: TypeBatchRequest, Reqs: reqs}, nil
+	case TypeBatchResponse:
+		if len(body) < 2 {
+			return Frame{}, fmt.Errorf("%w: missing batch count", ErrBadBody)
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if n == 0 {
+			return Frame{}, fmt.Errorf("%w: empty batch", ErrBadBody)
+		}
+		// Each response body is at least respFixed+1+2 bytes; bound the
+		// allocation by what the body could actually hold.
+		if n*(respFixed+3) > len(body) {
+			return Frame{}, fmt.Errorf("%w: %d responses cannot fit %d bytes", ErrBadBody, n, len(body))
+		}
+		resps := make([]Response, 0, n)
+		for i := 0; i < n; i++ {
+			resp, rest, err := decodeResponseBody(body)
+			if err != nil {
+				return Frame{}, err
+			}
+			resps = append(resps, resp)
+			body = rest
+		}
+		if len(body) != 0 {
+			return Frame{}, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadBody, len(body))
+		}
+		return Frame{Type: TypeBatchResponse, Resps: resps}, nil
 	default:
 		return Frame{}, fmt.Errorf("%w: %d", ErrBadType, typ)
 	}
+}
+
+// decodeResponseBody decodes one response body from b, returning the
+// remainder (batch frames concatenate several).
+func decodeResponseBody(b []byte) (Response, []byte, error) {
+	if len(b) < respFixed {
+		return Response{}, nil, fmt.Errorf("%w: response body %d bytes, want >= %d", ErrBadBody, len(b), respFixed)
+	}
+	resp := Response{
+		ID:     binary.BigEndian.Uint64(b[0:8]),
+		Status: b[8],
+		WaitNS: binary.BigEndian.Uint64(b[9:17]),
+		ExecNS: binary.BigEndian.Uint64(b[17:25]),
+	}
+	val, rest, err := decodeValue(b[respFixed:])
+	if err != nil {
+		return Response{}, nil, err
+	}
+	resp.Value = val
+	if len(rest) < 2 {
+		return Response{}, nil, fmt.Errorf("%w: missing message length", ErrBadBody)
+	}
+	msgLen := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) < msgLen {
+		return Response{}, nil, fmt.Errorf("%w: message %d bytes, length says %d", ErrBadBody, len(rest), msgLen)
+	}
+	resp.Msg = string(rest[:msgLen])
+	return resp, rest[msgLen:], nil
 }

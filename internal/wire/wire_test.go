@@ -198,6 +198,128 @@ func TestDecodeResponseBodyRejects(t *testing.T) {
 	}
 }
 
+func TestBatchRequestRoundTrip(t *testing.T) {
+	reqs := make([]Request, 37)
+	for i := range reqs {
+		reqs[i] = Request{ID: uint64(i + 1), Key: uint64(i * 31), Op: uint8(i % 4), Arg: uint32(i * 7)}
+	}
+	b, err := AppendBatchRequest(nil, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != TypeBatchRequest || !reflect.DeepEqual(frame.Reqs, reqs) {
+		t.Fatalf("round trip mismatch: type %d, %d requests", frame.Type, len(frame.Reqs))
+	}
+	if _, err := AppendBatchRequest(nil, nil); err == nil {
+		t.Error("empty batch encoded")
+	}
+	if _, err := AppendBatchRequest(nil, make([]Request, MaxBatch+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized batch: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Status: StatusOK, Value: true, WaitNS: 10, ExecNS: 20},
+		{ID: 2, Status: StatusError, Value: nil, Msg: "boom"},
+		{ID: 3, Status: StatusOK, Value: uint64(99)},
+		{ID: 4, Status: StatusOK, Value: []byte("bytes")},
+	}
+	b, consumed, err := AppendBatchResponses(nil, resps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(resps) {
+		t.Fatalf("consumed %d of %d", consumed, len(resps))
+	}
+	frame, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != TypeBatchResponse || !reflect.DeepEqual(frame.Resps, resps) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", frame.Resps, resps)
+	}
+}
+
+// TestBatchResponseSplitsAtFrameBound pins the greedy packing: when the
+// batch overflows MaxFrame, AppendBatchResponses consumes a prefix and the
+// caller loops — and the two frames decode back to the full set.
+func TestBatchResponseSplitsAtFrameBound(t *testing.T) {
+	big := make([]byte, 20*1024)
+	resps := make([]Response, 5)
+	for i := range resps {
+		resps[i] = Response{ID: uint64(i), Status: StatusOK, Value: big}
+	}
+	var frames [][]byte
+	rest := resps
+	for len(rest) > 0 {
+		b, n, err := AppendBatchResponses(nil, rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("no progress")
+		}
+		frames = append(frames, b)
+		rest = rest[n:]
+	}
+	if len(frames) < 2 {
+		t.Fatalf("expected a split, got %d frame(s)", len(frames))
+	}
+	var got []Response
+	for _, fb := range frames {
+		frame, err := ReadFrame(bytes.NewReader(fb), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, frame.Resps...)
+	}
+	if !reflect.DeepEqual(got, resps) {
+		t.Fatal("split batch did not reassemble")
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	good, err := AppendBatchRequest(nil, []Request{{ID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte{}, good[4:]...)
+	// Count says two, body holds one.
+	payload[3] = 2
+	if _, err := DecodeFrame(payload); !errors.Is(err, ErrBadBody) {
+		t.Errorf("count mismatch: %v, want ErrBadBody", err)
+	}
+	// Zero-count batches are invalid.
+	if _, err := DecodeFrame([]byte{Version, TypeBatchRequest, 0, 0}); !errors.Is(err, ErrBadBody) {
+		t.Errorf("zero count: %v, want ErrBadBody", err)
+	}
+	// A hostile response count cannot force a large allocation: the body
+	// cannot hold the claimed entries.
+	hostile := []byte{Version, TypeBatchResponse, 0xff, 0xff}
+	if _, err := DecodeFrame(hostile); !errors.Is(err, ErrBadBody) {
+		t.Errorf("hostile count: %v, want ErrBadBody", err)
+	}
+}
+
+func TestCheckValue(t *testing.T) {
+	for _, v := range []any{nil, true, uint64(1), int64(-1), 1, uint32(2), 1.5, "s", []byte("b")} {
+		if err := CheckValue(v); err != nil {
+			t.Errorf("CheckValue(%T) = %v", v, err)
+		}
+	}
+	if err := CheckValue(struct{}{}); !errors.Is(err, ErrBadValue) {
+		t.Errorf("struct: %v, want ErrBadValue", err)
+	}
+	if err := CheckValue(make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized bytes: %v, want ErrFrameTooLarge", err)
+	}
+}
+
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendRequest(nil, Request{ID: 1, Key: 2, Op: 3, Arg: 4})[4:])
 	if b, err := AppendResponse(nil, Response{ID: 5, Status: StatusOK, Value: true, Msg: ""}); err == nil {
@@ -206,8 +328,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	if b, err := AppendResponse(nil, Response{ID: 6, Status: StatusError, Value: []byte("v"), Msg: "boom"}); err == nil {
 		f.Add(b[4:])
 	}
+	if b, err := AppendBatchRequest(nil, []Request{{ID: 1}, {ID: 2, Key: 3, Op: 1, Arg: 4}}); err == nil {
+		f.Add(b[4:])
+	}
+	if b, _, err := AppendBatchResponses(nil, []Response{{ID: 7, Status: StatusOK, Value: 1.5}, {ID: 8, Status: StatusBusy, Msg: "busy"}}); err == nil {
+		f.Add(b[4:])
+	}
 	f.Add([]byte{})
 	f.Add([]byte{Version, TypeResponse})
+	f.Add([]byte{Version, TypeBatchRequest, 0, 1})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		frame, err := DecodeFrame(b)
 		if err != nil {
@@ -229,6 +358,25 @@ func FuzzDecodeFrame(f *testing.F) {
 			again, err := DecodeFrame(enc[4:])
 			if err != nil || !reflect.DeepEqual(again.Resp, frame.Resp) {
 				t.Fatalf("response re-encode mismatch: %v\n got %+v\nwant %+v", err, again.Resp, frame.Resp)
+			}
+		case TypeBatchRequest:
+			enc, err := AppendBatchRequest(nil, frame.Reqs)
+			if err != nil {
+				t.Fatalf("decoded batch does not re-encode: %v", err)
+			}
+			again, err := DecodeFrame(enc[4:])
+			if err != nil || !reflect.DeepEqual(again.Reqs, frame.Reqs) {
+				t.Fatalf("batch request re-encode mismatch: %v", err)
+			}
+		case TypeBatchResponse:
+			enc, n, err := AppendBatchResponses(nil, frame.Resps)
+			if err != nil || n != len(frame.Resps) {
+				// A decoded batch always fits one frame by construction.
+				t.Fatalf("decoded batch does not re-encode: %v (consumed %d/%d)", err, n, len(frame.Resps))
+			}
+			again, err := DecodeFrame(enc[4:])
+			if err != nil || !reflect.DeepEqual(again.Resps, frame.Resps) {
+				t.Fatalf("batch response re-encode mismatch: %v", err)
 			}
 		}
 	})

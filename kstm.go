@@ -252,6 +252,14 @@ type MigrationStats = core.MigrationStats
 // extraction and key installation in the executor's scheduling-key space.
 type ShardStore = core.ShardStore
 
+// Range is one contiguous closed interval of the scheduling-key space.
+type Range = core.Range
+
+// RangeBatchStore is the optional batch face of a ShardStore: extract all
+// of an epoch's moved ranges in one structure pass. The migrator uses it
+// when one re-partition moves several ranges out of the same shard.
+type RangeBatchStore = core.RangeBatchStore
+
 // StoreFactory is a WorkloadFactory whose shards expose migratable state.
 type StoreFactory = core.StoreFactory
 

@@ -217,9 +217,12 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// handle runs one connection: a read loop decoding requests and submitting
-// them, a writer goroutine streaming responses, and one goroutine per
-// in-flight request bridging its Future to the writer.
+// handle runs one connection with exactly TWO goroutines regardless of
+// pipelining depth: this read loop, which decodes requests and submits them
+// through the executor's callback API (SubmitFunc — no Future, no bridge
+// goroutine per request), and a writer draining the connection's response
+// queue. Task completions run a small callback on the settling worker that
+// parks the response on the queue and returns.
 func (s *Server) handle(conn net.Conn) {
 	// The connection context cancels when the read loop exits (drop, EOF,
 	// protocol error) or the server closes: tasks this connection queued
@@ -233,27 +236,27 @@ func (s *Server) handle(conn net.Conn) {
 	unblock := context.AfterFunc(ctx, func() { conn.Close() })
 	defer unblock()
 
-	// The writer owns the socket's write half. Responses complete out of
-	// order; the channel gives slow-client isolation bounded by its depth —
-	// when a client stops reading, request goroutines block here instead of
-	// growing an unbounded buffer, and a dropped connection unblocks them
-	// via ctx.
-	respCh := make(chan wire.Response, 128)
-	// inflight bounds this connection's outstanding requests: a client
-	// that pipelines but never reads its responses fills respCh, then the
-	// bridge goroutines, then this semaphore — at which point the read
-	// loop stops decoding and TCP backpressure reaches the sender, instead
-	// of goroutines growing without limit.
+	// Every request holds one slot from decode until its response clears
+	// the writer (written, or discarded on a dead connection). A client
+	// that pipelines but never reads fills the writer's queue up to this
+	// bound, then the read loop blocks here and TCP backpressure reaches
+	// the sender — the buffer cannot grow without limit.
 	inflight := make(chan struct{}, maxInflightPerConn)
-	var writerWG, reqWG sync.WaitGroup
+	out := newOutQueue()
+	// batchOK flips once the peer sends a batch frame: only then may the
+	// writer coalesce responses into TypeBatchResponse frames (older
+	// clients would drop the connection on an unknown frame type).
+	var batchOK atomic.Bool
+	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		s.writeLoop(conn, respCh, cancel)
+		s.writeLoop(conn, out, inflight, &batchOK, cancel)
 	}()
 
 	br := bufio.NewReaderSize(conn, 32*1024)
 	scratch := make([]byte, 256)
+readLoop:
 	for {
 		frame, err := wire.ReadFrame(br, &scratch)
 		if err != nil {
@@ -269,139 +272,270 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			break
 		}
-		if frame.Type != wire.TypeRequest {
+		switch frame.Type {
+		case wire.TypeRequest:
+			if !s.serveReq(ctx, out, inflight, frame.Req) {
+				break readLoop
+			}
+		case wire.TypeBatchRequest:
+			batchOK.Store(true)
+			for _, req := range frame.Reqs {
+				if !s.serveReq(ctx, out, inflight, req) {
+					break readLoop
+				}
+			}
+		default:
 			s.nProtoErr.Add(1)
 			s.log.Printf("server: %s: unexpected frame type %d", conn.RemoteAddr(), frame.Type)
-			break
+			break readLoop
 		}
-		s.nReq.Add(1)
-		req := frame.Req
-		if req.Op > s.maxOp {
-			s.nBadReq.Add(1)
-			s.respond(ctx, respCh, wire.Response{
-				ID: req.ID, Status: wire.StatusBadRequest,
-				Msg: fmt.Sprintf("opcode %d above maximum %d", req.Op, s.maxOp),
-			})
-			continue
-		}
-		if s.maxArg != 0 && req.Arg > s.maxArg {
-			s.nBadReq.Add(1)
-			s.respond(ctx, respCh, wire.Response{
-				ID: req.ID, Status: wire.StatusBadRequest,
-				Msg: fmt.Sprintf("argument %d above maximum %d", req.Arg, s.maxArg),
-			})
-			continue
-		}
-		key := req.Key
-		if s.keyMask != 0 {
-			key &= s.keyMask
-		}
-		task := kstm.Task{Key: key, Op: kstm.Op(req.Op), Arg: req.Arg}
-		fut, err := s.ex.SubmitAsync(ctx, task)
-		if err != nil {
-			s.respond(ctx, respCh, s.submitError(req.ID, err))
-			continue
-		}
-		select {
-		case inflight <- struct{}{}:
-		case <-ctx.Done():
-			// Connection dying mid-submit: no bridge to spawn (no one to
-			// respond to), but the accepted future still settles — track
-			// its fate for the stats.
-			go s.countAbandoned(fut)
-			continue
-		}
-		reqWG.Add(1)
-		go func(id uint64, fut *kstm.Future) {
-			defer reqWG.Done()
-			defer func() { <-inflight }()
-			res, err := fut.Wait(ctx)
-			if err != nil && ctx.Err() != nil {
-				// Connection gone: there is no one left to tell, but the
-				// future still settles in the background (executed or
-				// abandoned). Account its true fate without delaying the
-				// connection teardown on it.
-				go s.countAbandoned(fut)
-				return
-			}
-			s.respond(ctx, respCh, s.taskResponse(id, res, err))
-		}(req.ID, fut)
 	}
-	// Read side done: cancel queued work, let in-flight bridges settle,
-	// then release the writer and the socket.
+	// Read side done: cancel queued work and retire the connection without
+	// waiting for stragglers — a wedged executor must not pin dead
+	// connections (Drain relies on their cancellation propagating). Tasks
+	// still in flight settle later on their workers: their callbacks see
+	// the dead context, record the fate in the stats, and release their
+	// slots; a push that races the writer's exit parks harmlessly on the
+	// orphaned queue until both are collected.
 	cancel()
-	reqWG.Wait()
-	close(respCh)
+	out.close()
 	writerWG.Wait()
 	conn.Close()
 }
 
-// maxInflightPerConn bounds one connection's outstanding requests (its
-// bridge goroutines); past it the read loop stops decoding and TCP
-// backpressure reaches the client.
+// maxInflightPerConn bounds one connection's outstanding requests (slots
+// held from decode to response write); past it the read loop stops decoding
+// and TCP backpressure reaches the client.
 const maxInflightPerConn = 1024
 
-// countAbandoned waits for an orphaned future to settle and records its
-// fate with the same classification taskResponse uses for live
-// connections: executor-stop abandonment under Stopped, context
-// abandonment under Cancelled, and nothing for tasks that actually ran —
-// a task that executed (with or without a workload error) is completed
-// work, mirroring the executor's own Completed/Cancelled split. Futures
-// always settle (executed, abandoned, or ErrStopped at halt), so this
-// goroutine always terminates.
-func (s *Server) countAbandoned(fut *kstm.Future) {
-	_, err := fut.Wait(context.Background())
-	switch {
-	case errors.Is(err, kstm.ErrStopped):
-		s.nStopped.Add(1)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.nCancel.Add(1)
-	}
-}
-
-// respond enqueues a response unless the connection is already gone.
-func (s *Server) respond(ctx context.Context, respCh chan<- wire.Response, resp wire.Response) {
+// serveReq validates and submits one request, enqueueing the response (or
+// arranging the completion callback to). It returns false only when the
+// connection is being torn down.
+func (s *Server) serveReq(ctx context.Context, out *outQueue, inflight chan struct{}, req wire.Request) bool {
+	s.nReq.Add(1)
 	select {
-	case respCh <- resp:
+	case inflight <- struct{}{}:
 	case <-ctx.Done():
+		return false
+	}
+	if req.Op > s.maxOp {
+		s.nBadReq.Add(1)
+		out.push(wire.Response{
+			ID: req.ID, Status: wire.StatusBadRequest,
+			Msg: fmt.Sprintf("opcode %d above maximum %d", req.Op, s.maxOp),
+		})
+		return true
+	}
+	if s.maxArg != 0 && req.Arg > s.maxArg {
+		s.nBadReq.Add(1)
+		out.push(wire.Response{
+			ID: req.ID, Status: wire.StatusBadRequest,
+			Msg: fmt.Sprintf("argument %d above maximum %d", req.Arg, s.maxArg),
+		})
+		return true
+	}
+	key := req.Key
+	if s.keyMask != 0 {
+		key &= s.keyMask
+	}
+	task := kstm.Task{Key: key, Op: kstm.Op(req.Op), Arg: req.Arg}
+	id := req.ID
+	err := s.ex.SubmitFunc(ctx, task, func(res kstm.TaskResult) {
+		// Runs on the settling worker: park the response and return. On a
+		// dead connection there is no one left to tell — classify the
+		// task's true fate for the stats (mirroring the executor's own
+		// Completed/Cancelled split) and release the slot directly.
+		if ctx.Err() != nil {
+			switch {
+			case errors.Is(res.Err, kstm.ErrStopped):
+				s.nStopped.Add(1)
+			case errors.Is(res.Err, context.Canceled), errors.Is(res.Err, context.DeadlineExceeded):
+				s.nCancel.Add(1)
+			}
+			<-inflight
+			return
+		}
+		out.push(s.taskResponse(id, res, res.Err))
+	})
+	if err != nil {
+		out.push(s.submitError(id, err))
+	}
+	return true
+}
+
+// outQueue is one connection's response buffer between task callbacks (any
+// worker goroutine) and the connection's writer. push never blocks — the
+// bound comes from the inflight slot semaphore, not from here — so a slow
+// client can never stall an executor worker.
+type outQueue struct {
+	mu     sync.Mutex
+	buf    []wire.Response
+	closed bool
+	notify chan struct{} // cap 1: wake the writer, coalescing signals
+}
+
+func newOutQueue() *outQueue {
+	return &outQueue{notify: make(chan struct{}, 1)}
+}
+
+// push parks one response for the writer.
+func (q *outQueue) push(resp wire.Response) {
+	q.mu.Lock()
+	q.buf = append(q.buf, resp)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
 	}
 }
 
-// writeLoop serializes responses onto the socket. A write failure cancels
-// the connection (the read loop and request bridges then unwind) and drains
-// the channel so senders never block on a dead socket.
-func (s *Server) writeLoop(conn net.Conn, respCh <-chan wire.Response, cancel context.CancelFunc) {
+// close marks the end of traffic; the writer drains what is buffered and
+// exits. Callbacks MAY still push afterwards (the handler closes without
+// waiting for in-flight tasks to settle): such pushes land on the orphaned
+// buffer, are never taken, and are collected with it — push and take must
+// stay safe against that race.
+func (q *outQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take blocks until responses are buffered (swapping them into into) or the
+// queue is closed and empty.
+func (q *outQueue) take(into []wire.Response) ([]wire.Response, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.buf) > 0 {
+			into = append(into[:0], q.buf...)
+			q.buf = q.buf[:0]
+			q.mu.Unlock()
+			return into, false
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return into[:0], true
+		}
+		<-q.notify
+	}
+}
+
+// writeLoop serializes responses onto the socket, batching what the queue
+// delivers together: to a batch-speaking peer, a burst of n responses goes
+// out as TypeBatchResponse frames (count-prefixed, split at the frame
+// bound); otherwise as n single frames in one buffered write. One flush per
+// burst either way. A write failure cancels the connection (the read loop
+// and pending callbacks then unwind) and the loop keeps draining — slots
+// must keep flowing back so the handler's semaphore reclaim terminates.
+func (s *Server) writeLoop(conn net.Conn, out *outQueue, inflight <-chan struct{}, batchOK *atomic.Bool, cancel context.CancelFunc) {
 	bw := bufio.NewWriterSize(conn, 32*1024)
-	buf := make([]byte, 0, 256)
-	for resp := range respCh {
-		var err error
-		buf, err = wire.AppendResponse(buf[:0], resp)
-		if err != nil {
-			// Unencodable workload value: the request was fine, the
-			// workload's value type is not in the wire vocabulary.
-			// Answer just this request with an error; the connection
-			// stays up.
-			buf, _ = wire.AppendResponse(buf[:0], wire.Response{
-				ID: resp.ID, Status: wire.StatusError,
-				Msg: fmt.Sprintf("unencodable task value: %v", err),
-			})
-			s.nFailed.Add(1)
-		}
-		_, werr := bw.Write(buf)
-		if werr == nil && len(respCh) == 0 {
-			// Flush opportunistically: batch while more responses are
-			// ready, flush when the channel runs dry.
-			werr = bw.Flush()
-		}
-		if werr != nil {
-			cancel()
-			for range respCh { // drain until the handler closes it
+	buf := make([]byte, 0, 4096)
+	var batch []wire.Response
+	dead := false
+	for {
+		var closed bool
+		batch, closed = out.take(batch)
+		if closed {
+			if !dead {
+				bw.Flush()
 			}
 			return
 		}
+		if !dead {
+			var werr error
+			if batchOK.Load() && len(batch) > 1 {
+				buf, werr = s.writeBatched(bw, buf, batch)
+			} else {
+				buf, werr = s.writeSingles(bw, buf, batch)
+			}
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			if werr != nil {
+				// Socket gone: tear the connection down but keep
+				// consuming (and releasing slots) until the handler
+				// closes the queue.
+				cancel()
+				dead = true
+			}
+		}
+		for range batch {
+			<-inflight
+		}
+	}
+}
+
+// sanitize replaces a response whose task value is outside the wire
+// vocabulary with a per-request error — the request was fine, the workload's
+// value type is not encodable; the connection stays up.
+func (s *Server) sanitize(resp wire.Response) wire.Response {
+	if err := wire.CheckValue(resp.Value); err != nil {
+		s.nFailed.Add(1)
+		return wire.Response{
+			ID: resp.ID, Status: wire.StatusError,
+			Msg: fmt.Sprintf("unencodable task value: %v", err),
+		}
+	}
+	return resp
+}
+
+// writeSingles writes one TypeResponse frame per response. It returns the
+// (possibly grown) encode buffer so the writer's scratch is reused across
+// bursts instead of re-allocated per burst.
+func (s *Server) writeSingles(bw *bufio.Writer, buf []byte, batch []wire.Response) ([]byte, error) {
+	for _, resp := range batch {
+		resp = s.sanitize(resp)
+		b, err := wire.AppendResponse(buf[:0], resp)
+		if err != nil {
+			// Sanitized responses encode; a failure here is a bug, but
+			// answer the request rather than wedge the connection.
+			b, _ = wire.AppendResponse(buf[:0], wire.Response{
+				ID: resp.ID, Status: wire.StatusError, Msg: "encode error",
+			})
+		}
+		buf = b
+		if _, werr := bw.Write(b); werr != nil {
+			return buf, werr
+		}
 		s.nResp.Add(1)
 	}
-	bw.Flush()
+	return buf, nil
+}
+
+// writeBatched packs a burst into TypeBatchResponse frames, splitting at the
+// frame bound; a response too large even alone falls back to a single frame
+// (AppendResponse truncates oversized messages). Like writeSingles it
+// returns the grown encode buffer for reuse.
+func (s *Server) writeBatched(bw *bufio.Writer, buf []byte, batch []wire.Response) ([]byte, error) {
+	for i := range batch {
+		batch[i] = s.sanitize(batch[i])
+	}
+	for len(batch) > 0 {
+		if len(batch) == 1 {
+			return s.writeSingles(bw, buf, batch)
+		}
+		b, n, err := wire.AppendBatchResponses(buf[:0], batch)
+		if err != nil {
+			// First response alone overflows a batch frame: send it as a
+			// single (truncating) frame and continue with the rest.
+			if buf, err = s.writeSingles(bw, buf, batch[:1]); err != nil {
+				return buf, err
+			}
+			batch = batch[1:]
+			continue
+		}
+		buf = b
+		if _, werr := bw.Write(b); werr != nil {
+			return buf, werr
+		}
+		s.nResp.Add(uint64(n))
+		batch = batch[n:]
+	}
+	return buf, nil
 }
 
 // submitError maps a SubmitAsync error to a response.

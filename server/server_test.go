@@ -104,6 +104,87 @@ func TestRoundTripLoopback(t *testing.T) {
 	}
 }
 
+// TestBatchRoundTrip drives the version-1 batch frames end to end: DoBatch
+// sends one TypeBatchRequest frame per chunk, the server fans the requests
+// through the callback submit path, coalesces the completions into
+// TypeBatchResponse frames, and every call settles with its own task's
+// value. Bad requests inside a batch answer individually without touching
+// their batch-mates.
+func TestBatchRoundTrip(t *testing.T) {
+	ex, srv, addr, shutdown := startServer(t, dictExecutorOpts(t), server.WithMaxOp(uint8(kstm.OpNoop)))
+	defer shutdown()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const n = 500
+	tasks := make([]kstm.Task, n)
+	for i := range tasks {
+		tasks[i] = kstm.Task{Key: uint64(i), Op: kstm.OpInsert, Arg: uint32(i)}
+	}
+	calls, err := c.DoBatch(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != n {
+		t.Fatalf("%d calls for %d tasks", len(calls), n)
+	}
+	for i, call := range calls {
+		res, err := call.Wait(ctx)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if added, _ := res.Value.(bool); !added {
+			t.Fatalf("call %d: fresh insert reported %v", i, res.Value)
+		}
+	}
+	// Re-reading the same keys through a second batch observes the inserts.
+	for i := range tasks {
+		tasks[i].Op = kstm.OpLookup
+	}
+	calls, err = c.DoBatch(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, call := range calls {
+		res, err := call.Wait(ctx)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if hit, _ := res.Value.(bool); !hit {
+			t.Fatalf("lookup %d missed its own insert", i)
+		}
+	}
+	// A bad opcode inside a batch fails alone; its batch-mates succeed.
+	mixed := []kstm.Task{
+		{Key: 1, Op: kstm.OpLookup, Arg: 1},
+		{Key: 2, Op: kstm.Op(200), Arg: 2},
+		{Key: 3, Op: kstm.OpLookup, Arg: 3},
+	}
+	calls, err = c.DoBatch(ctx, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calls[0].Wait(ctx); err != nil {
+		t.Errorf("good batch-mate 0: %v", err)
+	}
+	if _, err := calls[1].Wait(ctx); !errors.Is(err, client.ErrBadRequest) {
+		t.Errorf("bad opcode: %v, want ErrBadRequest", err)
+	}
+	if _, err := calls[2].Wait(ctx); err != nil {
+		t.Errorf("good batch-mate 2: %v", err)
+	}
+	if st := ex.Stats(); st.Completed != 2*n+2 {
+		t.Errorf("executor completed %d, want %d", st.Completed, 2*n+2)
+	}
+	if ss := srv.Stats(); ss.Requests != 2*n+3 || ss.Responses != 2*n+3 || ss.BadRequest != 1 {
+		t.Errorf("server req/resp/badreq = %d/%d/%d, want %d/%d/1", ss.Requests, ss.Responses, ss.BadRequest, 2*n+3, 2*n+3)
+	}
+}
+
 // TestManyClientsPipelined drives N clients × M pipelined requests and
 // checks that every response arrives, values are booleans, and the server
 // and executor agree on the totals.
