@@ -1,0 +1,140 @@
+// Command kstmvet is this repository's static analyzer suite: four
+// repo-specific checks for contracts the Go compiler cannot see, built on
+// the stdlib-only driver in internal/analysis (DESIGN.md §8).
+//
+//	atomiceffect   side effects in Atomic closures (aborts re-run them)
+//	txerrcheck     dropped/swallowed stm/txds errors (ErrAborted must reach
+//	               the retry loop)
+//	futureconsume  Future used after the consuming Wait/WaitValue (§3.5)
+//	padalign       //kstmvet:padalign structs stay cache-line multiples
+//
+// Usage:
+//
+//	kstmvet ./...             # analyze, print findings, exit 1 if any
+//	kstmvet -json ./... > kstmvet.json
+//	kstmvet -list             # list analyzers
+//	kstmvet -run padalign ./internal/core
+//
+// Findings are suppressed by a trailing (or directly preceding) comment
+//
+//	//kstmvet:ignore <reason>
+//
+// The reason is mandatory; suppressed findings still appear in -json output
+// as an auditable inventory. Exit codes: 0 clean, 1 findings, 2 failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kstm/internal/analysis"
+	"kstm/internal/analysis/atomiceffect"
+	"kstm/internal/analysis/futureconsume"
+	"kstm/internal/analysis/padalign"
+	"kstm/internal/analysis/txerrcheck"
+)
+
+func allAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomiceffect.Analyzer,
+		txerrcheck.Analyzer,
+		futureconsume.Analyzer,
+		padalign.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json document: the full diagnostic inventory plus the
+// live/suppressed split the CI artifact graphs.
+type report struct {
+	Live        int                   `json:"live"`
+	Suppressed  int                   `json:"suppressed"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kstmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit the diagnostic inventory as JSON on stdout")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		runSel  = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := allAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runSel != "" {
+		var selected []*analysis.Analyzer
+		for _, name := range strings.Split(*runSel, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range analyzers {
+				if a.Name == name {
+					selected = append(selected, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(stderr, "kstmvet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+		}
+		analyzers = selected
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := analysis.Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "kstmvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "kstmvet:", err)
+		return 2
+	}
+
+	live := analysis.Live(diags)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(report{Live: live, Suppressed: len(diags) - live, Diagnostics: diags}); err != nil {
+			fmt.Fprintln(stderr, "kstmvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if !d.Suppressed {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+		if n := len(diags) - live; n > 0 {
+			fmt.Fprintf(stderr, "kstmvet: %d finding(s) suppressed by kstmvet:ignore\n", n)
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(stderr, "kstmvet: %d finding(s) in %d package(s)\n", live, len(prog.Packages))
+		return 1
+	}
+	return 0
+}

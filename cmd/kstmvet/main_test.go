@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirRoot runs the driver from the module root like CI does.
+func chdirRoot(t *testing.T) {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+	t.Chdir(dir)
+}
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"atomiceffect", "txerrcheck", "futureconsume", "padalign"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	chdirRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/rng"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean package\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	chdirRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./internal/rng"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Live != 0 || rep.Diagnostics == nil {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}

@@ -184,6 +184,9 @@ func checkBank(s *stm.STM, goroutines, ops int, seed uint64) error {
 		for audits := 0; audits < 50; audits++ {
 			sum := 0
 			if err := th.Atomic(func(tx *stm.Tx) error {
+				// Reinitialize at closure entry: an aborted attempt re-runs
+				// the closure, and without this reset the partial sum from
+				// the failed attempt would carry over (kstmvet:atomiceffect).
 				sum = 0
 				for i := range boxes {
 					v, err := boxes[i].Read(tx)

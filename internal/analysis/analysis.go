@@ -1,0 +1,158 @@
+// Package analysis is kstmvet's stdlib-only analyzer driver: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis, sized for this
+// repository. It loads type-checked packages through `go list -export -json
+// -deps` (export data resolves every import, so only the packages under
+// analysis are parsed from source), runs repo-specific analyzers over them,
+// and filters the diagnostics through `//kstmvet:ignore <reason>` suppression
+// comments.
+//
+// The analyzers themselves live in subpackages (atomiceffect, txerrcheck,
+// futureconsume, padalign); cmd/kstmvet is the CLI front-end and DESIGN.md §8
+// documents the contract each analyzer encodes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named check. Run inspects a single type-checked package
+// through its Pass and reports findings via Pass.Reportf; returning an error
+// aborts the whole kstmvet run (reserved for internal failures, not
+// findings).
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "atomiceffect"
+	Doc  string // one-line contract description
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one package: the parsed files (with
+// comments), the type-checked package, and the reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Sizes    types.Sizes
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, located by file:line:col. Suppressed findings
+// are kept (they appear in -json output as an auditable inventory) but do not
+// fail the run.
+type Diagnostic struct {
+	Analyzer       string `json:"analyzer"`
+	File           string `json:"file"`
+	Line           int    `json:"line"`
+	Col            int    `json:"col"`
+	Message        string `json:"message"`
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+// String renders the go-vet-style human form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over every package of the program and returns
+// all diagnostics — suppressed ones marked, the rest live — sorted by
+// position. The error return is an analyzer crash, not a finding.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		ds, err := RunPackage(prog.Fset, prog.Sizes, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// RunPackage executes the analyzers over one package, applying suppression
+// directives found in its files. The fixture test harness calls this
+// directly on testdata packages the go tool does not list.
+func RunPackage(fset *token.FileSet, sizes types.Sizes, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sup := scanSuppressions(fset, pkg.Files)
+	sink := func(d Diagnostic) {
+		if reason, ok := sup.match(d.File, d.Line); ok {
+			d.Suppressed = true
+			d.SuppressReason = reason
+		}
+		diags = append(diags, d)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Sizes:    sizes,
+			report:   sink,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	// Malformed suppressions are findings in their own right: an ignore
+	// without a reason defeats the audit trail the form exists for.
+	for _, bad := range sup.malformed {
+		diags = append(diags, Diagnostic{
+			Analyzer: "kstmvet",
+			File:     bad.file,
+			Line:     bad.line,
+			Col:      bad.col,
+			Message:  "kstmvet:ignore requires a reason: //kstmvet:ignore <why this finding is safe>",
+		})
+	}
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Live reports how many diagnostics are not suppressed.
+func Live(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			n++
+		}
+	}
+	return n
+}

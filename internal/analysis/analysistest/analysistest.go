@@ -1,0 +1,184 @@
+// Package analysistest runs kstmvet analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` golden comments — a
+// stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in each analyzer's testdata/ directory (invisible to the go
+// tool, so planted contract violations never reach the real build). They are
+// type-checked against the real module graph, so a fixture can import
+// kstm/internal/stm or kstm/internal/core and violate the actual contracts
+// rather than mocked ones. Expectations are trailing comments on the
+// offending line:
+//
+//	th.Atomic(func(tx *stm.Tx) error {
+//	    sum += 1 // want `accumulates inside an Atomic closure`
+//	    return nil
+//	})
+//
+// Multiple wants on one line each match one diagnostic. A line with a
+// diagnostic and no want, or a want with no diagnostic, fails the test.
+// Suppressed diagnostics (kstmvet:ignore) are invisible to matching, which
+// is how suppression behavior itself is tested.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+
+	"kstm/internal/analysis"
+)
+
+var (
+	loadOnce sync.Once
+	prog     *analysis.Program
+	loadErr  error
+)
+
+// depProgram loads the module once per test binary: its export table is what
+// lets fixtures import real kstm packages.
+func depProgram(t *testing.T) *analysis.Program {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		prog, loadErr = analysis.Load(root, []string{"./..."})
+	})
+	if loadErr != nil {
+		t.Fatalf("loading module for fixtures: %v", loadErr)
+	}
+	return prog
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+// Run type-checks every .go file in dir as one fixture package, runs the
+// analyzer, and matches live diagnostics against the fixture's want
+// comments. It returns all diagnostics (including suppressed) for extra
+// assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	prog := depProgram(t)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (err=%v)", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(prog.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := prog.TypeCheck("kstmvet.fixture/"+filepath.Base(dir), files)
+	if err != nil {
+		t.Fatalf("type-checking fixtures in %s: %v", dir, err)
+	}
+	pkg := &analysis.Package{Path: tpkg.Path(), Dir: dir, Files: files, Types: tpkg, Info: info}
+	diags, err := analysis.RunPackage(prog.Fset, prog.Sizes, pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	match(t, prog, files, diags)
+	return diags
+}
+
+// want is one expectation: a regexp on a specific file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("^//\\s*want\\s+(.*)$")
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants parses the fixture files' want comments.
+func collectWants(t *testing.T, prog *analysis.Program, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, arg := range args {
+					raw := arg[1]
+					if raw == "" {
+						raw = arg[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match pairs live diagnostics with wants one-to-one per line.
+func match(t *testing.T, prog *analysis.Program, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, prog, files)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

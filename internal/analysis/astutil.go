@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Package paths of the repo layers whose contracts the analyzers encode.
+const (
+	StmPath  = "kstm/internal/stm"
+	TxdsPath = "kstm/internal/txds"
+	CorePath = "kstm/internal/core"
+)
+
+// AtomicFuncLits returns every function literal passed directly to
+// (*stm.Thread).Atomic in the file — the retryable transaction closures whose
+// bodies may be re-executed after an abort. Closures passed indirectly (via a
+// variable or a wrapper) are not tracked.
+func AtomicFuncLits(info *types.Info, file *ast.File) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn := Callee(info, call)
+		if fn == nil || fn.Name() != "Atomic" || fn.Pkg() == nil || fn.Pkg().Path() != StmPath {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// Callee resolves the function or method object a call invokes, or nil for
+// builtins, function values, type conversions, and other dynamic calls.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Mentions reports whether the subtree under n references obj.
+func Mentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// VarOf returns the variable object an identifier expression denotes, or nil
+// if the expression is not a plain identifier bound to a variable.
+func VarOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// NamedType returns the defined (named) type of t after stripping one level
+// of pointer and any aliases, or nil.
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	u := types.Unalias(t)
+	if p, ok := u.(*types.Pointer); ok {
+		u = types.Unalias(p.Elem())
+	}
+	n, _ := u.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (possibly behind a pointer or alias) is the
+// named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// LastResultIsError reports whether fn's final result is the error type.
+func LastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

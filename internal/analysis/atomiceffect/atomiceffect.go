@@ -1,0 +1,251 @@
+// Package atomiceffect flags side effects inside Atomic transaction
+// closures. The STM's optimistic retry loop re-executes an aborted closure
+// from the top, so anything the closure does outside transactional state
+// happens once per ATTEMPT, not once per transaction: accumulating writes to
+// captured variables double-count, channel operations repeat, and I/O or
+// time reads observe each attempt. The safe idioms are (a) keep all effects
+// on Box/Object state the transaction manages, (b) reinitialize any captured
+// accumulator at closure entry so every attempt starts from the same value
+// (the `sum = 0` idiom in cmd/stmcheck), or (c) move the effect after the
+// Atomic call.
+package atomiceffect
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kstm/internal/analysis"
+)
+
+// Analyzer is the atomiceffect pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiceffect",
+	Doc:  "flag side effects inside Atomic closures that aborted transactions would repeat",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, lit := range analysis.AtomicFuncLits(pass.Info, f) {
+			checkClosure(pass, lit)
+		}
+	}
+	return nil
+}
+
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				root := rootVar(pass.Info, lhs)
+				if root == nil || !captured(root, lit) {
+					continue
+				}
+				selfRef := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+				if !selfRef && i < len(n.Rhs) {
+					// Position-matched RHS for 1:1 assigns; for the
+					// call-tuple form (1 RHS, many LHS) check the lone RHS.
+					rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+					selfRef = analysis.Mentions(pass.Info, rhs, root)
+				}
+				if selfRef && !reinitializedAtEntry(pass.Info, lit, root) {
+					pass.Reportf(lhs.Pos(),
+						"captured variable %s accumulates inside an Atomic closure; an aborted transaction re-runs the closure and repeats the write — reinitialize %s at closure entry or declare it inside",
+						root.Name(), root.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			root := rootVar(pass.Info, n.X)
+			if root != nil && captured(root, lit) && !reinitializedAtEntry(pass.Info, lit, root) {
+				pass.Reportf(n.Pos(),
+					"captured variable %s accumulates inside an Atomic closure; an aborted transaction re-runs the closure and repeats the %s — reinitialize %s at closure entry or declare it inside",
+					root.Name(), n.Tok, root.Name())
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "channel send inside an Atomic closure; an aborted transaction re-runs the closure and sends again — move it after the Atomic call")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive inside an Atomic closure; an aborted transaction re-runs the closure and receives again — move it after the Atomic call")
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine started inside an Atomic closure; an aborted transaction re-runs the closure and spawns it again")
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags calls with effects the transaction machinery cannot undo:
+// builtin close, and a deny-list of I/O, logging, time, and randomness.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			pass.Reportf(call.Pos(), "close of a channel inside an Atomic closure; an aborted transaction re-runs the closure and closes it twice (panic)")
+			return
+		}
+	}
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if why := impure(fn); why != "" {
+		pass.Reportf(call.Pos(),
+			"call to %s.%s inside an Atomic closure %s; an aborted transaction re-runs the closure — move it out of the transaction",
+			fn.Pkg().Name(), fn.Name(), why)
+	}
+}
+
+// impurePkgs are packages whose functions AND methods do I/O (or otherwise
+// touch the world): any call into them from a retryable closure repeats on
+// abort.
+var impurePkgs = map[string]string{
+	"os":           "performs I/O",
+	"net":          "performs network I/O",
+	"net/http":     "performs network I/O",
+	"log":          "writes a log line per attempt",
+	"log/slog":     "writes a log line per attempt",
+	"bufio":        "performs I/O",
+	"io":           "performs I/O",
+	"io/fs":        "performs I/O",
+	"syscall":      "performs a system call",
+	"math/rand":    "draws from shared PRNG state, so each attempt sees different values",
+	"math/rand/v2": "draws from shared PRNG state, so each attempt sees different values",
+}
+
+// impureTimeFuncs are the time functions that read the clock or arm timers;
+// pure constructors (time.Date, time.ParseDuration) are allowed.
+var impureTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// impureFmtFuncs are the fmt functions that write to or read from streams;
+// Sprintf/Errorf and friends are pure.
+var impureFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Scan": true, "Scanf": true, "Scanln": true,
+	"Fscan": true, "Fscanf": true, "Fscanln": true,
+}
+
+func impure(fn *types.Func) string {
+	switch path := fn.Pkg().Path(); path {
+	case "time":
+		if fn.Signature().Recv() == nil && impureTimeFuncs[fn.Name()] {
+			return "reads the clock (or arms a timer) once per attempt"
+		}
+	case "fmt":
+		if fn.Signature().Recv() == nil && impureFmtFuncs[fn.Name()] {
+			return "performs I/O"
+		}
+	default:
+		if why, ok := impurePkgs[path]; ok {
+			return why
+		}
+	}
+	return ""
+}
+
+// rootVar resolves the base variable of an lvalue: the x in x, x.f, x[i],
+// *x, and combinations thereof. Returns nil for non-variable roots (package
+// selectors, function results, blank).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			return analysis.VarOf(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// captured reports whether the variable is declared outside the closure.
+func captured(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}
+
+// reinitializedAtEntry reports whether the first top-level statement of the
+// closure body that mentions v resets it to an attempt-invariant value, so
+// every attempt starts from the same state. Three idioms qualify:
+//
+//	sum = 0            // stmcheck: plain assignment, RHS not derived from v
+//	out = out[:mark]   // txds: truncate to a snapshot taken before Atomic
+//	for i := range out { out[i] = out[i][:marks[i]] }   // batch truncation
+//
+// The truncation forms are attempt-invariant as long as the bounds don't
+// depend on v: re-running rewinds the length and the appends overwrite the
+// same backing slots.
+func reinitializedAtEntry(info *types.Info, lit *ast.FuncLit, v *types.Var) bool {
+	for _, stmt := range lit.Body.List {
+		if !analysis.Mentions(info, stmt, v) {
+			continue
+		}
+		return resetsToEntryState(info, stmt, v)
+	}
+	return false
+}
+
+// resetsToEntryState reports whether stmt, as the first statement touching v,
+// restores v to the state it held when the Atomic call began.
+func resetsToEntryState(info *types.Info, stmt ast.Stmt, v *types.Var) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN {
+			return false
+		}
+		for _, rhs := range s.Rhs {
+			if analysis.Mentions(info, rhs, v) && !isTruncation(info, rhs, v) {
+				return false
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if rootVar(info, lhs) == v {
+				return true
+			}
+		}
+		return false
+	case *ast.RangeStmt:
+		// The per-element reset loop: every body statement touching v must
+		// itself be a reset, and at least one must assign through v.
+		hit := false
+		for _, inner := range s.Body.List {
+			if !analysis.Mentions(info, inner, v) {
+				continue
+			}
+			if !resetsToEntryState(info, inner, v) {
+				return false
+			}
+			hit = true
+		}
+		return hit
+	}
+	return false
+}
+
+// isTruncation matches slice expressions rooted at v (v[:mark] or
+// v[i][:marks[i]]) whose bounds do not depend on v.
+func isTruncation(info *types.Info, rhs ast.Expr, v *types.Var) bool {
+	sl, ok := ast.Unparen(rhs).(*ast.SliceExpr)
+	if !ok || rootVar(info, sl.X) != v {
+		return false
+	}
+	for _, bound := range []ast.Expr{sl.Low, sl.High, sl.Max} {
+		if bound != nil && analysis.Mentions(info, bound, v) {
+			return false
+		}
+	}
+	return true
+}

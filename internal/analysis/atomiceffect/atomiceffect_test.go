@@ -1,0 +1,24 @@
+package atomiceffect_test
+
+import (
+	"strings"
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/atomiceffect"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, atomiceffect.Analyzer, "testdata")
+	// The suppressed attempt-counter finding must still appear in the
+	// inventory, tagged with its reason.
+	found := false
+	for _, d := range diags {
+		if d.Suppressed && strings.Contains(d.SuppressReason, "counting attempts") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suppressed attempt-counter finding missing from inventory: %+v", diags)
+	}
+}

@@ -1,0 +1,190 @@
+// Fixtures for the atomiceffect analyzer: side effects inside Atomic
+// closures. Lines marked `// want` plant deliberate contract violations;
+// unmarked transactional code shows the accepted idioms.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"kstm/internal/stm"
+)
+
+// accumulate: the classic bug — a captured accumulator without the
+// reinitialize-at-entry idiom double-counts when an abort re-runs the
+// closure.
+func accumulate(th *stm.Thread, box stm.Box[int]) (int, error) {
+	sum := 0
+	err := th.Atomic(func(tx *stm.Tx) error {
+		v, err := box.Read(tx)
+		if err != nil {
+			return err
+		}
+		sum += *v // want `captured variable sum accumulates inside an Atomic closure`
+		return nil
+	})
+	return sum, err
+}
+
+// reinitialized: the stmcheck idiom — resetting the accumulator as the first
+// touch makes every attempt start from the same value.
+func reinitialized(th *stm.Thread, boxes []stm.Box[int]) (int, error) {
+	sum := 0
+	err := th.Atomic(func(tx *stm.Tx) error {
+		sum = 0
+		for i := range boxes {
+			v, err := boxes[i].Read(tx)
+			if err != nil {
+				return err
+			}
+			sum += *v
+		}
+		return nil
+	})
+	return sum, err
+}
+
+// flagAssign: a plain idempotent write to a captured flag is fine — re-runs
+// converge to the same value.
+func flagAssign(th *stm.Thread, box stm.Box[int]) (bool, error) {
+	var present bool
+	err := th.Atomic(func(tx *stm.Tx) error {
+		present = false
+		v, err := box.Read(tx)
+		if err != nil {
+			return err
+		}
+		present = *v != 0
+		return nil
+	})
+	return present, err
+}
+
+// truncated: the txds snapshot-collection idiom — rewinding the slice to an
+// attempt-invariant mark before appending is abort-safe.
+func truncated(th *stm.Thread, boxes []stm.Box[int]) ([]int, error) {
+	var out []int
+	mark := len(out)
+	err := th.Atomic(func(tx *stm.Tx) error {
+		out = out[:mark]
+		for i := range boxes {
+			v, err := boxes[i].Read(tx)
+			if err != nil {
+				return err
+			}
+			out = append(out, *v)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// truncatedBatch: the per-element form from HashTable.ExtractKeyRanges — a
+// range loop rewinding each sub-slice to its pre-attempt mark.
+func truncatedBatch(th *stm.Thread, boxes []stm.Box[int]) ([][]int, error) {
+	out := make([][]int, 2)
+	marks := make([]int, len(out))
+	for i := range out {
+		marks[i] = len(out[i])
+	}
+	err := th.Atomic(func(tx *stm.Tx) error {
+		for i := range out {
+			out[i] = out[i][:marks[i]]
+		}
+		for i := range boxes {
+			v, err := boxes[i].Read(tx)
+			if err != nil {
+				return err
+			}
+			out[*v%2] = append(out[*v%2], *v)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// truncatedSelfBound: bounds derived from the slice itself are NOT
+// attempt-invariant — this "reset" keeps whatever the failed attempt left.
+func truncatedSelfBound(th *stm.Thread, box stm.Box[int]) ([]int, error) {
+	var out []int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		out = out[:len(out)] // want `captured variable out accumulates inside an Atomic closure`
+		v, err := box.Read(tx)
+		if err != nil {
+			return err
+		}
+		out = append(out, *v) // want `captured variable out accumulates inside an Atomic closure`
+		return nil
+	})
+	return out, err
+}
+
+// incDec: ++/-- on captured state accumulates too.
+func incDec(th *stm.Thread, box stm.Box[int]) error {
+	retries := 0
+	return th.Atomic(func(tx *stm.Tx) error {
+		retries++ // want `captured variable retries accumulates inside an Atomic closure`
+		v, err := box.Write(tx)
+		if err != nil {
+			return err
+		}
+		*v++ // pointer target comes from the transaction; abort discards it
+		return nil
+	})
+}
+
+// appendSelf: self-referential append grows once per attempt.
+func appendSelf(th *stm.Thread, box stm.Box[int]) ([]int, error) {
+	var seen []int
+	err := th.Atomic(func(tx *stm.Tx) error {
+		v, err := box.Read(tx)
+		if err != nil {
+			return err
+		}
+		seen = append(seen, *v) // want `captured variable seen accumulates inside an Atomic closure`
+		return nil
+	})
+	return seen, err
+}
+
+// channels: every channel operation repeats per attempt.
+func channels(th *stm.Thread, ch chan int, done chan struct{}) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		ch <- 1     // want `channel send inside an Atomic closure`
+		<-ch        // want `channel receive inside an Atomic closure`
+		close(done) // want `close of a channel inside an Atomic closure`
+		return nil
+	})
+}
+
+// spawn: goroutines fork once per attempt.
+func spawn(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		go func() {}() // want `goroutine started inside an Atomic closure`
+		return nil
+	})
+}
+
+// impureCalls: clock reads, stdio, and process I/O repeat per attempt;
+// pure formatting does not.
+func impureCalls(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		t := time.Now()        // want `call to time.Now inside an Atomic closure reads the clock`
+		fmt.Println("attempt") // want `call to fmt.Println inside an Atomic closure performs I/O`
+		_ = os.Getenv("HOME")  // want `call to os.Getenv inside an Atomic closure performs I/O`
+		_ = fmt.Sprintf("%v", t)
+		_ = time.Duration(3).String()
+		return nil
+	})
+}
+
+// suppressed: kstmvet:ignore keeps a justified effect out of the live set.
+func suppressed(th *stm.Thread) error {
+	attempts := 0
+	return th.Atomic(func(tx *stm.Tx) error {
+		attempts++ //kstmvet:ignore fixture: counting attempts across retries is the point of this metric
+		_ = attempts
+		return nil
+	})
+}

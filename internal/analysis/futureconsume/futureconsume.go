@@ -1,0 +1,396 @@
+// Package futureconsume flags uses of a core.Future after it has been
+// consumed. Futures are pooled single-consumer shells (DESIGN.md §3.5): the
+// Wait/WaitValue call that returns the task's result recycles the shell into
+// the pool, where it is immediately reusable by another Submit — so any
+// later method call on the same value touches (at best) a dead shell and (at
+// worst) another task's pending result. A Wait that returns the caller's
+// context error does NOT consume, which is why the orphaned-task re-wait
+// idiom is legal; the analyzer recognizes it by the error-variable guard:
+//
+//	res, err := fut.Wait(ctx)
+//	if err != nil {            // ctx expired — fut NOT consumed
+//	    res, err = fut.Wait(ctx2) // legal re-wait, not flagged
+//	}
+//
+// The analysis is intraprocedural and flow-aware along statement order:
+// consumes recorded in a block flow into later statements and nested
+// blocks, branch-local consumes do not escape their branch, and a consume
+// with a context that cannot expire (nil, context.Background, context.TODO)
+// inside a loop is flagged as a guaranteed double consume.
+package futureconsume
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kstm/internal/analysis"
+)
+
+// Analyzer is the futureconsume pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "futureconsume",
+	Doc:  "flag uses of a Future after a consuming Wait/WaitValue (the shell is recycled, §3.5)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				w := &walker{pass: pass}
+				w.stmts(body.List, consumeState{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// consume records one consuming call: where, by which method, the error
+// variable its caller bound (the re-wait guard), and whether the call's
+// context makes consumption certain.
+type consume struct {
+	pos     token.Pos
+	method  string
+	errVar  *types.Var
+	certain bool
+}
+
+// consumeState maps future variables to their most recent consume along the
+// current path.
+type consumeState map[*types.Var]*consume
+
+func (s consumeState) clone() consumeState {
+	c := make(consumeState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// dropGuarded removes entries whose error variable is mentioned by cond: the
+// code is branching on the Wait's error, which is exactly the legal re-wait
+// idiom, so uses inside the guarded branches are not second-guessed.
+func (s consumeState) dropGuarded(info *types.Info, cond ast.Expr) {
+	for v, c := range s {
+		if c.errVar != nil && analysis.Mentions(info, cond, c.errVar) {
+			delete(s, v)
+		}
+	}
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+func (w *walker) stmts(list []ast.Stmt, state consumeState) {
+	for _, s := range list {
+		w.stmt(s, state)
+	}
+}
+
+// stmt dispatches one statement, threading state through sequential flow and
+// cloning it into branches (branch-local consumes must not leak out: an
+// if/else that each consume once is fine).
+func (w *walker) stmt(s ast.Stmt, state consumeState) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, state)
+	case *ast.BlockStmt:
+		w.stmts(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.simple(s.Init, state)
+		}
+		w.checkUses(s.Cond, state, nil, nil)
+		branch := state.clone()
+		branch.dropGuarded(w.pass.Info, s.Cond)
+		w.stmts(s.Body.List, branch.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, branch.clone())
+		}
+	case *ast.ForStmt:
+		inner := state.clone()
+		if s.Init != nil {
+			w.simple(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.checkUses(s.Cond, inner, nil, nil)
+		}
+		w.stmts(s.Body.List, inner.clone())
+		w.loopCarried(s.Pos(), s.Body)
+	case *ast.RangeStmt:
+		w.checkUses(s.X, state, nil, nil)
+		w.stmts(s.Body.List, state.clone())
+		w.loopCarried(s.Pos(), s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.simple(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.checkUses(s.Tag, state, nil, nil)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, state.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, state.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, state.clone())
+			}
+		}
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Runs later or concurrently — not part of this sequential flow.
+	default:
+		w.simple(s, state)
+	}
+}
+
+// simple handles a straight-line statement: check uses against the state,
+// apply reassignment kills, then record this statement's own consumes.
+func (w *walker) simple(s ast.Stmt, state consumeState) {
+	consumes := consumingCalls(w.pass.Info, s)
+	kills := killTargets(w.pass.Info, s)
+	w.checkUses(s, state, consumes, kills)
+	for _, id := range kills {
+		if v := analysis.VarOf(w.pass.Info, id); v != nil {
+			delete(state, v)
+		}
+	}
+	for _, cc := range consumes {
+		state[cc.recvVar] = &consume{
+			pos:     cc.call.Pos(),
+			method:  cc.method,
+			errVar:  errVarOf(w.pass.Info, s, cc.call),
+			certain: certainCtx(w.pass.Info, cc.call),
+		}
+	}
+}
+
+// checkUses reports every mention of an already-consumed future within n.
+// Receivers of this statement's own consuming calls get the sharper
+// "consumed twice" wording; identifiers being overwritten (kill targets) are
+// not uses.
+func (w *walker) checkUses(n ast.Node, state consumeState, consumes []consumingCall, kills []*ast.Ident) {
+	if n == nil || len(state) == 0 {
+		return
+	}
+	killSet := make(map[*ast.Ident]bool, len(kills))
+	for _, id := range kills {
+		killSet[id] = true
+	}
+	recvSet := make(map[*ast.Ident]string, len(consumes))
+	for _, cc := range consumes {
+		recvSet[cc.recvIdent] = cc.method
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // different flow; captured futures are on their own
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || killSet[id] {
+			return true
+		}
+		v, ok := w.pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		prev, consumed := state[v]
+		if !consumed {
+			return true
+		}
+		line := w.pass.Fset.Position(prev.pos).Line
+		if method, ok := recvSet[id]; ok {
+			w.pass.Reportf(id.Pos(),
+				"Future %s consumed twice: %s here after %s on line %d already returned its result — the shell is recycled and may belong to another task (§3.5)",
+				id.Name, method, prev.method, line)
+			return true
+		}
+		w.pass.Reportf(id.Pos(),
+			"Future %s used after being consumed by %s on line %d; the shell is recycled and must not be touched (§3.5)",
+			id.Name, prev.method, line)
+		return true
+	})
+}
+
+// loopCarried flags consumes that provably repeat across iterations: the
+// future is declared outside the loop, never reassigned in the body, and the
+// consuming call's context cannot expire (so the first iteration definitely
+// consumed it). Bodies containing break/return/goto are skipped — the loop
+// may be a single-shot retry scaffold.
+func (w *walker) loopCarried(loopPos token.Pos, body *ast.BlockStmt) {
+	if hasEscape(body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops report for themselves
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cc, ok := consumingCall1(w.pass.Info, call)
+		if !ok || cc.recvVar.Pos() >= loopPos {
+			return true
+		}
+		if !certainCtx(w.pass.Info, call) || reassignedIn(w.pass.Info, body, cc.recvVar) {
+			return true
+		}
+		w.pass.Reportf(call.Pos(),
+			"Future %s is consumed on every iteration of this loop but never reassigned; the second iteration waits on a recycled shell (§3.5)",
+			cc.recvIdent.Name)
+		return true
+	})
+}
+
+// hasEscape reports whether the body contains break, goto, or return.
+func hasEscape(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reassignedIn reports whether v is assigned anywhere in body.
+func reassignedIn(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if analysis.VarOf(info, lhs) == v {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// consumingCall is one Wait/WaitValue call on a plain-identifier receiver.
+type consumingCall struct {
+	call      *ast.CallExpr
+	method    string
+	recvIdent *ast.Ident
+	recvVar   *types.Var
+}
+
+// consumingCall1 matches a single call expression.
+func consumingCall1(info *types.Info, call *ast.CallExpr) (consumingCall, bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != analysis.CorePath {
+		return consumingCall{}, false
+	}
+	if fn.Name() != "Wait" && fn.Name() != "WaitValue" {
+		return consumingCall{}, false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil || !analysis.IsNamed(recv.Type(), analysis.CorePath, "Future") {
+		return consumingCall{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return consumingCall{}, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return consumingCall{}, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return consumingCall{}, false
+	}
+	return consumingCall{call: call, method: fn.Name(), recvIdent: id, recvVar: v}, true
+}
+
+// consumingCalls collects the consuming calls in one statement (not
+// descending into nested function literals).
+func consumingCalls(info *types.Info, s ast.Stmt) []consumingCall {
+	var out []consumingCall
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if cc, ok := consumingCall1(info, call); ok {
+				out = append(out, cc)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// killTargets returns the plain identifiers a statement assigns over.
+func killTargets(info *types.Info, s ast.Stmt) []*ast.Ident {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// errVarOf returns the variable bound to the consuming call's error result,
+// when the statement is `res, err := f.Wait(ctx)` (any assignment token).
+func errVarOf(info *types.Info, s ast.Stmt, call *ast.CallExpr) *types.Var {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != call || len(as.Lhs) == 0 {
+		return nil
+	}
+	return analysis.VarOf(info, as.Lhs[len(as.Lhs)-1])
+}
+
+// certainCtx reports whether the call's context argument can never expire:
+// nil, context.Background(), or context.TODO(). Such a Wait consumes on
+// every return.
+func certainCtx(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if id, ok := arg.(*ast.Ident); ok {
+		return info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	inner, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.Callee(info, inner)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}

@@ -1,0 +1,12 @@
+package futureconsume_test
+
+import (
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/futureconsume"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, futureconsume.Analyzer, "testdata")
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked target package: the unit analyzers run over.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded view of the packages matched by a set of patterns.
+type Program struct {
+	Fset     *token.FileSet
+	Sizes    types.Sizes
+	Packages []*Package
+
+	exports  map[string]string // import path → export-data file, whole graph
+	importer types.ImporterFrom
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go command and type-checks every matched
+// package from source. Imports — including the standard library and other
+// packages in this module — are satisfied from compiler export data, so the
+// loader needs no third-party machinery and never parses a dependency.
+// dir is the working directory for pattern resolution ("" = current).
+//
+// Test files are not loaded: kstmvet checks the contracts production code
+// must honor; _test.go files exercise deliberate edge cases (and the fixture
+// harness plants deliberate violations).
+func Load(dir string, patterns []string) (*Program, error) {
+	prog, targets, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range targets {
+		pkg, err := prog.check(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// listPackages runs `go list -export -json -deps` and splits the graph into
+// the export lookup table (everything) and the target list (non-dep
+// packages with Go sources).
+func listPackages(dir string, patterns []string) (*Program, []listPkg, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		Sizes:   Sizes(),
+		exports: make(map[string]string),
+	}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			prog.exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard && len(lp.GoFiles) > 0 {
+			targets = append(targets, lp)
+		}
+	}
+	prog.importer = newExportImporter(prog.Fset, prog.exports)
+	return prog, targets, nil
+}
+
+// check parses and type-checks one package's files.
+func (prog *Program) check(path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := prog.TypeCheck(path, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// TypeCheck type-checks already-parsed files as one package against the
+// program's export-data importer. The fixture test harness uses it directly
+// to check testdata packages (which the go tool does not list) against the
+// real module dependencies.
+func (prog *Program) TypeCheck(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: prog.importer, Sizes: prog.Sizes}
+	tpkg, err := conf.Check(path, prog.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// newExportImporter wraps the standard gc importer with a lookup into the
+// export files `go list -export` reported; the gc importer understands the
+// build cache's export-data format directly.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the go list -deps graph)", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// Sizes returns the gc memory layout for the host architecture — the layout
+// padalign verifies. Falls back to amd64 if the architecture is unknown to
+// go/types (the cache-line contract is identical on all 64-bit targets).
+func Sizes() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}

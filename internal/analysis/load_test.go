@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up to the module root so the loader resolves patterns the
+// same way CI does.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadTypeChecksPackage(t *testing.T) {
+	prog, err := Load(repoRoot(t), []string{"./internal/rng"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("got %d packages, want 1", len(prog.Packages))
+	}
+	pkg := prog.Packages[0]
+	if pkg.Path != "kstm/internal/rng" {
+		t.Errorf("Path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("New") == nil {
+		t.Errorf("type information missing: %v", pkg.Types)
+	}
+	if len(pkg.Files) == 0 {
+		t.Errorf("no parsed files")
+	}
+}
+
+func TestLoadResolvesCrossModuleImports(t *testing.T) {
+	// internal/txds imports internal/stm; both must resolve through export
+	// data without parsing stm from source twice.
+	prog, err := Load(repoRoot(t), []string{"./internal/txds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("got %d packages, want 1 (deps must not become targets)", len(prog.Packages))
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(repoRoot(t), []string{"./does-not-exist/..."}); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}

@@ -1,0 +1,115 @@
+// Package padalign verifies cache-line padding contracts. Structs marked
+//
+//	//kstmvet:padalign        (default 64 bytes)
+//	//kstmvet:padalign 128    (explicit line size)
+//
+// must have a gc layout whose size is a positive multiple of the declared
+// line size. The executor's per-worker counter blocks (core.workerCounters,
+// core.paddedCounter) rely on this: each worker's counters live on a private
+// cache line so per-task increments never bounce a shared line between cores
+// — an invariant that silently evaporates when someone adds a field and
+// forgets to shrink the trailing pad. The directive makes the contract
+// checkable: field evolution that changes the size to a non-multiple is a
+// kstmvet failure with the exact byte count to fix.
+package padalign
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"kstm/internal/analysis"
+)
+
+// Analyzer is the padalign pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "padalign",
+	Doc:  "verify //kstmvet:padalign structs stay a multiple of their cache-line size",
+	Run:  run,
+}
+
+// directive is the marker scanned for in type doc comments.
+const directive = "//kstmvet:padalign"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				line, ok := findDirective(doc)
+				if !ok {
+					continue
+				}
+				checkType(pass, ts, line)
+			}
+		}
+	}
+	return nil
+}
+
+// findDirective returns the directive line, if present.
+func findDirective(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return c.Text, true
+		}
+	}
+	return "", false
+}
+
+func checkType(pass *analysis.Pass, ts *ast.TypeSpec, line string) {
+	lineSize, err := parseLineSize(line)
+	if err != nil {
+		pass.Reportf(ts.Pos(), "bad padalign directive on %s: %v", ts.Name.Name, err)
+		return
+	}
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	if ts.TypeParams != nil {
+		pass.Reportf(ts.Pos(), "padalign cannot verify generic type %s: layout depends on instantiation", ts.Name.Name)
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "padalign directive on %s, which is not a struct", ts.Name.Name)
+		return
+	}
+	size := pass.Sizes.Sizeof(st)
+	if size <= 0 || size%lineSize != 0 {
+		short := (lineSize - size%lineSize) % lineSize
+		pass.Reportf(ts.Pos(),
+			"struct %s is %d bytes, not a multiple of its declared %d-byte cache line; adjust the trailing pad by %d bytes so neighbouring blocks never share a line",
+			ts.Name.Name, size, lineSize, short)
+	}
+}
+
+// parseLineSize extracts the optional byte count (default 64).
+func parseLineSize(line string) (int64, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, directive))
+	if rest == "" {
+		return 64, nil
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("want %q or %q, got %q", directive, directive+" <bytes>", line)
+	}
+	return n, nil
+}

@@ -1,0 +1,22 @@
+package padalign_test
+
+import (
+	"strings"
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/padalign"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, padalign.Analyzer, "testdata")
+	found := false
+	for _, d := range diags {
+		if d.Suppressed && strings.Contains(d.SuppressReason, "transitional layout") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suppressed transitional-layout finding missing from inventory: %+v", diags)
+	}
+}

@@ -1,0 +1,74 @@
+// Fixtures for the padalign analyzer: //kstmvet:padalign structs must keep
+// a size that is a positive multiple of their declared cache-line width, so
+// arrays of them (the executor's per-worker counter blocks) never share a
+// line between workers.
+package fixture
+
+import "sync/atomic"
+
+// padded matches core's per-worker counter discipline: one counter plus a
+// trailing pad filling the 64-byte line.
+//
+//kstmvet:padalign
+type padded struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// wideCounters spans exactly two lines — multiples are fine.
+//
+//kstmvet:padalign
+type wideCounters struct {
+	a, b, c, d, e, f, g, h atomic.Uint64
+	_                      [64]byte
+}
+
+// truncated simulates the field-evolution failure: someone deleted the pad
+// (or added a field) and the block no longer tiles cache lines.
+//
+//kstmvet:padalign
+type truncated struct { // want `struct truncated is 40 bytes, not a multiple of its declared 64-byte cache line`
+	completed atomic.Uint64
+	cancelled atomic.Uint64
+	failed    atomic.Uint64
+	empty     atomic.Uint64
+	steals    atomic.Uint64
+}
+
+// wide128 declares a bigger line explicitly.
+//
+//kstmvet:padalign 128
+type wide128 struct {
+	_ [128]byte
+}
+
+// short128 misses its declared line size even though it is a 64-multiple.
+//
+//kstmvet:padalign 128
+type short128 struct { // want `struct short128 is 64 bytes, not a multiple of its declared 128-byte cache line`
+	_ [64]byte
+}
+
+// badSize has an unparsable directive argument.
+//
+//kstmvet:padalign cacheline
+type badSize struct { // want `bad padalign directive on badSize`
+	_ [64]byte
+}
+
+// notAStruct cannot carry a layout contract.
+//
+//kstmvet:padalign
+type notAStruct int // want `padalign directive on notAStruct, which is not a struct`
+
+// unmarked structs are never checked, whatever their size.
+type unmarked struct {
+	x uint32
+}
+
+// suppressed shows the audited escape hatch.
+//
+//kstmvet:padalign
+type suppressed struct { //kstmvet:ignore fixture: transitional layout during a counter-block split
+	x uint64
+}

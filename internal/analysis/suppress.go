@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnoreDirective is the suppression comment form: a trailing comment on the
+// offending line, or a full-line comment on the line directly above it.
+// The reason is mandatory — suppressions are an audited inventory, not an
+// off-switch — and unreasoned ignores are themselves reported.
+const IgnoreDirective = "//kstmvet:ignore"
+
+// suppressions maps file → line → reason for one package.
+type suppressions struct {
+	byLine    map[string]map[int]string
+	malformed []malformedIgnore
+}
+
+type malformedIgnore struct {
+	file      string
+	line, col int
+}
+
+// scanSuppressions collects every kstmvet:ignore directive in the files.
+func scanSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // run-on like //kstmvet:ignoreme — not our directive
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(text)
+				if reason == "" {
+					s.malformed = append(s.malformed, malformedIgnore{pos.Filename, pos.Line, pos.Column})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]string)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = reason
+			}
+		}
+	}
+	return s
+}
+
+// match reports whether a diagnostic at file:line is suppressed — by a
+// directive on the same line (trailing comment) or on the line above.
+func (s *suppressions) match(file string, line int) (reason string, ok bool) {
+	lines := s.byLine[file]
+	if lines == nil {
+		return "", false
+	}
+	if r, ok := lines[line]; ok {
+		return r, true
+	}
+	if r, ok := lines[line-1]; ok {
+		return r, true
+	}
+	return "", false
+}

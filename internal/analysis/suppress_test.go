@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f() {
+	a() //kstmvet:ignore trailing reason
+	//kstmvet:ignore preceding reason
+	b()
+	c() //kstmvet:ignore
+	d() //kstmvet:ignoreme not a directive
+	e()
+}
+`
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestSuppressions(t *testing.T) {
+	fset, files := parseOne(t, suppressSrc)
+	sup := scanSuppressions(fset, files)
+
+	if reason, ok := sup.match("p.go", 4); !ok || reason != "trailing reason" {
+		t.Errorf("line 4: got (%q, %v), want trailing reason", reason, ok)
+	}
+	if reason, ok := sup.match("p.go", 6); !ok || reason != "preceding reason" {
+		t.Errorf("line 6: got (%q, %v), want preceding reason", reason, ok)
+	}
+	if _, ok := sup.match("p.go", 8); ok {
+		t.Errorf("line 8: run-on directive must not suppress")
+	}
+	if _, ok := sup.match("p.go", 9); ok {
+		t.Errorf("line 9: nothing suppresses here")
+	}
+	if len(sup.malformed) != 1 || sup.malformed[0].line != 7 {
+		t.Errorf("malformed = %+v, want exactly line 7", sup.malformed)
+	}
+}
+
+func TestRunPackageMarksSuppressed(t *testing.T) {
+	fset, files := parseOne(t, suppressSrc)
+	pkg := &Package{Path: "p", Files: files}
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports once per line 4 and 9",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "a" || id.Name == "e") {
+						pass.Reportf(call.Pos(), "probe hit %s", id.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := RunPackage(fset, Sizes(), pkg, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live, suppressed int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "kstmvet" && strings.Contains(d.Message, "requires a reason"):
+			// the bare //kstmvet:ignore on line 7
+		case d.Suppressed:
+			suppressed++
+		default:
+			live++
+		}
+	}
+	if live != 1 || suppressed != 1 {
+		t.Errorf("live=%d suppressed=%d, want 1 and 1: %+v", live, suppressed, diags)
+	}
+	if got := Live(diags); got != 2 {
+		// probe hit e (live) + the malformed-ignore driver finding
+		t.Errorf("Live = %d, want 2", got)
+	}
+}

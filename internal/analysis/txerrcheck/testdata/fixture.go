@@ -1,0 +1,109 @@
+// Fixtures for the txerrcheck analyzer: dropped and swallowed errors from
+// stm/txds operations. The seedBugClass function reproduces the PR 2 seed
+// bug class — an enemy abort surfaced as a non-retryable error, so the
+// executor retry loop treated a routine optimistic-concurrency abort as a
+// hard failure.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"kstm/internal/stm"
+	"kstm/internal/txds"
+)
+
+var errBusy = errors.New("bank busy")
+
+// seedBugClass: the PR 2 regression — replacing the op error on the abort
+// path hides stm.ErrAborted from the retry loop.
+func seedBugClass(th *stm.Thread, box stm.Box[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		v, err := box.Write(tx)
+		if err != nil {
+			return errBusy // want `error from Box.Write is replaced on the error path`
+		}
+		*v++
+		return nil
+	})
+}
+
+// swallowedNil: eating the error entirely is the same bug.
+func swallowedNil(th *stm.Thread, box stm.Box[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		_, err := box.Read(tx)
+		if err != nil {
+			return nil // want `error from Box.Read is replaced on the error path`
+		}
+		return nil
+	})
+}
+
+// flattened: %v strips the error identity errors.Is needs.
+func flattened(th *stm.Thread, box stm.Box[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		_, err := box.Write(tx)
+		if err != nil {
+			return fmt.Errorf("write failed: %v", err) // want `use %w so errors.Is can still see stm.ErrAborted`
+		}
+		return nil
+	})
+}
+
+// wrapped: %w preserves the chain — accepted.
+func wrapped(th *stm.Thread, box stm.Box[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		_, err := box.Write(tx)
+		if err != nil {
+			return fmt.Errorf("write failed: %w", err)
+		}
+		return nil
+	})
+}
+
+// propagated: the plain idiom — accepted.
+func propagated(th *stm.Thread, box stm.Box[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		v, err := box.Write(tx)
+		if err != nil {
+			return err
+		}
+		*v = 7
+		return nil
+	})
+}
+
+// inspected: branching on the error first (errors.Is) is a deliberate
+// decision — accepted.
+func inspected(th *stm.Thread, box stm.Box[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		_, err := box.Read(tx)
+		if err != nil {
+			if errors.Is(err, stm.ErrNotActive) {
+				return errBusy
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// dropped: discarding a txds op result loses conflicts and aborts alike.
+func dropped(th *stm.Thread, set *txds.HashTable) {
+	set.Insert(th, 1)        // want `error from HashTable.Insert is dropped`
+	_, _ = set.Delete(th, 1) // want `error from HashTable.Delete assigned to _`
+	ok, err := set.Insert(th, 2)
+	_, _ = ok, err
+}
+
+// droppedTx: Tx methods carry the same contract.
+func droppedTx(th *stm.Thread, box stm.Box[int]) {
+	tx := th.Begin()
+	box.Read(tx)      // want `error from Box.Read is dropped`
+	defer tx.Commit() // want `error from Tx.Commit is dropped by defer`
+}
+
+// suppressedDrop: a justified drop stays out of the live set.
+func suppressedDrop(th *stm.Thread, set *txds.HashTable) {
+	set.Insert(th, 3) //kstmvet:ignore fixture: best-effort cache warm-up, failure is benign
+}

@@ -1,0 +1,243 @@
+// Package txerrcheck flags dropped or swallowed errors from STM and
+// transactional-data-structure operations. Every error these APIs return is
+// load-bearing: inside a transaction, stm.ErrAborted is the retry loop's
+// signal — a closure that discards it, or maps it to some other error, turns
+// a routine optimistic-concurrency abort into a spurious failure (the PR 2
+// seed bug was exactly this: an enemy abort surfaced as ErrNotActive instead
+// of the retryable ErrAborted). Outside transactions, a dropped error hides
+// real conflicts and invariant violations.
+//
+// Two rules:
+//
+//  1. dropped — a call to a kstm/internal/stm or kstm/internal/txds function
+//     whose error result is discarded (expression statement, go/defer, or
+//     assigned to _) is flagged everywhere.
+//  2. swallowed — inside an Atomic closure, an `if err != nil` branch that
+//     returns anything not derived from err (or wraps it with %v instead of
+//     %w) is flagged: the retry loop can no longer see ErrAborted through it.
+//     Branches that inspect the error first (a nested if mentioning err,
+//     e.g. errors.Is) are trusted and skipped.
+package txerrcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kstm/internal/analysis"
+)
+
+// Analyzer is the txerrcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "txerrcheck",
+	Doc:  "flag dropped or swallowed errors from stm/txds operations (ErrAborted must reach the retry loop)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkDropped(pass, f)
+		for _, lit := range analysis.AtomicFuncLits(pass.Info, f) {
+			checkSwallowed(pass, lit)
+		}
+	}
+	return nil
+}
+
+// tracked reports whether fn is an stm/txds function whose last result is an
+// error the caller must not lose.
+func tracked(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case analysis.StmPath, analysis.TxdsPath:
+		return analysis.LastResultIsError(fn)
+	}
+	return false
+}
+
+// callName renders a tracked call for diagnostics, e.g. "Box.Write".
+func callName(fn *types.Func) string {
+	if recv := fn.Signature().Recv(); recv != nil {
+		if n := analysis.NamedType(recv.Type()); n != nil {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// checkDropped flags rule 1 across the whole file.
+func checkDropped(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fn := analysis.Callee(pass.Info, call); tracked(fn) {
+					pass.Reportf(call.Pos(), "error from %s is dropped; inside a transaction that error can be stm.ErrAborted, which the retry loop must see", callName(fn))
+				}
+			}
+		case *ast.GoStmt:
+			if fn := analysis.Callee(pass.Info, n.Call); tracked(fn) {
+				pass.Reportf(n.Call.Pos(), "error from %s is dropped by go statement; run it in a function that checks the error", callName(fn))
+			}
+		case *ast.DeferStmt:
+			if fn := analysis.Callee(pass.Info, n.Call); tracked(fn) {
+				pass.Reportf(n.Call.Pos(), "error from %s is dropped by defer; check it in a deferred closure instead", callName(fn))
+			}
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkBlankAssign flags tracked calls whose error result lands in _.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// v, err := call(...) — the error is the last LHS.
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if tracked(fn) && isBlank(as.Lhs[len(as.Lhs)-1]) {
+			pass.Reportf(as.Lhs[len(as.Lhs)-1].Pos(), "error from %s assigned to _; inside a transaction that error can be stm.ErrAborted, which the retry loop must see", callName(fn))
+		}
+		return
+	}
+	// Parallel form: a, b = f(), g() — single-result calls only.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if tracked(fn) && isBlank(as.Lhs[i]) {
+			pass.Reportf(as.Lhs[i].Pos(), "error from %s assigned to _; inside a transaction that error can be stm.ErrAborted, which the retry loop must see", callName(fn))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkSwallowed flags rule 2 inside one Atomic closure.
+func checkSwallowed(pass *analysis.Pass, lit *ast.FuncLit) {
+	// errSources: error variables assigned from tracked calls, with the call
+	// they came from.
+	errSources := map[*types.Var]*types.Func{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if !tracked(fn) {
+			return true
+		}
+		if v := analysis.VarOf(pass.Info, as.Lhs[len(as.Lhs)-1]); v != nil {
+			errSources[v] = fn
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		errVar := errNilCheck(pass.Info, ifs.Cond)
+		src, ok := errSources[errVar]
+		if !ok {
+			return true
+		}
+		checkAbortPath(pass, ifs.Body, errVar, src)
+		return true
+	})
+}
+
+// errNilCheck matches `err != nil` (either operand order) and returns the
+// error variable, or nil.
+func errNilCheck(info *types.Info, cond ast.Expr) *types.Var {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	x, y := bin.X, bin.Y
+	if isNil(info, x) {
+		x, y = y, x
+	}
+	if !isNil(info, y) {
+		return nil
+	}
+	return analysis.VarOf(info, x)
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// checkAbortPath walks the error branch looking for returns that lose err.
+// It does not descend into nested function literals (different return), nor
+// into nested ifs that mention err (the code inspected the error — e.g.
+// errors.Is(err, ...) — and made a deliberate choice).
+func checkAbortPath(pass *analysis.Pass, body *ast.BlockStmt, errVar *types.Var, src *types.Func) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if analysis.Mentions(pass.Info, n.Cond, errVar) {
+				return false
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				return true
+			}
+			res := n.Results[len(n.Results)-1]
+			if !analysis.Mentions(pass.Info, res, errVar) {
+				pass.Reportf(res.Pos(),
+					"error from %s is replaced on the error path; if it is stm.ErrAborted the retry loop never sees it and the transaction fails instead of retrying — return err (or wrap it with %%w)",
+					callName(src))
+				return true
+			}
+			checkErrorfWrap(pass, res, errVar)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkErrorfWrap flags fmt.Errorf(..., err) whose format verb is not %w:
+// %v/%s flattening strips the error's identity, so errors.Is(err,
+// stm.ErrAborted) — and the executor retry loop built on it — stops working.
+func checkErrorfWrap(pass *analysis.Pass, res ast.Expr, errVar *types.Var) {
+	call, ok := ast.Unparen(res).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	if !strings.Contains(lit.Value, "%w") {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf flattens the error with %%v/%%s; use %%w so errors.Is can still see stm.ErrAborted through the wrap")
+	}
+}

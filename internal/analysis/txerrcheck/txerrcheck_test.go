@@ -1,0 +1,12 @@
+package txerrcheck_test
+
+import (
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/txerrcheck"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, txerrcheck.Analyzer, "testdata")
+}

@@ -293,6 +293,8 @@ func (env *envelope) settle(res TaskResult) {
 // per-task increments on neighbouring workers never contend — the same
 // false-sharing discipline paddedCounter applies to the legacy Pool, widened
 // to every counter the worker loop touches.
+//
+//kstmvet:padalign
 type workerCounters struct {
 	completed atomic.Uint64
 	cancelled atomic.Uint64

@@ -404,6 +404,8 @@ func (p *Pool) executeNoExecutor(d time.Duration, count int64) (Result, error) {
 // paddedCounter avoids false sharing between per-worker counters, which
 // would otherwise serialize the very cache traffic the executor exists to
 // remove.
+//
+//kstmvet:padalign
 type paddedCounter struct {
 	n atomic.Uint64
 	_ [56]byte
