@@ -10,6 +10,8 @@
 //	kstmd -sharding perworker            # private STM + dictionary per worker
 //	kstmd -sharding perworker -migrate   # + epoch-fenced state hand-off on re-adaptation
 //	kstmd -queue-depth 1024              # smaller per-worker queues (earlier busy)
+//	kstmd -structure counters            # keyed aggregates (add/max/min/topk ops)
+//	kstmd -structure counters -split     # + split-phase execution for contended keys
 //
 // The server sheds load instead of stalling connections: full worker queues
 // answer StatusBusy (reject-mode backpressure). A dropped connection cancels
@@ -51,19 +53,20 @@ func run(args []string) error {
 	var (
 		addr      = fs.String("addr", ":7707", "listen address")
 		workers   = fs.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
-		structure = fs.String("structure", "hashtable", "dictionary: hashtable, rbtree, sortedlist, skiplist")
+		structure = fs.String("structure", "hashtable", "structure: hashtable, rbtree, sortedlist, skiplist, or counters (keyed aggregates)")
 		sharding  = fs.String("sharding", "shared", "state partitioning: shared or perworker")
 		depth     = fs.Int("queue-depth", 4096, "per-worker queue bound (busy above it)")
 		threshold = fs.Int("threshold", 10000, "adaptive sample threshold (the paper's 10000)")
 		migrate   = fs.Bool("migrate", false, "move shard state on re-partition (requires -sharding perworker); keeps read-your-writes across adaptations")
 		readapt   = fs.Bool("readapt", false, "re-estimate the key distribution every threshold samples instead of adapting once")
+		split     = fs.Bool("split", false, "split-phase execution for contended keys (requires -structure counters)")
 		statsEach = fs.Duration("stats", 0, "periodic stats line interval (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ex, err := buildExecutor(txds.Kind(*structure), kstm.ShardMode(*sharding), *workers, *depth, *threshold, *migrate, *readapt)
+	ex, err := buildExecutor(*structure, kstm.ShardMode(*sharding), *workers, *depth, *threshold, *migrate, *readapt, *split)
 	if err != nil {
 		return err
 	}
@@ -79,13 +82,19 @@ func run(args []string) error {
 		return err
 	}
 	// The dictionary protocol ends at OpNoop; anything above it is a
-	// client bug answered with StatusBadRequest before submission. Keys
-	// fold into the scheduler's 16-bit space, so clients may route by any
-	// 64-bit value (e.g. their own hashes) without collapsing dispatch
-	// onto one worker.
+	// client bug answered with StatusBadRequest before submission. The
+	// counter structure additionally speaks the commutative aggregate
+	// opcodes (through OpTopK) and dispatches over its own smaller key
+	// space. Keys fold into the scheduler's space either way, so clients
+	// may route by any 64-bit value (e.g. their own hashes) without
+	// collapsing dispatch onto one worker.
+	maxOp, keyMask := uint8(kstm.OpNoop), uint64(kstm.MaxKey)
+	if *structure == structureCounters {
+		maxOp, keyMask = uint8(kstm.OpTopK), harness.ContentionCounters-1
+	}
 	sopts := []server.Option{
-		server.WithMaxOp(uint8(kstm.OpNoop)),
-		server.WithKeyMask(kstm.MaxKey),
+		server.WithMaxOp(maxOp),
+		server.WithKeyMask(keyMask),
 	}
 	if *migrate {
 		// Hand-off ranges live in the masked dispatch space: an Arg above
@@ -95,8 +104,8 @@ func run(args []string) error {
 		sopts = append(sopts, server.WithMaxArg(kstm.MaxKey))
 	}
 	srv := server.New(ex, sopts...)
-	log.Printf("kstmd: serving %s (%s, %d workers, %s sharding) on %s",
-		*structure, "adaptive", ex.Workers(), ex.Sharding(), ln.Addr())
+	log.Printf("kstmd: serving %s (%s, %d workers, %s sharding, split=%v) on %s",
+		*structure, ex.Scheduler().Name(), ex.Workers(), ex.Sharding(), ex.SplitPhase(), ln.Addr())
 
 	if *statsEach > 0 {
 		go func() {
@@ -145,12 +154,45 @@ func run(args []string) error {
 	return serveResult
 }
 
+// structureCounters selects the keyed-aggregate counter bank instead of a
+// dictionary. It is not a txds.Kind: the counter protocol (commutative
+// opcodes, int64 lookups, split-phase support) is the executor layer's,
+// not the dictionary benchmarks'.
+const structureCounters = "counters"
+
 // buildExecutor assembles the executor for a dictionary structure, shared or
 // per-worker sharded, with reject-mode backpressure — a server sheds load
 // rather than stalling connection handlers. With migrate set, shards are
 // built migratable (hash tables at full prototype size) and the executor
-// runs the epoch-fenced hand-off on every re-partition.
-func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshold int, migrate, readapt bool) (*kstm.Executor, error) {
+// runs the epoch-fenced hand-off on every re-partition. The counters
+// structure serves keyed aggregates instead, optionally under split-phase
+// execution for its contended keys.
+func buildExecutor(structure string, mode kstm.ShardMode, workers, depth, threshold int, migrate, readapt, split bool) (*kstm.Executor, error) {
+	kind := txds.Kind(structure)
+	if split && structure != structureCounters {
+		return nil, fmt.Errorf("-split requires -structure counters (dictionary ops do not commute)")
+	}
+	if structure == structureCounters {
+		if mode != kstm.ShardShared {
+			return nil, fmt.Errorf("-structure counters requires -sharding shared")
+		}
+		if migrate {
+			return nil, fmt.Errorf("-structure counters is incompatible with -migrate")
+		}
+		opts := []core.Option{
+			core.WithBackpressure(core.BackpressureReject),
+			core.WithQueueDepth(depth),
+			core.WithWorkload(harness.NewCounterWorkload(txds.NewCounters(harness.ContentionCounters))),
+			core.WithSchedulerKind(core.SchedFixed, 0, harness.ContentionCounters-1),
+		}
+		if workers > 0 {
+			opts = append(opts, core.WithWorkers(workers))
+		}
+		if split {
+			opts = append(opts, core.WithSplitPhase())
+		}
+		return core.NewExecutor(opts...)
+	}
 	opts := []core.Option{
 		core.WithBackpressure(core.BackpressureReject),
 		core.WithQueueDepth(depth),
@@ -203,9 +245,10 @@ func buildExecutor(kind txds.Kind, mode kstm.ShardMode, workers, depth, threshol
 func logStats(ex *kstm.Executor, srv *server.Server) {
 	st := ex.Stats()
 	ss := srv.Stats()
-	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d busy=%d failed=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v",
+	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d busy=%d failed=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v split=%dkeys/%depochs/%dparked/%v",
 		st.State, ss.OpenConns, ss.Conns, ss.Requests, ss.Responses,
 		st.Completed, st.Cancelled, ss.Busy, st.Failed,
 		st.LoadImbalance(), st.Wait.P95, st.Service.P95,
-		ss.Migrations.Epochs, ss.Migrations.KeysMoved, time.Duration(ss.Migrations.PauseNs))
+		ss.Migrations.Epochs, ss.Migrations.KeysMoved, time.Duration(ss.Migrations.PauseNs),
+		ss.Split.Keys, ss.Split.MergedEpochs, ss.Split.ParkedTasks, time.Duration(ss.Split.MergeNs))
 }

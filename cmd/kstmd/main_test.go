@@ -10,7 +10,7 @@ import (
 
 func TestBuildExecutorModes(t *testing.T) {
 	for _, mode := range []kstm.ShardMode{kstm.ShardShared, kstm.ShardPerWorker} {
-		ex, err := buildExecutor(txds.KindHashTable, mode, 2, 64, 10000, false, false)
+		ex, err := buildExecutor(string(txds.KindHashTable), mode, 2, 64, 10000, false, false, false)
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
@@ -32,14 +32,23 @@ func TestBuildExecutorModes(t *testing.T) {
 }
 
 func TestBuildExecutorRejectsBadConfig(t *testing.T) {
-	if _, err := buildExecutor("btree", kstm.ShardShared, 2, 64, 10000, false, false); err == nil {
+	if _, err := buildExecutor("btree", kstm.ShardShared, 2, 64, 10000, false, false, false); err == nil {
 		t.Error("unknown structure accepted")
 	}
-	if _, err := buildExecutor(txds.KindHashTable, "replicated", 2, 64, 10000, false, false); err == nil {
+	if _, err := buildExecutor(string(txds.KindHashTable), "replicated", 2, 64, 10000, false, false, false); err == nil {
 		t.Error("unknown sharding mode accepted")
 	}
-	if _, err := buildExecutor(txds.KindHashTable, kstm.ShardShared, 2, 64, 10000, true, false); err == nil {
+	if _, err := buildExecutor(string(txds.KindHashTable), kstm.ShardShared, 2, 64, 10000, true, false, false); err == nil {
 		t.Error("-migrate with shared sharding accepted")
+	}
+	if _, err := buildExecutor(string(txds.KindHashTable), kstm.ShardShared, 2, 64, 10000, false, false, true); err == nil {
+		t.Error("-split without -structure counters accepted")
+	}
+	if _, err := buildExecutor(structureCounters, kstm.ShardPerWorker, 2, 64, 10000, false, false, true); err == nil {
+		t.Error("counters with perworker sharding accepted")
+	}
+	if _, err := buildExecutor(structureCounters, kstm.ShardShared, 2, 64, 10000, true, false, false); err == nil {
+		t.Error("counters with -migrate accepted")
 	}
 }
 
@@ -48,12 +57,47 @@ func TestBuildExecutorRejectsBadConfig(t *testing.T) {
 // kind builds (all four dictionaries implement RangeStore).
 func TestBuildExecutorMigrate(t *testing.T) {
 	for _, kind := range []txds.Kind{txds.KindHashTable, txds.KindRBTree, txds.KindSortedList, txds.KindSkipList} {
-		ex, err := buildExecutor(kind, kstm.ShardPerWorker, 2, 64, 10000, true, true)
+		ex, err := buildExecutor(string(kind), kstm.ShardPerWorker, 2, 64, 10000, true, true, false)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		if got := ex.Migration(); got != kstm.MigrateOnRepartition {
 			t.Errorf("%s: Migration() = %q", kind, got)
+		}
+	}
+}
+
+// TestBuildExecutorCounters checks the -structure counters wiring, with and
+// without -split: the commutative ops round-trip and a lookup reads an int64
+// sum either way.
+func TestBuildExecutorCounters(t *testing.T) {
+	for _, split := range []bool{false, true} {
+		ex, err := buildExecutor(structureCounters, kstm.ShardShared, 2, 64, 10000, false, false, split)
+		if err != nil {
+			t.Fatalf("split=%v: %v", split, err)
+		}
+		if got := ex.SplitPhase(); got != split {
+			t.Errorf("SplitPhase() = %v, want %v", got, split)
+		}
+		ctx := context.Background()
+		if err := ex.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		const adds = 50
+		for i := 0; i < adds; i++ {
+			if res, err := ex.Submit(ctx, kstm.Task{Key: 7, Op: kstm.OpAdd, Arg: 1}); err != nil || res.Err != nil {
+				t.Fatalf("split=%v add: %v / %v", split, err, res.Err)
+			}
+		}
+		res, err := ex.Submit(ctx, kstm.Task{Key: 7, Op: kstm.OpLookup})
+		if err != nil || res.Err != nil {
+			t.Fatalf("split=%v lookup: %v / %v", split, err, res.Err)
+		}
+		if sum, _ := res.Value.(int64); sum != adds {
+			t.Errorf("split=%v: sum = %v, want %d", split, res.Value, adds)
+		}
+		if err := ex.Drain(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -64,5 +108,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-split", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("-split without -structure counters accepted by run")
 	}
 }

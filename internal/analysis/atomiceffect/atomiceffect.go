@@ -115,6 +115,19 @@ var impurePkgs = map[string]string{
 	"math/rand/v2": "draws from shared PRNG state, so each attempt sees different values",
 }
 
+// splitphaseMutators are the split-phase accumulator and detector methods
+// that mutate per-worker state outside any transaction: an aborted closure
+// re-runs and re-applies the delta (Apply, Sample) or re-drains state that
+// is already gone (Take, Fold, Restore). The merge protocol calls them
+// strictly OUTSIDE transactions — accumulate first, then install the taken
+// aggregate transactionally (txds.Counters.MergeAgg). Pure helpers like
+// MergeTop are package functions, not methods, and stay legal inside
+// closures (they operate on the transaction's cloned state).
+var splitphaseMutators = map[string]bool{
+	"Apply": true, "Take": true, "Restore": true, // Accum
+	"Sample": true, "Fold": true, // Detector
+}
+
 // impureTimeFuncs are the time functions that read the clock or arm timers;
 // pure constructors (time.Date, time.ParseDuration) are allowed.
 var impureTimeFuncs = map[string]bool{
@@ -140,6 +153,10 @@ func impure(fn *types.Func) string {
 	case "fmt":
 		if fn.Signature().Recv() == nil && impureFmtFuncs[fn.Name()] {
 			return "performs I/O"
+		}
+	case "kstm/internal/splitphase":
+		if fn.Signature().Recv() != nil && splitphaseMutators[fn.Name()] {
+			return "mutates per-worker split-phase state the STM cannot roll back, so each attempt re-applies it"
 		}
 	default:
 		if why, ok := impurePkgs[path]; ok {

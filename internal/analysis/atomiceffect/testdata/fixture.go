@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"kstm/internal/splitphase"
 	"kstm/internal/stm"
 )
 
@@ -175,6 +176,37 @@ func impureCalls(th *stm.Thread) error {
 		_ = os.Getenv("HOME")  // want `call to os.Getenv inside an Atomic closure performs I/O`
 		_ = fmt.Sprintf("%v", t)
 		_ = time.Duration(3).String()
+		return nil
+	})
+}
+
+// splitAccum: the split-phase accumulator and detector mutate per-worker
+// state the STM cannot roll back — every mutating method call inside a
+// closure re-applies on abort. The protocol is accumulate OUTSIDE the
+// transaction, then install the taken aggregate transactionally.
+func splitAccum(th *stm.Thread, acc *splitphase.Accum, det *splitphase.Detector) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		acc.Apply(0, splitphase.KindAdd, 1) // want `call to splitphase.Apply inside an Atomic closure mutates per-worker split-phase state`
+		det.Sample(0, 42)                   // want `call to splitphase.Sample inside an Atomic closure mutates per-worker split-phase state`
+		agg, _ := acc.Take()                // want `call to splitphase.Take inside an Atomic closure mutates per-worker split-phase state`
+		acc.Restore(agg)                    // want `call to splitphase.Restore inside an Atomic closure mutates per-worker split-phase state`
+		_, _, _ = det.Fold(1)               // want `call to splitphase.Fold inside an Atomic closure mutates per-worker split-phase state`
+		return nil
+	})
+}
+
+// splitMergeTop: the pure top-K helper is legal inside a closure — it
+// returns a new bounded slice over the transaction's cloned state, exactly
+// how txds.Counters.MergeAgg installs a taken aggregate.
+func splitMergeTop(th *stm.Thread, box stm.Box[[]uint32], agg splitphase.Agg) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		top, err := box.Write(tx)
+		if err != nil {
+			return err
+		}
+		for _, v := range agg.Top {
+			*top = splitphase.MergeTop(*top, v)
+		}
 		return nil
 	})
 }

@@ -13,6 +13,7 @@ import (
 	"kstm/internal/dist"
 	"kstm/internal/latency"
 	"kstm/internal/queue"
+	"kstm/internal/splitphase"
 	"kstm/internal/stm"
 )
 
@@ -126,6 +127,7 @@ type execConfig struct {
 	workSteal    bool
 	sortBatch    int
 	migration    MigrationMode
+	split        *splitConfig
 }
 
 // Option configures an Executor.
@@ -220,6 +222,10 @@ type Executor struct {
 	// migr runs the epoch-fenced shard-state hand-off; nil unless
 	// MigrateOnRepartition is configured.
 	migr *migrator
+	// split runs split-phase execution for contended keys (detector, local
+	// accumulators, epoch-merge coordinator); nil unless WithSplitPhase is
+	// configured. Mutually exclusive with migr.
+	split *splitRunner
 
 	state    atomic.Int32
 	inflight atomic.Int64 // accepted-but-not-finished tasks (incl. blocked submitters)
@@ -413,6 +419,19 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown migration mode %q", cfg.migration)
 	}
+	var split *splitRunner
+	if cfg.split != nil {
+		if migr != nil {
+			return nil, fmt.Errorf("core: WithSplitPhase is incompatible with WithMigration(MigrateOnRepartition): merging split-key accumulators across a concurrent shard hand-off (cross-shard coordination) is deferred to a follow-up")
+		}
+		if cfg.workSteal {
+			return nil, fmt.Errorf("core: WithSplitPhase is incompatible with WithWorkSteal: a stolen task escapes its queue's FIFO order, which the epoch drain barriers rely on")
+		}
+		var err error
+		if split, err = newSplitRunner(&cfg, shards); err != nil {
+			return nil, err
+		}
+	}
 	switch {
 	case cfg.maxDepth < 0:
 		cfg.maxDepth = 0
@@ -424,6 +443,7 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 		queues:   make([]queue.Queue[envelope], cfg.workers),
 		shards:   shards,
 		migr:     migr,
+		split:    split,
 		wstats:   make([]workerCounters, cfg.workers),
 		waitHist: make([]*latency.Histogram, cfg.workers),
 		execHist: make([]*latency.Histogram, cfg.workers),
@@ -433,6 +453,9 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 	}
 	if migr != nil {
 		migr.e = e
+	}
+	if split != nil {
+		split.e = e
 	}
 	for i := 0; i < cfg.workers; i++ {
 		e.waitHist[i] = latency.New()
@@ -469,6 +492,13 @@ func (e *Executor) Start(ctx context.Context) error {
 			defer e.workers.Done()
 			e.worker(i)
 		}(i)
+	}
+	if e.split != nil {
+		// The epoch-merge coordinator is not a worker: it outlives the
+		// draining state (parked tasks count in flight and Drain needs their
+		// release) and exits on the stopped channel.
+		e.split.started.Store(true)
+		go e.split.loop()
 	}
 	if ctx.Done() != nil {
 		go func() {
@@ -588,10 +618,11 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if e.migr != nil {
-		// Fence ordering (pick under the migration read gate) is per-task;
-		// batch grouping would route around an installing fence. Keep the
-		// gated path exact and amortize only the clock read.
+	if e.migr != nil || e.split != nil {
+		// Fence/split-table ordering (pick under the subsystem's read gate)
+		// is per-task; batch grouping would route around an installing fence
+		// or a split key's hold queue. Keep the gated path exact and
+		// amortize only the clock read.
 		return e.submitAllGated(ctx, tasks)
 	}
 	if len(tasks) == 1 {
@@ -760,6 +791,9 @@ func (e *Executor) dispatch(env envelope, ctx context.Context) error {
 	if e.migr != nil {
 		return e.dispatchGated(env, ctx)
 	}
+	if e.split != nil {
+		return e.dispatchSplit(env, ctx)
+	}
 	w := e.pick(env.task.Key)
 	if e.cfg.maxDepth > 0 && e.queues[w].Len() >= e.cfg.maxDepth {
 		if e.cfg.backpressure == BackpressureReject {
@@ -881,7 +915,9 @@ func (b *backoff) wait() {
 // fire-and-forget, blocking backpressure, no per-task plumbing. count
 // selects whether the task increments the submitted counter (the central
 // model counts at its inbox instead). It reports false once the executor
-// stops accepting work.
+// stops accepting work. It bypasses the migration and split-phase gates:
+// neither WithMigration nor WithSplitPhase is reachable from the legacy
+// Pool's Config, so an executor with either configured never sees inject.
 func (e *Executor) inject(t Task, count bool) bool {
 	w := e.pick(t.Key)
 	e.inflight.Add(1)
@@ -1056,10 +1092,36 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 		default:
 		}
 	}
+	// Split-phase routing: a dequeued split-key envelope is absorbed into
+	// this worker's local accumulator slot (commutative op), parked until
+	// the next epoch merge (non-commutative straggler, or demote window), or
+	// executed transactionally (not split, or a coordinator release whose
+	// merge has landed). Parking consumes the envelope without settling it —
+	// the task stays in flight until the coordinator releases or halt
+	// abandons it.
+	var localAcc *splitKey
+	var localKind splitphase.Kind
+	if s := e.split; s != nil {
+		act, sk, kind := s.route(i, env.task)
+		switch act {
+		case splitActPark:
+			sk.forcePark(*env)
+			s.parkedTasks.Add(1)
+			s.requestMerge()
+			return start
+		case splitActLocal:
+			localAcc, localKind = sk, kind
+		}
+	}
 	if !env.carries() {
 		// Fire-and-forget fast path: no clocks, errors are fatal. A
 		// failed task is NOT counted as completed, matching the legacy
 		// Pool accounting the harness results are built on.
+		if localAcc != nil {
+			localAcc.acc.Apply(i, localKind, env.task.Arg)
+			e.finish(i, wc, env, TaskResult{})
+			return 0
+		}
 		if _, err := sh.workload.Execute(th, env.task); err != nil {
 			wc.failed.Add(1)
 			e.fail(err)
@@ -1072,7 +1134,16 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 	if start == 0 {
 		start = time.Since(e.base)
 	}
-	val, err := sh.workload.Execute(th, env.task)
+	var val any
+	var err error
+	if localAcc != nil {
+		// The local absorb completes the task: commutative split-key ops
+		// return nil values on the STM path too, so the settle below is
+		// indistinguishable from a transactional completion.
+		localAcc.acc.Apply(i, localKind, env.task.Arg)
+	} else {
+		val, err = sh.workload.Execute(th, env.task)
+	}
 	if err != nil {
 		wc.failed.Add(1)
 	}
@@ -1214,6 +1285,14 @@ func (e *Executor) halt() {
 		e.markStopped()
 		close(e.shutdown)
 		e.workers.Wait()
+		if e.split != nil && e.split.started.Load() {
+			// Wait the coordinator out, then fold every accumulator's
+			// remainder into the stores: locally-absorbed commutative ops
+			// already settled as completed, so their deltas must land even
+			// on a hard Stop.
+			<-e.split.done
+			e.split.flushFinal()
+		}
 		var b backoff
 		for {
 			drained := false
@@ -1239,6 +1318,15 @@ func (e *Executor) halt() {
 			// wait on it.
 			if e.migr != nil {
 				for _, env := range e.migr.takeHeld() {
+					drained = true
+					e.abandon(0, env, ErrStopped)
+				}
+			}
+			// Likewise tasks parked on split keys' hold queues; the
+			// coordinator may be mid-epoch (it abandons its own captured
+			// generation), so strip whatever is still parked here.
+			if e.split != nil {
+				for _, env := range e.split.takeHeld() {
 					drained = true
 					e.abandon(0, env, ErrStopped)
 				}
@@ -1322,6 +1410,9 @@ type ExecStats struct {
 	// Migrations reports the epoch-fenced shard-state hand-off counters;
 	// all zero unless WithMigration(MigrateOnRepartition) is configured.
 	Migrations MigrationStats
+	// Split reports the split-phase execution counters (split keys, merge
+	// epochs, parked tasks); all zero unless WithSplitPhase is configured.
+	Split SplitStats
 	// Wait holds queue-wait latency percentiles over result-carrying
 	// submissions (Submit/SubmitAsync/SubmitAll; the legacy
 	// fire-and-forget path is unclocked).
@@ -1374,6 +1465,9 @@ func (e *Executor) Stats() ExecStats {
 	}
 	if e.migr != nil {
 		s.Migrations = e.migr.stats()
+	}
+	if e.split != nil {
+		s.Split = e.split.stats()
 	}
 	if ad, ok := e.cfg.scheduler.(*Adaptive); ok {
 		s.SchedulerEpochs = ad.Epochs()
@@ -1472,6 +1566,28 @@ func (e *Executor) MigrationErr() error {
 		return nil
 	}
 	return e.migr.Err()
+}
+
+// SplitPhase reports whether split-phase execution is configured.
+func (e *Executor) SplitPhase() bool { return e.split != nil }
+
+// SplitStats returns the split-phase counters without assembling a full
+// Stats snapshot — the cheap read for periodic operator stats.
+func (e *Executor) SplitStats() SplitStats {
+	if e.split == nil {
+		return SplitStats{}
+	}
+	return e.split.stats()
+}
+
+// SplitErr returns the most recent epoch-merge install error, if any. A
+// failed install never loses deltas: the aggregate is restored into the
+// accumulator and the next epoch retries.
+func (e *Executor) SplitErr() error {
+	if e.split == nil {
+		return nil
+	}
+	return e.split.Err()
 }
 
 // stopping reports whether the executor no longer accepts producer work;

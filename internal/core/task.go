@@ -30,6 +30,23 @@ const (
 	OpNoop
 )
 
+// Commutative aggregate operations (the counter workloads). A workload that
+// declares these split-phase-mergeable (CommutativeOps) lets the executor
+// absorb them into per-worker local accumulators while their key is split;
+// their STM implementations MUST return a nil value, so a caller cannot tell
+// a locally-absorbed op from a transactional one.
+const (
+	// OpAdd adds the task's Arg — interpreted as a signed int32 delta in
+	// two's complement — to the keyed aggregate's sum.
+	OpAdd Op = iota + 4
+	// OpMax folds Arg into the keyed aggregate's running maximum.
+	OpMax
+	// OpMin folds Arg into the keyed aggregate's running minimum.
+	OpMin
+	// OpTopK inserts Arg into the keyed aggregate's bounded top-K multiset.
+	OpTopK
+)
+
 // String implements fmt.Stringer.
 func (o Op) String() string {
 	switch o {
@@ -41,6 +58,14 @@ func (o Op) String() string {
 		return "lookup"
 	case OpNoop:
 		return "noop"
+	case OpAdd:
+		return "add"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpTopK:
+		return "topk"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}

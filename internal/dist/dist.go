@@ -183,7 +183,7 @@ func Names() []string {
 }
 
 // ByName constructs a source by name; it accepts the paper's three
-// distributions plus "drift".
+// distributions plus "drift" and "zipf".
 func ByName(name string, seed uint64) (Source, error) {
 	switch name {
 	case "uniform":
@@ -194,7 +194,9 @@ func ByName(name string, seed uint64) (Source, error) {
 		return NewExponentialDefault(seed), nil
 	case "drift":
 		return NewDrift(seed), nil
+	case "zipf":
+		return NewZipfDefault(seed), nil
 	default:
-		return nil, fmt.Errorf("dist: unknown distribution %q (want uniform, gaussian, exponential or drift)", name)
+		return nil, fmt.Errorf("dist: unknown distribution %q (want uniform, gaussian, exponential, drift or zipf)", name)
 	}
 }

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"math"
+	"sync"
+
+	"kstm/internal/rng"
+)
+
+// Zipf draws keys from a Zipf(s) distribution over ranks 0..n-1 (rank r has
+// weight 1/(r+1)^s; rank 0 is the hottest key), with a fair operation bit.
+// It exists for the split-phase contention experiment: at s ≥ 1.2 a handful
+// of head keys carry most of the traffic, which key-affinity routing cannot
+// dilute — the serialization class split-phase execution targets.
+//
+// Sampling is by inversion over a precomputed cumulative table (one binary
+// search per draw). Tables are cached per (s, n) so constructing many
+// per-client sources shares one table; the draw path itself is
+// deterministic per seed like every other source here.
+//
+// Zipf is ByName-constructible ("zipf", default s=1.2 over the full key
+// space) but, like drift, excluded from Names(): it is an ablation device
+// for the contention experiment, not part of the paper's workload set.
+type Zipf struct {
+	r   *rng.Xoshiro256
+	cdf []float64
+}
+
+// zipfCDFs caches cumulative tables keyed by the (s, n) parameter pair.
+var zipfCDFs sync.Map
+
+type zipfParams struct {
+	s float64
+	n int
+}
+
+func zipfCDF(s float64, n int) []float64 {
+	if v, ok := zipfCDFs.Load(zipfParams{s, n}); ok {
+		return v.([]float64)
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = sum
+	}
+	inv := 1 / sum
+	for r := range cdf {
+		cdf[r] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	v, _ := zipfCDFs.LoadOrStore(zipfParams{s, n}, cdf)
+	return v.([]float64)
+}
+
+// NewZipf returns a Zipf source over ranks 0..n-1 with exponent s. s is
+// clamped to ≥ 0.01 (s=0 would be uniform and breaks no math, but a
+// near-zero exponent signals a configuration mistake in a contention
+// experiment); n is clamped to the key space.
+func NewZipf(seed uint64, s float64, n int) *Zipf {
+	if s < 0.01 {
+		s = 0.01
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxKey+1 {
+		n = MaxKey + 1
+	}
+	return &Zipf{r: rng.New(seed), cdf: zipfCDF(s, n)}
+}
+
+// NewZipfDefault returns the contention experiment's default: s=1.2 over
+// the full 16-bit key space (the acceptance threshold's skew floor).
+func NewZipfDefault(seed uint64) *Zipf {
+	return NewZipf(seed, 1.2, MaxKey+1)
+}
+
+// Rank draws a key rank without the operation bit (rank 0 hottest).
+func (z *Zipf) Rank() uint32 {
+	u := z.r.Float64()
+	// Binary search for the first rank whose cumulative mass covers u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
+}
+
+// Next implements Source: the drawn rank IS the key, so key 0 is the
+// hottest, matching the head-of-distribution hot-key shape the contention
+// experiment wants.
+func (z *Zipf) Next() uint32 {
+	return pack(z.Rank(), z.r.Uint64()&1 == 1)
+}

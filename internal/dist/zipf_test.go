@@ -1,0 +1,106 @@
+package dist
+
+import "testing"
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(11, 1.3, 4096)
+	b := NewZipf(11, 1.3, 4096)
+	for i := 0; i < 5000; i++ {
+		if va, vb := a.Next(), b.Next(); va != vb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, va, vb)
+		}
+	}
+	c := NewZipf(12, 1.3, 4096)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// Frequencies must be monotone non-increasing in rank (up to sampling
+// noise): rank 0 strictly hottest, head heavier than tail.
+func TestZipfSkewMonotoneInRank(t *testing.T) {
+	z := NewZipf(5, 1.3, 1024)
+	counts := make([]int, 1024)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		key, _ := Split(z.Next())
+		counts[key]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[4] {
+		t.Errorf("head not monotone: c0=%d c1=%d c4=%d", counts[0], counts[1], counts[4])
+	}
+	// Zipf s=1.3 over 1024 ranks: rank 0 holds ~35% of the mass.
+	if frac := float64(counts[0]) / draws; frac < 0.25 {
+		t.Errorf("rank-0 share = %v, want ≥ 0.25 at s=1.3", frac)
+	}
+	head, tail := 0, 0
+	for r := 0; r < 8; r++ {
+		head += counts[r]
+	}
+	for r := 512; r < 520; r++ {
+		tail += counts[r]
+	}
+	if head <= tail*10 {
+		t.Errorf("head(0..7)=%d not ≫ tail(512..519)=%d", head, tail)
+	}
+}
+
+// Raising s must concentrate more mass on the hottest rank.
+func TestZipfSkewMonotoneInS(t *testing.T) {
+	const draws = 100000
+	share := func(s float64) float64 {
+		z := NewZipf(7, s, 1024)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if key, _ := Split(z.Next()); key == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	s08, s13, s20 := share(0.8), share(1.3), share(2.0)
+	if !(s08 < s13 && s13 < s20) {
+		t.Errorf("rank-0 share not monotone in s: s=0.8→%v s=1.3→%v s=2.0→%v", s08, s13, s20)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(3, 1.2, 16)
+	for i := 0; i < 10000; i++ {
+		key, _ := Split(z.Next())
+		if key > 15 {
+			t.Fatalf("draw %d: key %d outside rank space [0,16)", i, key)
+		}
+	}
+	// Clamped construction must not panic and must stay in the key space.
+	w := NewZipf(3, -1, MaxKey+100)
+	for i := 0; i < 1000; i++ {
+		key, _ := Split(w.Next())
+		if key > MaxKey {
+			t.Fatalf("clamped source drew key %d > MaxKey", key)
+		}
+	}
+}
+
+func TestZipfByName(t *testing.T) {
+	s, err := ByName("zipf", 42)
+	if err != nil {
+		t.Fatalf("ByName(zipf): %v", err)
+	}
+	if _, ok := s.(*Zipf); !ok {
+		t.Fatalf("ByName(zipf) = %T, want *Zipf", s)
+	}
+	// zipf is an ablation source like drift: not in the paper's Names() set.
+	for _, n := range Names() {
+		if n == "zipf" {
+			t.Error("zipf must not appear in Names()")
+		}
+	}
+}

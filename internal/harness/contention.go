@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm/internal/core"
+	"kstm/internal/dist"
+	"kstm/internal/splitphase"
+	"kstm/internal/stats"
+	"kstm/internal/stm"
+	"kstm/internal/txds"
+)
+
+// ContentionCounters is the keyed-aggregate counter space the contention
+// experiment (and kstmd -split) runs against: scheduling key == counter
+// index, so key-affinity routing and split-phase promotion both see the
+// client's hot keys directly.
+const ContentionCounters = 1024
+
+// CounterWorkload binds txds.Counters to the executor's commutative-op
+// contract: OpAdd/OpMax/OpMin/OpTopK return nil values (so a locally-
+// absorbed op is indistinguishable from a transactional one), OpLookup
+// returns the counter's sum as int64. It implements core.CommutativeWorkload
+// and core.SplitMergeWorkload, making it usable with WithSplitPhase.
+type CounterWorkload struct {
+	c *txds.Counters
+}
+
+// NewCounterWorkload wraps a counter bank as an executor workload.
+func NewCounterWorkload(c *txds.Counters) *CounterWorkload {
+	return &CounterWorkload{c: c}
+}
+
+// Counters returns the wrapped bank (e.g. to read state back post-run).
+func (w *CounterWorkload) Counters() *txds.Counters { return w.c }
+
+// Execute implements core.Workload.
+func (w *CounterWorkload) Execute(th *stm.Thread, t core.Task) (any, error) {
+	k := uint32(t.Key)
+	switch t.Op {
+	case core.OpAdd:
+		return nil, w.c.Add(th, k, int32(t.Arg))
+	case core.OpMax:
+		return nil, w.c.MergeMax(th, k, t.Arg)
+	case core.OpMin:
+		return nil, w.c.MergeMin(th, k, t.Arg)
+	case core.OpTopK:
+		return nil, w.c.TopKInsert(th, k, t.Arg)
+	case core.OpLookup:
+		v, err := w.c.Value(th, k)
+		if err != nil {
+			return nil, err
+		}
+		return v.Sum, nil
+	case core.OpNoop:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("harness: counter workload: unknown op %v", t.Op)
+	}
+}
+
+// CommutativeOps implements core.CommutativeWorkload.
+func (w *CounterWorkload) CommutativeOps() map[core.Op]splitphase.Kind {
+	return map[core.Op]splitphase.Kind{
+		core.OpAdd:  splitphase.KindAdd,
+		core.OpMax:  splitphase.KindMax,
+		core.OpMin:  splitphase.KindMin,
+		core.OpTopK: splitphase.KindTopK,
+	}
+}
+
+// ApplyMerged implements core.SplitMergeWorkload.
+func (w *CounterWorkload) ApplyMerged(th *stm.Thread, key uint64, agg splitphase.Agg) error {
+	return w.c.MergeAgg(th, uint32(key), agg)
+}
+
+// NewCounterExecutor assembles an open-submission counter executor: one
+// shared counter bank, fixed key-range dispatch over the counter space (so
+// each counter has a stable owning worker), and optionally split-phase
+// execution with CI-friendly thresholds — a short epoch and a small
+// detection window, so promotion lands within benchmark-sized traffic.
+func NewCounterExecutor(workers int, split bool, opts ...core.SplitOption) (*core.Executor, *CounterWorkload, error) {
+	w := NewCounterWorkload(txds.NewCounters(ContentionCounters))
+	eopts := []core.Option{
+		core.WithWorkload(w),
+		core.WithWorkers(workers),
+		core.WithSchedulerKind(core.SchedFixed, 0, ContentionCounters-1),
+	}
+	if split {
+		sopts := append([]core.SplitOption{
+			core.SplitEpoch(500 * time.Microsecond),
+			core.SplitWindow(1024),
+			core.SplitPromoteShare(0.10),
+			core.SplitDemoteShare(0.02, 3),
+		}, opts...)
+		eopts = append(eopts, core.WithSplitPhase(sopts...))
+	}
+	ex, err := core.NewExecutor(eopts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, w, nil
+}
+
+// runContentionSplit is the split-phase acceptance experiment: a
+// Zipf(s=1.3)-skewed commutative counter mix under goroutine-per-client
+// traffic, split phase off vs. on. The head ranks carry most of the load,
+// which key-affinity routing cannot dilute — the owning worker's queue
+// serializes them. Split-on absorbs those adds into per-worker local
+// accumulators and merges at epoch close; lookups on split keys park until
+// the merge lands, so clients never read a partial merge.
+func runContentionSplit(o Options) ([]*Table, error) {
+	const workers, clients = 8, 16
+	t := &Table{
+		ID: "contention",
+		Title: fmt.Sprintf("Zipf(1.3) counters, split phase off vs. on, %d workers, %d clients (real)",
+			workers, clients),
+		Cols: []string{"mode", "throughput", "vis_errors", "split_keys", "merged_epochs",
+			"parked_tasks", "merge_ms"},
+	}
+	for mi, split := range []bool{false, true} {
+		var thr, errs []float64
+		var last core.ExecStats
+		// One unrecorded warmup run per mode, mirroring runSharding.
+		if _, _, _, err := ContentionPoint(o, split, workers, clients, o.Seed); err != nil {
+			return nil, err
+		}
+		for r := 0; r < max(1, o.Runs); r++ {
+			st, vis, elapsed, err := ContentionPoint(o, split, workers, clients, o.Seed+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			if elapsed > 0 {
+				thr = append(thr, float64(st.Completed)/elapsed.Seconds())
+			}
+			errs = append(errs, float64(vis))
+			last = st
+		}
+		t.Rows = append(t.Rows, []float64{float64(mi), stats.Summarize(thr).Mean,
+			stats.Summarize(errs).Mean, float64(last.Split.Keys), float64(last.Split.MergedEpochs),
+			float64(last.Split.ParkedTasks), float64(last.Split.MergeNs) / 1e6})
+	}
+	t.Notes = append(t.Notes,
+		"mode: 0=split off (every op through the STM) 1=split on (commutative ops on promoted keys absorb locally, merge at epoch close)",
+		"vis_errors: lookups that returned less than the client's own settled adds to that key (mean per run); split-key lookups park until the covering merge lands, so any shortfall is a broken merge",
+		"split columns are the final run's ExecStats.Split; merge_ms is total coordinator merge time",
+		"acceptance: split-on throughput >= split-off at this skew on multi-core CI; parity is acceptable at 1 CPU")
+	return []*Table{t}, nil
+}
+
+// ContentionPoint runs one contention configuration and returns the final
+// ExecStats, the visibility-error count, and the load wall-clock. Exported
+// for the harness tests and kbench -json.
+//
+// Traffic: each client draws ranks from a private Zipf(s=1.3) source over
+// the counter space and submits ~90% OpAdd(+1) / ~10% OpLookup on its own
+// hottest-touched keys. Because Submit is synchronous, every one of the
+// client's adds to a key has settled before it submits the lookup, so the
+// returned sum must be at least the client's own running count — counting
+// any shortfall as a visibility error works identically in both modes.
+func ContentionPoint(o Options, split bool, workers, clients int, seed uint64) (core.ExecStats, uint64, time.Duration, error) {
+	ex, _, err := NewCounterExecutor(workers, split)
+	if err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	per := max(1, o.RealTasks/clients)
+	var visErrors atomic.Uint64
+	errCh := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			z := dist.NewZipf(seed+uint64(c)*0x9e37, 1.3, ContentionCounters)
+			mine := make(map[uint32]int64, 64)
+			for i := 0; i < per; i++ {
+				k := z.Rank()
+				if i%10 == 9 {
+					res, err := ex.Submit(ctx, core.Task{Key: uint64(k), Op: core.OpLookup})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					sum, _ := res.Value.(int64)
+					if sum < mine[k] {
+						visErrors.Add(1)
+					}
+					continue
+				}
+				if _, err := ex.Submit(ctx, core.Task{Key: uint64(k), Op: core.OpAdd, Arg: 1}); err != nil {
+					errCh <- err
+					return
+				}
+				mine[k]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := ex.Drain(); err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return core.ExecStats{}, 0, 0, err
+	default:
+	}
+	if err := ex.SplitErr(); err != nil {
+		return core.ExecStats{}, 0, 0, err
+	}
+	return ex.Stats(), visErrors.Load(), elapsed, nil
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"testing"
+)
+
+// The contention experiment's two arms at CI-test size: both must be free
+// of visibility errors, and the split-on arm must actually promote keys and
+// merge epochs under the Zipf head's load.
+func TestContentionPointBothModes(t *testing.T) {
+	o := DefaultOptions()
+	o.RealTasks = 4000
+	o.Runs = 1
+	for _, split := range []bool{false, true} {
+		st, vis, _, err := ContentionPoint(o, split, 4, 8, o.Seed)
+		if err != nil {
+			t.Fatalf("split=%v: %v", split, err)
+		}
+		if vis != 0 {
+			t.Errorf("split=%v: %d visibility errors, want 0", split, vis)
+		}
+		if st.Completed == 0 {
+			t.Errorf("split=%v: no tasks completed", split)
+		}
+		if split {
+			if st.Split.Keys == 0 && st.Split.Demoted == 0 {
+				t.Errorf("split on: no key ever promoted: %+v", st.Split)
+			}
+			if st.Split.MergedEpochs == 0 {
+				t.Errorf("split on: no merge epochs: %+v", st.Split)
+			}
+		} else if st.Split.Keys != 0 || st.Split.MergedEpochs != 0 {
+			t.Errorf("split off: nonzero split stats %+v", st.Split)
+		}
+	}
+}
+
+func TestContentionExperimentRegistered(t *testing.T) {
+	e, err := ByID("contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.RealTasks = 1200
+	o.Runs = 1
+	tables, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "contention" {
+		t.Fatalf("tables = %v", tables)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (off, on)", len(tbl.Rows))
+	}
+	visCol := -1
+	for i, c := range tbl.Cols {
+		if c == "vis_errors" {
+			visCol = i
+		}
+	}
+	if visCol < 0 {
+		t.Fatalf("no vis_errors column in %v", tbl.Cols)
+	}
+	for _, row := range tbl.Rows {
+		if row[visCol] != 0 {
+			t.Errorf("mode %v: vis_errors = %v, want 0", row[0], row[visCol])
+		}
+	}
+}

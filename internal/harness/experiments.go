@@ -186,6 +186,12 @@ func Experiments() []Experiment {
 			Paper: "beyond the paper: hot-path batching overhaul (ROADMAP)",
 			Run:   runBatching,
 		},
+		Experiment{
+			ID:    "contention",
+			Title: "Zipf-skewed counters: split-phase execution off vs. on",
+			Paper: "beyond the paper: split-phase execution for contended keys (ROADMAP)",
+			Run:   runContentionSplit,
+		},
 	)
 	return exps
 }

@@ -1,0 +1,250 @@
+// Package splitphase holds the executor-independent pieces of split-phase
+// execution for contended keys (Doppel-style phase reconciliation, Narula et
+// al., OSDI'14, adapted to the key-routed executor): a contention detector
+// that samples per-worker key traffic and nominates hot keys, and per-worker
+// local accumulators that absorb commutative operations (Add, Max, Min,
+// TopK-insert) on a split key with zero STM traffic — each worker mutates
+// only its own cache-line-padded slot, and an epoch-merge coordinator folds
+// the slots into the owning shard's transactional store at epoch close.
+//
+// The package deliberately knows nothing about envelopes, queues or the STM:
+// internal/core wires Detector and Accum into the dispatch path, the worker
+// loop and the merge coordinator, and internal/txds installs folded Aggs
+// into stores. That keeps the accumulator/detector contracts independently
+// testable and keeps the import direction acyclic (core → splitphase,
+// txds → splitphase).
+//
+// Concurrency contract: worker w calls Accum.Apply(w, ...) only from its own
+// worker loop; the coordinator's Take/Dirty/Restore may run concurrently
+// with any Apply. Every slot carries its own mutex, so the fast path is an
+// uncontended lock on a line no other worker touches. Accumulator state must
+// NEVER be mutated inside an Atomic closure: an aborted transaction re-runs
+// the closure and the delta double-counts (kstmvet's atomiceffect analyzer
+// enforces this). Worker-local writes outside transactions are the legal —
+// and the entire point of the — idiom.
+package splitphase
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies a workload op's merge semantics. A workload opts its ops
+// into split-phase execution by publishing an op → Kind table; every kind
+// here is commutative and associative, so per-worker partial aggregates
+// merge into the same result regardless of interleaving.
+type Kind uint8
+
+// Commutative op kinds.
+const (
+	// KindNone: not commutative; on a split key the op parks on the key's
+	// hold queue until the next epoch merge lands.
+	KindNone Kind = iota
+	// KindAdd: signed addition (the op's Arg is interpreted as an int32
+	// delta in two's complement).
+	KindAdd
+	// KindMax: running maximum of the Arg values.
+	KindMax
+	// KindMin: running minimum of the Arg values.
+	KindMin
+	// KindTopK: keep the TopKSize largest Arg values seen.
+	KindTopK
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindAdd:
+		return "add"
+	case KindMax:
+		return "max"
+	case KindMin:
+		return "min"
+	case KindTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// TopKSize is the capacity of the KindTopK aggregate: accumulators and
+// stores keep at most this many of the largest inserted values.
+const TopKSize = 8
+
+// Agg is one split key's folded aggregate: the merged effect of every
+// commutative op absorbed by the local accumulators since the last epoch
+// merge. Merging Aggs (and applying one to a store) is commutative and
+// associative, so the coordinator may fold worker slots in any order.
+type Agg struct {
+	// Add is the summed KindAdd delta.
+	Add int64
+	// Max/HasMax carry the running KindMax maximum, when any was applied.
+	Max    uint32
+	HasMax bool
+	// Min/HasMin carry the running KindMin minimum, when any was applied.
+	Min    uint32
+	HasMin bool
+	// Top holds the largest KindTopK values, descending, at most TopKSize.
+	Top []uint32
+}
+
+// Empty reports whether the aggregate carries no effect at all.
+func (a Agg) Empty() bool {
+	return a.Add == 0 && !a.HasMax && !a.HasMin && len(a.Top) == 0
+}
+
+// Merge folds other into a.
+func (a *Agg) Merge(other Agg) {
+	a.Add += other.Add
+	if other.HasMax && (!a.HasMax || other.Max > a.Max) {
+		a.Max, a.HasMax = other.Max, true
+	}
+	if other.HasMin && (!a.HasMin || other.Min < a.Min) {
+		a.Min, a.HasMin = other.Min, true
+	}
+	for _, v := range other.Top {
+		a.Top = MergeTop(a.Top, v)
+	}
+}
+
+// MergeTop inserts v into a descending top-K list, keeping at most TopKSize
+// entries (duplicates allowed — the aggregate is a multiset truncation,
+// which keeps the merge commutative). It returns the updated list.
+func MergeTop(top []uint32, v uint32) []uint32 {
+	i := 0
+	for i < len(top) && top[i] >= v {
+		i++
+	}
+	if i == TopKSize {
+		return top // v is smaller than every kept entry
+	}
+	if len(top) < TopKSize {
+		top = append(top, 0)
+	}
+	copy(top[i+1:], top[i:])
+	top[i] = v
+	return top
+}
+
+// slot is one worker's share of a split key's local state. Each slot is
+// padded out to two cache lines so neighbouring workers' hot Apply paths
+// never share a line; the mutex is effectively uncontended (its only other
+// taker is the coordinator's rare fold).
+//
+//kstmvet:padalign 128
+type slot struct {
+	mu     sync.Mutex
+	add    int64
+	top    []uint32
+	max    uint32
+	min    uint32
+	hasMax bool
+	hasMin bool
+	_      [72]byte
+}
+
+// Accum is one split key's per-worker local accumulator array: slot w
+// belongs to worker w. Apply is the zero-STM-traffic write path for
+// commutative ops on the split key; Take is the coordinator's epoch fold.
+type Accum struct {
+	slots []slot
+}
+
+// NewAccum returns an accumulator with one padded slot per worker.
+func NewAccum(workers int) *Accum {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Accum{slots: make([]slot, workers)}
+}
+
+// Workers returns the slot count.
+func (a *Accum) Workers() int { return len(a.slots) }
+
+// Apply absorbs one commutative op into worker w's slot. KindNone is a
+// caller bug and ignored.
+func (a *Accum) Apply(worker int, kind Kind, arg uint32) {
+	s := &a.slots[worker]
+	s.mu.Lock()
+	switch kind {
+	case KindAdd:
+		s.add += int64(int32(arg))
+	case KindMax:
+		if !s.hasMax || arg > s.max {
+			s.max, s.hasMax = arg, true
+		}
+	case KindMin:
+		if !s.hasMin || arg < s.min {
+			s.min, s.hasMin = arg, true
+		}
+	case KindTopK:
+		s.top = MergeTop(s.top, arg)
+	}
+	s.mu.Unlock()
+}
+
+// Take removes and returns the merged aggregate of every slot, resetting
+// each slot to empty. Applies racing with Take land wholly in the old or
+// wholly in the new epoch (the slot mutex decides); the executor's drain
+// barriers give the ordering guarantee that everything enqueued before the
+// epoch's capture point has already been applied.
+func (a *Accum) Take() (Agg, bool) {
+	var agg Agg
+	for i := range a.slots {
+		s := &a.slots[i]
+		s.mu.Lock()
+		agg.Add += s.add
+		if s.hasMax && (!agg.HasMax || s.max > agg.Max) {
+			agg.Max, agg.HasMax = s.max, true
+		}
+		if s.hasMin && (!agg.HasMin || s.min < agg.Min) {
+			agg.Min, agg.HasMin = s.min, true
+		}
+		for _, v := range s.top {
+			agg.Top = MergeTop(agg.Top, v)
+		}
+		s.add, s.hasMax, s.hasMin = 0, false, false
+		s.top = s.top[:0]
+		s.mu.Unlock()
+	}
+	return agg, !agg.Empty()
+}
+
+// Dirty reports whether any slot holds an unfolded effect; the coordinator
+// uses it to skip merge epochs for quiescent keys without paying a fold.
+func (a *Accum) Dirty() bool {
+	for i := range a.slots {
+		s := &a.slots[i]
+		s.mu.Lock()
+		d := s.add != 0 || s.hasMax || s.hasMin || len(s.top) > 0
+		s.mu.Unlock()
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// Restore merges a previously taken aggregate back into slot 0 — the
+// failure path when an epoch's store install did not commit, so the deltas
+// rejoin the next epoch instead of being lost.
+func (a *Accum) Restore(agg Agg) {
+	if agg.Empty() {
+		return
+	}
+	s := &a.slots[0]
+	s.mu.Lock()
+	s.add += agg.Add
+	if agg.HasMax && (!s.hasMax || agg.Max > s.max) {
+		s.max, s.hasMax = agg.Max, true
+	}
+	if agg.HasMin && (!s.hasMin || agg.Min < s.min) {
+		s.min, s.hasMin = agg.Min, true
+	}
+	for _, v := range agg.Top {
+		s.top = MergeTop(s.top, v)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,240 @@
+package splitphase
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"kstm/internal/rng"
+)
+
+func TestAccumTakeMergesAllKinds(t *testing.T) {
+	a := NewAccum(4)
+	a.Apply(0, KindAdd, uint32(int32(5)))
+	negTwo := int32(-2)
+	a.Apply(1, KindAdd, uint32(negTwo))
+	a.Apply(2, KindMax, 7)
+	a.Apply(3, KindMax, 40)
+	a.Apply(0, KindMin, 9)
+	a.Apply(1, KindMin, 3)
+	a.Apply(2, KindTopK, 10)
+	a.Apply(3, KindTopK, 30)
+	a.Apply(3, KindTopK, 20)
+
+	agg, ok := a.Take()
+	if !ok {
+		t.Fatal("Take reported empty aggregate")
+	}
+	if agg.Add != 3 {
+		t.Errorf("Add = %d, want 3", agg.Add)
+	}
+	if !agg.HasMax || agg.Max != 40 {
+		t.Errorf("Max = %v/%d, want true/40", agg.HasMax, agg.Max)
+	}
+	if !agg.HasMin || agg.Min != 3 {
+		t.Errorf("Min = %v/%d, want true/3", agg.HasMin, agg.Min)
+	}
+	want := []uint32{30, 20, 10}
+	if len(agg.Top) != len(want) {
+		t.Fatalf("Top = %v, want %v", agg.Top, want)
+	}
+	for i, v := range want {
+		if agg.Top[i] != v {
+			t.Fatalf("Top = %v, want %v", agg.Top, want)
+		}
+	}
+
+	// Second take: everything was reset.
+	if agg2, ok2 := a.Take(); ok2 || !agg2.Empty() {
+		t.Errorf("second Take = %+v ok=%v, want empty", agg2, ok2)
+	}
+	if a.Dirty() {
+		t.Error("Dirty after Take, want clean")
+	}
+}
+
+func TestAccumRestoreRejoinsNextEpoch(t *testing.T) {
+	a := NewAccum(2)
+	a.Apply(0, KindAdd, uint32(int32(10)))
+	a.Apply(1, KindMax, 99)
+	agg, _ := a.Take()
+
+	// Install failed; the deltas must not be lost.
+	a.Restore(agg)
+	if !a.Dirty() {
+		t.Fatal("Restore left accumulator clean")
+	}
+	a.Apply(1, KindAdd, uint32(int32(1)))
+	agg2, ok := a.Take()
+	if !ok || agg2.Add != 11 || !agg2.HasMax || agg2.Max != 99 {
+		t.Errorf("after Restore+Apply: %+v ok=%v, want Add=11 Max=99", agg2, ok)
+	}
+}
+
+func TestMergeTopBounded(t *testing.T) {
+	var top []uint32
+	for v := uint32(0); v < 100; v++ {
+		top = MergeTop(top, v)
+	}
+	if len(top) != TopKSize {
+		t.Fatalf("len(top) = %d, want %d", len(top), TopKSize)
+	}
+	for i, v := range top {
+		if want := uint32(99 - i); v != want {
+			t.Fatalf("top[%d] = %d, want %d (top=%v)", i, v, want, top)
+		}
+	}
+	// Duplicates are kept (multiset semantics keep the merge commutative).
+	top = MergeTop(top[:0], 5)
+	top = MergeTop(top, 5)
+	if len(top) != 2 || top[0] != 5 || top[1] != 5 {
+		t.Errorf("duplicate insert: %v, want [5 5]", top)
+	}
+}
+
+func TestAggMergeCommutative(t *testing.T) {
+	mk := func() []Agg {
+		return []Agg{
+			{Add: 4, HasMax: true, Max: 10, Top: []uint32{9, 2}},
+			{Add: -1, HasMin: true, Min: 7},
+			{Add: 3, HasMax: true, Max: 15, HasMin: true, Min: 2, Top: []uint32{15}},
+		}
+	}
+	fold := func(order []int) Agg {
+		var out Agg
+		parts := mk()
+		for _, i := range order {
+			out.Merge(parts[i])
+		}
+		return out
+	}
+	a := fold([]int{0, 1, 2})
+	b := fold([]int{2, 0, 1})
+	if a.Add != b.Add || a.Max != b.Max || a.Min != b.Min || len(a.Top) != len(b.Top) {
+		t.Fatalf("merge order changed result: %+v vs %+v", a, b)
+	}
+	for i := range a.Top {
+		if a.Top[i] != b.Top[i] {
+			t.Fatalf("merge order changed Top: %v vs %v", a.Top, b.Top)
+		}
+	}
+}
+
+// Concurrent Applies interleaved with Takes must conserve the Add sum: every
+// delta lands in exactly one epoch. Run with -race.
+func TestAccumConcurrentApplyTakeConservesSum(t *testing.T) {
+	const workers, perWorker = 4, 5000
+	a := NewAccum(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Apply(w, KindAdd, 1)
+			}
+		}(w)
+	}
+	applied := make(chan struct{})
+	go func() { wg.Wait(); close(applied) }()
+	var total int64
+	for {
+		agg, _ := a.Take()
+		total += agg.Add
+		select {
+		case <-applied:
+			agg, _ := a.Take() // final sweep after every Apply returned
+			total += agg.Add
+			if want := int64(workers * perWorker); total != want {
+				t.Fatalf("sum across epochs = %d, want %d", total, want)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestDetectorDeterministic(t *testing.T) {
+	run := func() map[uint64]float64 {
+		d := NewDetector(2, 64, 42)
+		r := rng.New(7)
+		for i := 0; i < 10000; i++ {
+			d.Sample(int(r.Uint64n(2)), r.Uint64n(100))
+		}
+		shares, _, ok := d.Fold(1)
+		if !ok {
+			t.Fatal("Fold refused with 10000 samples")
+		}
+		return shares
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic fold: %d vs %d keys", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("non-deterministic share for key %d: %v vs %v", k, v, b[k])
+		}
+	}
+}
+
+func TestDetectorHotKeyDominates(t *testing.T) {
+	d := NewDetector(4, 256, 1)
+	r := rng.New(3)
+	// 50% of traffic on key 0, the rest uniform over 1..1000.
+	for i := 0; i < 40000; i++ {
+		w := int(r.Uint64n(4))
+		if r.Uint64n(2) == 0 {
+			d.Sample(w, 0)
+		} else {
+			d.Sample(w, 1+r.Uint64n(1000))
+		}
+	}
+	shares, total, ok := d.Fold(1)
+	if !ok || total == 0 {
+		t.Fatalf("Fold failed: ok=%v total=%d", ok, total)
+	}
+	if s := shares[0]; s < 0.35 || s > 0.65 {
+		t.Errorf("hot key share = %v, want ~0.5", s)
+	}
+	// The hot key must rank first by a wide margin.
+	type kv struct {
+		k uint64
+		s float64
+	}
+	var all []kv
+	for k, s := range shares {
+		all = append(all, kv{k, s})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+	if all[0].k != 0 {
+		t.Errorf("top key = %d (share %v), want 0", all[0].k, all[0].s)
+	}
+	if len(all) > 1 && all[1].s > 0.2 {
+		t.Errorf("runner-up share = %v, want << hot key", all[1].s)
+	}
+}
+
+func TestDetectorBelowWindowKeepsAccumulating(t *testing.T) {
+	d := NewDetector(1, 16, 9)
+	for i := 0; i < 10; i++ {
+		d.Sample(0, 5)
+	}
+	if shares, total, ok := d.Fold(100); ok || shares != nil || total != 10 {
+		t.Fatalf("Fold below window: shares=%v total=%d ok=%v, want nil/10/false", shares, total, ok)
+	}
+	for i := 0; i < 90; i++ {
+		d.Sample(0, 5)
+	}
+	shares, total, ok := d.Fold(100)
+	if !ok || total != 100 {
+		t.Fatalf("Fold at window: total=%d ok=%v, want 100/true", total, ok)
+	}
+	if s := shares[5]; s < 0.99 {
+		t.Errorf("single-key share = %v, want ~1", s)
+	}
+	// Window reset: the next fold starts from zero.
+	if _, total, ok := d.Fold(1); ok || total != 0 {
+		t.Errorf("post-reset Fold: total=%d ok=%v, want 0/false", total, ok)
+	}
+}

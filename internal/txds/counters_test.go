@@ -1,0 +1,144 @@
+package txds
+
+import (
+	"sync"
+	"testing"
+
+	"kstm/internal/splitphase"
+	"kstm/internal/stm"
+)
+
+func TestCountersBasicOps(t *testing.T) {
+	s := stm.New()
+	th := s.NewThread()
+	c := NewCounters(4)
+
+	if err := c.Add(th, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(th, 0, -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MergeMax(th, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MergeMax(th, 1, 3); err != nil { // below max: read-only path
+		t.Fatal(err)
+	}
+	if err := c.MergeMin(th, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint32{4, 9, 1} {
+		if err := c.TopKInsert(th, 2, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v0, err := c.Value(th, 0)
+	if err != nil || v0.Sum != 7 {
+		t.Errorf("counter 0 = %+v err=%v, want Sum=7", v0, err)
+	}
+	v1, err := c.Value(th, 1)
+	if err != nil || !v1.HasMax || v1.Max != 7 || !v1.HasMin || v1.Min != 5 {
+		t.Errorf("counter 1 = %+v err=%v, want Max=7 Min=5", v1, err)
+	}
+	v2, err := c.Value(th, 2)
+	if err != nil || len(v2.Top) != 3 || v2.Top[0] != 9 || v2.Top[1] != 4 || v2.Top[2] != 1 {
+		t.Errorf("counter 2 = %+v err=%v, want Top=[9 4 1]", v2, err)
+	}
+	if v3, err := c.Value(th, 3); err != nil || v3.Sum != 0 || v3.HasMax || v3.HasMin || len(v3.Top) != 0 {
+		t.Errorf("untouched counter 3 = %+v err=%v, want zero", v3, err)
+	}
+
+	if err := c.Add(th, 99, 1); err == nil {
+		t.Error("out-of-range Add succeeded, want error")
+	}
+}
+
+func TestCountersMergeAggMatchesDirectOps(t *testing.T) {
+	s := stm.New()
+	th := s.NewThread()
+	direct, merged := NewCounters(1), NewCounters(1)
+
+	// Direct path: individual transactional ops.
+	for _, d := range []int32{5, -2, 9} {
+		if err := direct.Add(th, 0, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []uint32{3, 11, 6} {
+		if err := direct.MergeMax(th, 0, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.MergeMin(th, 0, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.TopKInsert(th, 0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Split path: accumulator fold, then one MergeAgg install.
+	acc := splitphase.NewAccum(2)
+	negTwo := int32(-2)
+	acc.Apply(0, splitphase.KindAdd, 5)
+	acc.Apply(1, splitphase.KindAdd, uint32(negTwo))
+	acc.Apply(0, splitphase.KindAdd, 9)
+	for _, v := range []uint32{3, 11, 6} {
+		acc.Apply(int(v)%2, splitphase.KindMax, v)
+		acc.Apply(int(v)%2, splitphase.KindMin, v)
+		acc.Apply(int(v)%2, splitphase.KindTopK, v)
+	}
+	agg, ok := acc.Take()
+	if !ok {
+		t.Fatal("accumulator empty")
+	}
+	if err := merged.MergeAgg(th, 0, agg); err != nil {
+		t.Fatal(err)
+	}
+
+	dv, err := direct.Value(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := merged.Value(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Sum != mv.Sum || dv.Max != mv.Max || dv.HasMax != mv.HasMax ||
+		dv.Min != mv.Min || dv.HasMin != mv.HasMin || len(dv.Top) != len(mv.Top) {
+		t.Fatalf("direct %+v != merged %+v", dv, mv)
+	}
+	for i := range dv.Top {
+		if dv.Top[i] != mv.Top[i] {
+			t.Fatalf("Top diverged: direct %v merged %v", dv.Top, mv.Top)
+		}
+	}
+}
+
+// Concurrent direct Adds from many threads must conserve the sum (the
+// baseline the contention experiment's split-off arm relies on). -race.
+func TestCountersConcurrentAdds(t *testing.T) {
+	s := stm.New()
+	c := NewCounters(1)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < perG; i++ {
+				if err := c.Add(th, 0, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, err := c.Value(s.NewThread(), 0)
+	if err != nil || v.Sum != goroutines*perG {
+		t.Fatalf("Sum = %d err=%v, want %d", v.Sum, err, goroutines*perG)
+	}
+}

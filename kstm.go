@@ -74,6 +74,7 @@ import (
 	"kstm/internal/hist"
 	"kstm/internal/latency"
 	"kstm/internal/sim"
+	"kstm/internal/splitphase"
 	"kstm/internal/stm"
 	"kstm/internal/txds"
 )
@@ -248,6 +249,74 @@ var WithMigration = core.WithMigration
 // (ExecStats.Migrations): completed epochs, keys moved, total fence pause.
 type MigrationStats = core.MigrationStats
 
+// WithSplitPhase enables split-phase execution for contended keys: a
+// contention detector promotes hot keys, commutative ops on promoted keys
+// (the workload's CommutativeOps table) absorb into per-worker local
+// accumulators without touching the STM, and an epoch coordinator merges
+// the accumulators into the owning shard at epoch close. Non-commutative
+// ops on a split key park until the covering merge lands, so clients never
+// observe a partial merge. Requires every shard workload to implement
+// CommutativeWorkload and SplitMergeWorkload; incompatible with
+// WithMigration and WithWorkSteal.
+var WithSplitPhase = core.WithSplitPhase
+
+// SplitOption tunes WithSplitPhase.
+type SplitOption = core.SplitOption
+
+// Split-phase tuning options: merge-epoch length, wake coalescing delay,
+// detection-window size, promote/demote load-share thresholds, the split-set
+// size bound, and statically pinned split keys.
+var (
+	SplitEpoch        = core.SplitEpoch
+	SplitCoalesce     = core.SplitCoalesce
+	SplitWindow       = core.SplitWindow
+	SplitPromoteShare = core.SplitPromoteShare
+	SplitDemoteShare  = core.SplitDemoteShare
+	SplitMaxKeys      = core.SplitMaxKeys
+	SplitKeys         = core.SplitKeys
+)
+
+// SplitStats reports the split-phase counters (ExecStats.Split): keys
+// currently split, promotions/demotions, merge epochs, parked tasks, and
+// total coordinator merge time.
+type SplitStats = core.SplitStats
+
+// CommutativeWorkload is a workload that declares which opcodes are
+// commutative aggregates, and with which merge semantics — the opt-in
+// surface for split-phase execution.
+type CommutativeWorkload = core.CommutativeWorkload
+
+// SplitMergeWorkload installs a merged accumulator aggregate into the
+// workload's transactional state at epoch close.
+type SplitMergeWorkload = core.SplitMergeWorkload
+
+// AggKind names a commutative merge semantic (add, max, min, top-K).
+type AggKind = splitphase.Kind
+
+// Commutative merge semantics for CommutativeOps tables.
+const (
+	AggAdd  = splitphase.KindAdd
+	AggMax  = splitphase.KindMax
+	AggMin  = splitphase.KindMin
+	AggTopK = splitphase.KindTopK
+)
+
+// Agg is one epoch's merged accumulator state for a split key, handed to
+// SplitMergeWorkload.ApplyMerged.
+type Agg = splitphase.Agg
+
+// Counters is a transactional bank of keyed aggregates (sum, max, min,
+// top-K) whose MergeAgg method implements the split-phase install; pair it
+// with OpAdd/OpMax/OpMin/OpTopK in a workload to get a split-ready
+// structure out of the box.
+type Counters = txds.Counters
+
+// CounterValue is one counter's aggregate state.
+type CounterValue = txds.CounterValue
+
+// NewCounters creates a bank of n zeroed counters.
+var NewCounters = txds.NewCounters
+
 // ShardStore is the migratable transactional state of one shard: range
 // extraction and key installation in the executor's scheduling-key space.
 type ShardStore = core.ShardStore
@@ -333,6 +402,15 @@ const (
 	OpDelete = core.OpDelete
 	OpLookup = core.OpLookup
 	OpNoop   = core.OpNoop
+)
+
+// Commutative aggregate opcodes (counter workloads): mergeable through
+// split-phase execution when the workload declares them in CommutativeOps.
+const (
+	OpAdd  = core.OpAdd
+	OpMax  = core.OpMax
+	OpMin  = core.OpMin
+	OpTopK = core.OpTopK
 )
 
 // TaskSource generates a producer's task stream.

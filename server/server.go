@@ -57,6 +57,9 @@ type Stats struct {
 	// line sees re-partition hand-offs without a second probe; all zero
 	// unless the executor runs WithMigration(MigrateOnRepartition).
 	Migrations kstm.MigrationStats
+	// Split mirrors the executor's split-phase counters (ExecStats.Split)
+	// for the same reason; all zero unless the executor runs WithSplitPhase.
+	Split kstm.SplitStats
 }
 
 // Option configures a Server.
@@ -214,6 +217,7 @@ func (s *Server) Stats() Stats {
 		Failed:         s.nFailed.Load(),
 		ProtocolErrors: s.nProtoErr.Load(),
 		Migrations:     s.ex.MigrationStats(),
+		Split:          s.ex.SplitStats(),
 	}
 }
 
