@@ -185,7 +185,7 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 	c.scratch = wire.AppendRequest(c.scratch[:0], wire.Request{
 		ID: call.id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg,
 	})
-	err := c.writeLocked(ctx, c.scratch)
+	err := c.writeLocked(ctx, c.scratch) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(call.id)
@@ -261,7 +261,7 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 		c.scratch, _ = wire.AppendBatchRequest(c.scratch, rest[:n])
 		rest = rest[n:]
 	}
-	err := c.writeLocked(ctx, c.scratch)
+	err := c.writeLocked(ctx, c.scratch) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
 	c.wmu.Unlock()
 	if err != nil {
 		forgetAll()

@@ -241,13 +241,17 @@ func buildExecutor(structure string, mode kstm.ShardMode, workers, depth, thresh
 }
 
 // logStats prints one operator line: executor counters (with the corrected
-// Completed/Cancelled split) plus the server's own view.
+// Completed/Cancelled split) plus the server's own view. It is a statsfold
+// target of server.Stats: every server counter must appear here, so the
+// pairs below report executor-side/server-side (tasks vs responses — they
+// diverge when response delivery is best-effort, e.g. cancellation).
 func logStats(ex *kstm.Executor, srv *server.Server) {
 	st := ex.Stats()
 	ss := srv.Stats()
-	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d busy=%d failed=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v split=%dkeys/%depochs/%dparked/%v",
+	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d/%d busy=%d failed=%d/%d stopped=%d badreq=%d proto_err=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v split=%dkeys/%depochs/%dparked/%v",
 		st.State, ss.OpenConns, ss.Conns, ss.Requests, ss.Responses,
-		st.Completed, st.Cancelled, ss.Busy, st.Failed,
+		st.Completed, st.Cancelled, ss.Cancelled, ss.Busy, st.Failed, ss.Failed,
+		ss.Stopped, ss.BadRequest, ss.ProtocolErrors,
 		st.LoadImbalance(), st.Wait.P95, st.Service.P95,
 		ss.Migrations.Epochs, ss.Migrations.KeysMoved, time.Duration(ss.Migrations.PauseNs),
 		ss.Split.Keys, ss.Split.MergedEpochs, ss.Split.ParkedTasks, time.Duration(ss.Split.MergeNs))

@@ -1,12 +1,18 @@
-// Command kstmvet is this repository's static analyzer suite: four
+// Command kstmvet is this repository's static analyzer suite: seven
 // repo-specific checks for contracts the Go compiler cannot see, built on
-// the stdlib-only driver in internal/analysis (DESIGN.md §8).
+// the stdlib-only driver and fact-propagation core in internal/analysis
+// (DESIGN.md §8).
 //
 //	atomiceffect   side effects in Atomic closures (aborts re-run them)
 //	txerrcheck     dropped/swallowed stm/txds errors (ErrAborted must reach
 //	               the retry loop)
 //	futureconsume  Future used after the consuming Wait/WaitValue (§3.5)
 //	padalign       //kstmvet:padalign structs stay cache-line multiples
+//	hotpathalloc   //kstmvet:hotpath functions stay allocation-free,
+//	               verified against go build -gcflags=-m escape diagnostics
+//	lockorder      cyclic lock acquisition and blocking while a lock is held
+//	statsfold      every //kstmvet:statsfold struct field is folded by its
+//	               target functions (Stats(), the kstmd stats mirror)
 //
 // Usage:
 //
@@ -20,7 +26,9 @@
 //	//kstmvet:ignore <reason>
 //
 // The reason is mandatory; suppressed findings still appear in -json output
-// as an auditable inventory. Exit codes: 0 clean, 1 findings, 2 failure.
+// as an auditable inventory. Output is deterministic: diagnostics are
+// sorted by (file, line, analyzer) and deduplicated, with paths relative to
+// the working directory. Exit codes: 0 clean, 1 findings, 2 failure.
 package main
 
 import (
@@ -29,12 +37,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"kstm/internal/analysis"
 	"kstm/internal/analysis/atomiceffect"
 	"kstm/internal/analysis/futureconsume"
+	"kstm/internal/analysis/hotpathalloc"
+	"kstm/internal/analysis/lockorder"
 	"kstm/internal/analysis/padalign"
+	"kstm/internal/analysis/statsfold"
 	"kstm/internal/analysis/txerrcheck"
 )
 
@@ -44,6 +56,9 @@ func allAnalyzers() []*analysis.Analyzer {
 		txerrcheck.Analyzer,
 		futureconsume.Analyzer,
 		padalign.Analyzer,
+		hotpathalloc.Analyzer,
+		lockorder.Analyzer,
+		statsfold.Analyzer,
 	}
 }
 
@@ -105,11 +120,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "kstmvet:", err)
 		return 2
 	}
+	// Hand the compiler's escape diagnostics to the fact core: hotpathalloc
+	// then checks annotated functions against what the optimizer actually
+	// decided, not a syntactic guess. The build replays from cache, so this
+	// costs one no-op build of the target packages.
+	var pkgPaths []string
+	for _, pkg := range prog.Packages {
+		pkgPaths = append(pkgPaths, pkg.Path)
+	}
+	esc, err := analysis.CollectEscapes("", pkgPaths)
+	if err != nil {
+		fmt.Fprintln(stderr, "kstmvet:", err)
+		return 2
+	}
+	prog.SetEscapes(esc)
 	diags, err := analysis.Run(prog, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "kstmvet:", err)
 		return 2
 	}
+	relativize(diags)
 
 	live := analysis.Live(diags)
 	if *jsonOut {
@@ -137,4 +167,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// relativize rewrites diagnostic paths relative to the working directory —
+// stable output for humans, CI logs, and the golden-file test. Analysis
+// itself (and suppression matching) runs on absolute paths; only the
+// presentation changes.
+func relativize(diags []analysis.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(wd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
 }

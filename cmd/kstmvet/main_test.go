@@ -3,11 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite testdata/golden/golden.json from current output")
 
 // chdirRoot runs the driver from the module root like CI does.
 func chdirRoot(t *testing.T) {
@@ -53,6 +57,155 @@ func TestCleanPackage(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"./internal/rng"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d on clean package\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestGolden pins the -json output byte for byte: diagnostic order,
+// message text, path relativization, and the suppressed-finding inventory
+// are all part of the CLI contract (CI artifacts diff this output). The
+// golden package plants only syntax-derived findings — lockorder and
+// statsfold — so the bytes do not depend on the compiler's escape analysis.
+// Regenerate with: go test ./cmd/kstmvet -run TestGolden -update
+func TestGolden(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(wd) != "kstmvet" {
+		t.Fatalf("expected to run from cmd/kstmvet, got %s", wd)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./testdata/golden"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 (the golden package plants live findings)\nstderr: %s", code, errOut.String())
+	}
+	goldenPath := filepath.Join("testdata", "golden", "golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			goldenPath, out.String(), want)
+	}
+}
+
+// copyModule copies the module's Go sources (and go.mod) into dst so a
+// mutation test can break a contract without touching the real tree.
+func copyModule(t *testing.T, root, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); path != root && (name == ".git" || name == ".github") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") && d.Name() != "go.mod" && d.Name() != "go.sum" {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutate rewrites one file in the copied module, asserting the edit landed.
+func mutate(t *testing.T, dir, rel, old, new string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(old)) {
+		t.Fatalf("%s no longer contains %q — update the mutation test", rel, old)
+	}
+	b = bytes.Replace(b, []byte(old), []byte(new), 1)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// TestMutationStatsFold is the acceptance check for statsfold: deleting the
+// Cancelled fold from Executor.Stats() must reproduce an exit-1 finding.
+func TestMutationStatsFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation tests copy and re-analyze the module")
+	}
+	dst := t.TempDir()
+	copyModule(t, moduleRoot(t), dst)
+	mutate(t, dst, filepath.Join("internal", "core", "executor.go"),
+		"s.Cancelled += wc.cancelled.Load()\n", "")
+	t.Chdir(dst)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "statsfold", "./internal/core"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 after deleting the Cancelled fold\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ExecStats.Cancelled is not folded") {
+		t.Errorf("finding does not name the unfolded field:\n%s", out.String())
+	}
+}
+
+// TestMutationHotPathAlloc is the acceptance check for hotpathalloc: adding
+// a fmt.Sprintf to Submit must reproduce an exit-1 finding.
+func TestMutationHotPathAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation tests copy and re-analyze the module")
+	}
+	dst := t.TempDir()
+	copyModule(t, moduleRoot(t), dst)
+	mutate(t, dst, filepath.Join("internal", "core", "executor.go"),
+		"func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {",
+		"func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {\n\t_ = fmt.Sprintf(\"%x\", t.Key)")
+	t.Chdir(dst)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "hotpathalloc", "./internal/core"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 after planting fmt.Sprintf in Submit\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "deny-listed fmt.Sprintf") {
+		t.Errorf("finding does not name the deny-listed call:\n%s", out.String())
 	}
 }
 

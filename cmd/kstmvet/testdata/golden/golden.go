@@ -1,0 +1,53 @@
+// Package golden pins kstmvet's -json output byte for byte (see
+// TestGolden in cmd/kstmvet). It plants one finding per contract analyzer
+// whose message is independent of the compiler version — lockorder and
+// statsfold, whose diagnostics come from the fact core's syntax walk, not
+// from escape analysis — plus one suppressed finding, so the golden file
+// also pins the auditable-inventory shape. Keep hotpath annotations out of
+// this package: escape diagnostics vary across toolchains.
+package golden
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// aThenB and bThenA nest the two mutexes in opposite orders: the planted
+// lock-order cycle.
+func aThenB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func bThenA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// gauges declares the statsfold contract against snapshot below, which
+// folds up and down but not drift — the planted missing fold.
+//
+//kstmvet:statsfold snapshot
+type gauges struct {
+	up    uint64
+	down  uint64
+	drift uint64
+}
+
+func snapshot(g *gauges) (uint64, uint64) {
+	return g.up, g.down
+}
+
+// handoff blocks while holding muA; the suppression carries the reason the
+// golden file pins into the JSON inventory.
+func handoff(ch chan int) {
+	muA.Lock()
+	ch <- 1 //kstmvet:ignore golden fixture: audited handoff under lock
+	muA.Unlock()
+}

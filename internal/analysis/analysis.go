@@ -30,7 +30,8 @@ type Analyzer struct {
 }
 
 // A Pass is one analyzer's view of one package: the parsed files (with
-// comments), the type-checked package, and the reporting sink.
+// comments), the type-checked package, the program-wide fact table, and the
+// reporting sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -38,6 +39,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Sizes    types.Sizes
+	Facts    *Facts // program-wide per-function summaries (never nil)
 
 	report func(Diagnostic)
 }
@@ -45,11 +47,19 @@ type Pass struct {
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	p.ReportLinef(position.Filename, position.Line, position.Column, format, args...)
+}
+
+// ReportLinef records a finding at an explicit file position — the form used
+// for compiler-derived diagnostics (escape analysis), which carry file/line
+// coordinates rather than token.Pos values. Suppression matching is
+// line-based, so these findings honor kstmvet:ignore like any other.
+func (p *Pass) ReportLinef(file string, line, col int, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
-		File:     position.Filename,
-		Line:     position.Line,
-		Col:      position.Column,
+		File:     file,
+		Line:     line,
+		Col:      col,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -73,25 +83,33 @@ func (d Diagnostic) String() string {
 }
 
 // Run executes the analyzers over every package of the program and returns
-// all diagnostics — suppressed ones marked, the rest live — sorted by
-// position. The error return is an analyzer crash, not a finding.
+// all diagnostics — suppressed ones marked, the rest live — sorted and
+// deduplicated (deterministic output is part of the CLI contract; the
+// golden-file test pins it). Facts for the whole program are computed before
+// any analyzer runs, so a pass over one package can consult summaries of
+// every other. The error return is an analyzer crash, not a finding.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := prog.Facts()
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
-		ds, err := RunPackage(prog.Fset, prog.Sizes, pkg, analyzers)
+		ds, err := RunPackage(prog.Fset, prog.Sizes, facts, pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
 		diags = append(diags, ds...)
 	}
 	Sort(diags)
-	return diags, nil
+	return Dedupe(diags), nil
 }
 
 // RunPackage executes the analyzers over one package, applying suppression
 // directives found in its files. The fixture test harness calls this
-// directly on testdata packages the go tool does not list.
-func RunPackage(fset *token.FileSet, sizes types.Sizes, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// directly on testdata packages the go tool does not list. facts may be nil
+// for analyzers that never consult the fact table.
+func RunPackage(fset *token.FileSet, sizes types.Sizes, facts *Facts, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	var diags []Diagnostic
 	sup := scanSuppressions(fset, pkg.Files)
 	sink := func(d Diagnostic) {
@@ -109,6 +127,7 @@ func RunPackage(fset *token.FileSet, sizes types.Sizes, pkg *Package, analyzers 
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Sizes:    sizes,
+			Facts:    facts,
 			report:   sink,
 		}
 		if err := a.Run(pass); err != nil {
@@ -129,7 +148,9 @@ func RunPackage(fset *token.FileSet, sizes types.Sizes, pkg *Package, analyzers 
 	return diags, nil
 }
 
-// Sort orders diagnostics by file, line, column, then analyzer name.
+// Sort orders diagnostics by (file, line, analyzer, column, message) — the
+// deterministic order the CLI and -json output promise regardless of
+// analyzer registration order or map iteration inside a pass.
 func Sort(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -139,11 +160,29 @@ func Sort(diags []Diagnostic) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		return a.Message < b.Message
 	})
+}
+
+// Dedupe removes exactly-identical adjacent diagnostics from a sorted slice.
+// Duplicates arise when two evaluation paths reach the same site (a lock
+// edge seen both intraprocedurally and through a callee summary); reporting
+// one is strictly more readable and keeps counts stable.
+func Dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Live reports how many diagnostics are not suppressed.

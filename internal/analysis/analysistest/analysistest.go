@@ -98,7 +98,14 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
 		t.Fatalf("type-checking fixtures in %s: %v", dir, err)
 	}
 	pkg := &analysis.Package{Path: tpkg.Path(), Dir: dir, Files: files, Types: tpkg, Info: info}
-	diags, err := analysis.RunPackage(prog.Fset, prog.Sizes, pkg, []*analysis.Analyzer{a})
+	// Merge the fixture's own summaries into the module-wide fact table so
+	// fact-driven analyzers see both: a fixture can call a real kstm function
+	// and trip a finding off that callee's facts, exactly as production code
+	// would. Fixture facts use the static allocation approximation (testdata
+	// packages cannot be built, so no escape diagnostics exist for them).
+	facts := prog.Facts()
+	facts.AddPackage(prog.Fset, pkg, nil)
+	diags, err := analysis.RunPackage(prog.Fset, prog.Sizes, facts, pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

@@ -1,0 +1,124 @@
+package analysis
+
+// Escape-diagnostic collection: hotpathalloc's ground truth for "does this
+// function heap-allocate" is the compiler's own escape analysis, not a
+// syntactic guess. `go build -gcflags=-m` emits one diagnostic per escaping
+// value; the build cache replays them on subsequent runs, so the collection
+// costs one no-op build. Facts built with this data are marked
+// EscapeDerived; packages without it (the fixture harness, which
+// type-checks testdata packages the go tool cannot build) fall back to the
+// static approximation in facts.go.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeDiag is one compiler escape diagnostic, positioned within its file.
+type EscapeDiag struct {
+	Line int
+	Col  int
+	Msg  string // e.g. "&e escapes to heap" / "moved to heap: lenBuf"
+}
+
+// Escapes holds the escape diagnostics for a set of packages.
+type Escapes struct {
+	byFile map[string][]EscapeDiag // absolute file path → diagnostics
+	pkgs   map[string]bool         // import paths the build covered
+}
+
+// Covers reports whether the build produced (possibly empty) escape data for
+// the package — the signal to trust compiler facts over the static
+// approximation.
+func (e *Escapes) Covers(pkgPath string) bool { return e != nil && e.pkgs[pkgPath] }
+
+// File returns the diagnostics recorded for an absolute file path, in
+// emission order.
+func (e *Escapes) File(file string) []EscapeDiag {
+	if e == nil {
+		return nil
+	}
+	return e.byFile[file]
+}
+
+// escapeLineRE matches the positioned diagnostic lines of -gcflags=-m.
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// CollectEscapes builds the named packages with -gcflags=-m and gathers the
+// "escapes to heap" / "moved to heap" diagnostics. dir is the working
+// directory for the build ("" = current); diagnostic paths, which the go
+// tool prints relative to it, are normalized to absolute so they line up
+// with the loader's FileSet positions.
+func CollectEscapes(dir string, pkgPaths []string) (*Escapes, error) {
+	if len(pkgPaths) == 0 {
+		return &Escapes{byFile: map[string][]EscapeDiag{}, pkgs: map[string]bool{}}, nil
+	}
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m"}, buildOutputArgs(pkgPaths)...)
+	args = append(args, pkgPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = abs
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	esc := &Escapes{byFile: map[string][]EscapeDiag{}, pkgs: map[string]bool{}}
+	for _, p := range pkgPaths {
+		esc.pkgs[p] = true
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(abs, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		key := fmt.Sprintf("%s:%d:%d:%s", file, line, col, msg)
+		if seen[key] {
+			continue // -m repeats diagnostics for generic instantiations
+		}
+		seen[key] = true
+		esc.byFile[file] = append(esc.byFile[file], EscapeDiag{Line: line, Col: col, Msg: msg})
+	}
+	return esc, sc.Err()
+}
+
+// buildOutputArgs discards the build outputs. With several packages the go
+// tool already discards them; a lone main package would write a binary into
+// the working directory, so that case gets an explicit -o to the null
+// device.
+func buildOutputArgs(pkgPaths []string) []string {
+	if len(pkgPaths) == 1 {
+		return []string{"-o", os.DevNull}
+	}
+	return nil
+}

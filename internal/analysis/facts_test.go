@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// factsSrc exercises every fact class the walker records: lock transitions
+// with held-sets, blocking operations, clock reads, closures, static
+// allocations, and struct field references.
+const factsSrc = `package factprobe
+
+import (
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu    sync.Mutex
+	inner sync.Mutex
+	A     int
+	B     int
+}
+
+var globalMu sync.Mutex
+
+func (b *Box) Nested(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inner.Lock()
+	ch <- 1
+	b.inner.Unlock()
+}
+
+func (b *Box) Branchy(cond bool) {
+	if cond {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	globalMu.Lock()
+	globalMu.Unlock()
+}
+
+func Clocky() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func Sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+func Closures(n int) func() int {
+	free := func() int { return 1 }
+	_ = free
+	return func() int { return n }
+}
+
+type Pair struct {
+	X int
+	Y int
+}
+
+func Alloc(b *Box) *Box {
+	m := make(map[string]int)
+	m["x"] = 1
+	_ = map[string]int{"y": 2}
+	_ = &Pair{X: 1}
+	_ = Pair{1, 2}.X + b.B
+	return new(Box)
+}
+
+func Selecty(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case <-ch:
+	}
+}
+`
+
+// loadFactProbe type-checks factsSrc against real export data (sync, time)
+// and summarizes it with the static allocation approximation.
+func loadFactProbe(t *testing.T) *Facts {
+	t.Helper()
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root = filepath.Dir(filepath.Dir(root)) // internal/analysis → module root
+	prog, err := Load(root, []string{"./internal/core"})
+	if err != nil {
+		t.Fatalf("loading export data: %v", err)
+	}
+	f, err := parser.ParseFile(prog.Fset, "factprobe.go", factsSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpkg, info, err := prog.TypeCheck("kstmvet.fixture/factprobe", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := NewFacts()
+	facts.AddPackage(prog.Fset, &Package{Path: tpkg.Path(), Files: []*ast.File{f}, Types: tpkg, Info: info}, nil)
+	return facts
+}
+
+func TestFacts(t *testing.T) {
+	facts := loadFactProbe(t)
+	const pp = "kstmvet.fixture/factprobe"
+
+	t.Run("lock edges and held sets", func(t *testing.T) {
+		ff := facts.Of(pp + ".Box.Nested")
+		if ff == nil {
+			t.Fatal("no facts for Box.Nested")
+		}
+		var sawEdge, sawSend bool
+		for _, l := range ff.Locks {
+			if l.ID == pp+".Box.inner" && len(l.Held) == 1 && l.Held[0] == pp+".Box.mu" {
+				sawEdge = true
+			}
+		}
+		for _, b := range ff.Blocks {
+			if b.What == "channel send" && len(b.Held) == 2 {
+				sawSend = true
+			}
+		}
+		if !sawEdge {
+			t.Errorf("missing inner-under-mu lock edge; locks = %+v", ff.Locks)
+		}
+		if !sawSend {
+			t.Errorf("missing channel send with both locks held; blocks = %+v", ff.Blocks)
+		}
+	})
+
+	t.Run("branch-local lock does not leak", func(t *testing.T) {
+		ff := facts.Of(pp + ".Box.Branchy")
+		for _, l := range ff.Locks {
+			if l.ID == pp+".globalMu" && len(l.Held) != 0 {
+				t.Errorf("globalMu acquisition records stale held set %v", l.Held)
+			}
+		}
+		ids := map[string]bool{}
+		for _, l := range ff.Locks {
+			ids[l.ID] = true
+		}
+		if !ids[pp+".globalMu"] || !ids[pp+".Box.mu"] {
+			t.Errorf("expected both lock IDs, got %v", ids)
+		}
+	})
+
+	t.Run("clock and sleep", func(t *testing.T) {
+		if ff := facts.Of(pp + ".Clocky"); len(ff.Clocks) != 2 {
+			t.Errorf("Clocky: want 2 clock reads, got %+v", ff.Clocks)
+		}
+		ff := facts.Of(pp + ".Sleepy")
+		if !ff.BlocksDirectly() || ff.Blocks[0].What != "time.Sleep" {
+			t.Errorf("Sleepy: want time.Sleep block, got %+v", ff.Blocks)
+		}
+	})
+
+	t.Run("closure capture detection", func(t *testing.T) {
+		ff := facts.Of(pp + ".Closures")
+		if len(ff.Closures) != 2 {
+			t.Fatalf("want 2 closures, got %+v", ff.Closures)
+		}
+		// Source order: the captureless literal first, the capturing second.
+		if ff.Closures[0].Captures {
+			t.Error("captureless literal flagged as capturing")
+		}
+		if !ff.Closures[1].Captures {
+			t.Error("capturing literal (closes over n) not flagged")
+		}
+	})
+
+	t.Run("static allocations and field refs", func(t *testing.T) {
+		ff := facts.Of(pp + ".Alloc")
+		if !ff.Allocates() || ff.EscapeDerived {
+			t.Fatalf("Alloc: want static allocation facts, got %+v", ff)
+		}
+		whats := map[string]bool{}
+		for _, a := range ff.Allocs {
+			whats[a.What] = true
+		}
+		for _, want := range []string{"make", "new", "address of composite literal", "map literal"} {
+			if !whats[want] {
+				t.Errorf("missing static alloc %q in %v", want, whats)
+			}
+		}
+		// Keyed literal names X; unkeyed literal references every field;
+		// b.B is a selector reference.
+		for _, want := range []string{".Pair.X", ".Pair.Y", ".Box.B"} {
+			if !ff.FieldRefs[pp+want] {
+				t.Errorf("missing field ref %s%s in %v", pp, want, ff.FieldRefs)
+			}
+		}
+	})
+
+	t.Run("select blocking", func(t *testing.T) {
+		ff := facts.Of(pp + ".Selecty")
+		if len(ff.Blocks) != 1 || ff.Blocks[0].What != "select without default" {
+			t.Errorf("want exactly the no-default select as blocking, got %+v", ff.Blocks)
+		}
+	})
+}
+
+func TestFuncKeyStripsPointerReceiver(t *testing.T) {
+	facts := loadFactProbe(t)
+	if facts.Of("kstmvet.fixture/factprobe.Box.Nested") == nil {
+		t.Error("pointer-receiver method not keyed as Pkg.Type.Name")
+	}
+}

@@ -1,0 +1,23 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	diags := analysistest.Run(t, hotpathalloc.Analyzer, "testdata")
+	// The suppressed make in suppressed() must be present in the inventory
+	// with its reason, not silently dropped.
+	found := false
+	for _, d := range diags {
+		if d.Suppressed && d.SuppressReason != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a suppressed diagnostic with a reason in the inventory")
+	}
+}

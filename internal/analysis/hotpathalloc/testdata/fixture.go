@@ -1,0 +1,127 @@
+// Fixture for hotpathalloc: planted violations of the //kstmvet:hotpath
+// allocation-free contract. Facts here use the static approximation (the go
+// tool cannot build testdata packages, so no escape diagnostics exist).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+type item struct {
+	k int
+	v string
+}
+
+// clean is the shape the contract wants: index arithmetic, field writes,
+// reslicing — nothing that touches the heap.
+//
+//kstmvet:hotpath
+func clean(items []item, k int) int {
+	n := 0
+	for i := range items {
+		if items[i].k == k {
+			n++
+		}
+	}
+	return n
+}
+
+//kstmvet:hotpath
+func allocs(xs []int, v string) []byte {
+	m := make(map[string]int) // want `hot path heap allocation: make`
+	m[v] = 1
+	_ = &item{k: 1}    // want `hot path heap allocation: address of composite literal`
+	_ = "prefix: " + v // want `hot path heap allocation: string concatenation`
+	xs = append(xs, 1) // want `hot path heap allocation: append`
+	_ = xs
+	return []byte(v) // want `hot path heap allocation: \[\]byte/string conversion`
+}
+
+//kstmvet:hotpath
+func boxes(v int) any {
+	return any(v) // want `hot path heap allocation: boxes int into interface`
+}
+
+//kstmvet:hotpath
+func clocky() time.Time {
+	return time.Now() // want `hot path reads the clock: time.Now`
+}
+
+//kstmvet:hotpath
+func closurey(n int) func() int {
+	return func() int { return n } // want `hot path closure captures variables`
+}
+
+//kstmvet:hotpath
+func spawns(ch chan int) {
+	go drain(ch) // want `hot path spawns a goroutine`
+}
+
+//kstmvet:hotpath
+func blocky(ch chan int) int {
+	return <-ch // want `hot path blocking operation: channel receive`
+}
+
+//kstmvet:hotpath
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `hot path blocking operation: time.Sleep`
+}
+
+//kstmvet:hotpath
+func selecty(a, b chan int) int {
+	select { // want `hot path blocking operation: select without default`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//kstmvet:hotpath
+func denies(v int) string {
+	return fmt.Sprintf("%d", v) // want `hot path calls deny-listed fmt.Sprintf`
+}
+
+//kstmvet:hotpath
+func sorts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `deny-listed sort.Slice` `closure captures`
+}
+
+// coldError shows the tolerated shape: error construction on the failure
+// return — including its string concatenation — is cold-path by contract.
+//
+//kstmvet:hotpath
+func coldError(v int, what string) error {
+	if v < 0 {
+		return errors.New("negative " + what)
+	}
+	if v > 1<<20 {
+		return fmt.Errorf("oversized %s: %d", what, v)
+	}
+	return nil
+}
+
+//kstmvet:hotpath
+func callsHelper(n int) []int {
+	return sliceHelper(n) // want `hot path calls .*sliceHelper, which heap-allocates`
+}
+
+// sliceHelper is not annotated, but its facts record the make — the
+// one-level-deep check flags its hot-path callers.
+func sliceHelper(n int) []int {
+	return make([]int, n)
+}
+
+//kstmvet:hotpath
+func suppressed(n int) []int {
+	return make([]int, n) //kstmvet:ignore fixture demonstrates suppression carries an auditable reason
+}
+
+// drain keeps the goroutine fixture honest.
+func drain(ch chan int) {
+	for range ch {
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked target package: the unit analyzers run over.
@@ -34,6 +35,30 @@ type Program struct {
 
 	exports  map[string]string // import path → export-data file, whole graph
 	importer types.ImporterFrom
+
+	escapes   *Escapes
+	facts     *Facts
+	factsOnce sync.Once
+}
+
+// SetEscapes attaches compiler escape diagnostics (CollectEscapes) to the
+// program. Must be called before the first Facts()/Run call to take effect:
+// allocation facts for covered packages then come from the compiler instead
+// of the static approximation.
+func (prog *Program) SetEscapes(esc *Escapes) { prog.escapes = esc }
+
+// Facts returns the program-wide fact table, computed on first use. go list
+// -deps emits packages in dependency order and the loader preserves it, so
+// summaries are built bottom-up: by the time a package is summarized, every
+// module function it can statically call already has facts.
+func (prog *Program) Facts() *Facts {
+	prog.factsOnce.Do(func() {
+		prog.facts = NewFacts()
+		for _, pkg := range prog.Packages {
+			prog.facts.AddPackage(prog.Fset, pkg, prog.escapes)
+		}
+	})
+	return prog.facts
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.

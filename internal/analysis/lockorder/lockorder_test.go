@@ -1,0 +1,21 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	diags := analysistest.Run(t, lockorder.Analyzer, "testdata")
+	found := false
+	for _, d := range diags {
+		if d.Suppressed && d.SuppressReason != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected the audited handoff to appear suppressed in the inventory")
+	}
+}

@@ -1,0 +1,113 @@
+// Package statsfold makes the "added a counter, forgot the fold" bug class
+// impossible: a struct annotated
+//
+//	//kstmvet:statsfold <target> [<target>...]
+//
+// requires every named field to be referenced by each target function. A
+// target is a function or method in the same package ("Executor.Stats") or,
+// with a slash, fully qualified in another package
+// ("kstm/cmd/kstmd.logStats") — the cross-package form is what ties
+// server.Stats to the kstmd stats log line. Field references come from the
+// fact core's FieldRefs summaries: selector reads/writes and composite-lit
+// keys all count, and an unkeyed literal positionally references every
+// field (DESIGN.md §8.7).
+package statsfold
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kstm/internal/analysis"
+)
+
+// Directive marks a struct whose fields must all be folded by the targets.
+const Directive = "//kstmvet:statsfold"
+
+// Analyzer is the statsfold check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsfold",
+	Doc:  "every field of a //kstmvet:statsfold struct is folded by its target functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				targets, found := directiveTargets(doc)
+				if !found {
+					continue
+				}
+				checkType(pass, ts, targets)
+			}
+		}
+	}
+	return nil
+}
+
+// directiveTargets extracts the target list from a statsfold directive.
+func directiveTargets(doc *ast.CommentGroup) ([]string, bool) {
+	if doc == nil {
+		return nil, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, Directive)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		return strings.Fields(rest), true
+	}
+	return nil, false
+}
+
+// checkType verifies one annotated struct against its targets.
+func checkType(pass *analysis.Pass, ts *ast.TypeSpec, targets []string) {
+	if len(targets) == 0 {
+		pass.Reportf(ts.Pos(), "statsfold requires at least one target function: %s <func> [<pkgpath.func>...]", Directive)
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		pass.Reportf(ts.Pos(), "statsfold directive on non-struct type %s", ts.Name.Name)
+		return
+	}
+	tn, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if tn == nil || tn.Pkg() == nil {
+		return
+	}
+	for _, target := range targets {
+		key := target
+		if !strings.Contains(target, "/") {
+			key = tn.Pkg().Path() + "." + target
+		}
+		cf := pass.Facts.Of(key)
+		if cf == nil {
+			pass.Reportf(ts.Pos(), "unknown statsfold target %q: no summarized function %s", target, key)
+			continue
+		}
+		for _, fl := range st.Fields.List {
+			for _, name := range fl.Names {
+				if name.Name == "_" {
+					continue
+				}
+				id := analysis.FieldID(tn.Pkg(), ts.Name.Name, name.Name)
+				if !cf.FieldRefs[id] {
+					pass.Reportf(name.Pos(), "field %s.%s is not folded in %s", ts.Name.Name, name.Name, target)
+				}
+			}
+		}
+	}
+}

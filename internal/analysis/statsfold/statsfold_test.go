@@ -1,0 +1,21 @@
+package statsfold_test
+
+import (
+	"testing"
+
+	"kstm/internal/analysis/analysistest"
+	"kstm/internal/analysis/statsfold"
+)
+
+func TestStatsFold(t *testing.T) {
+	diags := analysistest.Run(t, statsfold.Analyzer, "testdata")
+	found := false
+	for _, d := range diags {
+		if d.Suppressed && d.SuppressReason != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected the derived-field suppression to appear in the inventory")
+	}
+}

@@ -1,0 +1,72 @@
+// Fixture for statsfold: stats structs whose folds are complete, partial
+// (the planted missing-fold case), cross-package, and malformed.
+package fixture
+
+// counters has a deliberately unfolded field: foldCounters never reads
+// drops, the exact bug class the analyzer exists for.
+//
+//kstmvet:statsfold foldCounters
+type counters struct {
+	hits   int
+	misses int
+	drops  int // want `field counters.drops is not folded in foldCounters`
+	_      [8]byte
+}
+
+func foldCounters(c *counters) int {
+	return c.hits + c.misses
+}
+
+// gauges is folded by two targets; the mirror misses one field.
+//
+//kstmvet:statsfold foldAll mirrorAll
+type gauges struct {
+	up   int
+	down int // want `field gauges.down is not folded in mirrorAll`
+}
+
+func foldAll(g gauges) int { return g.up + g.down }
+
+func mirrorAll(g gauges) int { return g.up }
+
+//kstmvet:statsfold rebuild
+type snap struct {
+	a int
+	b int
+}
+
+// rebuild references every field positionally: a complete fold.
+func rebuild(s snap) snap { return snap{s.a, s.b} }
+
+//kstmvet:statsfold missingFunc
+type orphan struct { // want `unknown statsfold target "missingFunc"`
+	n int
+}
+
+// mirror targets a real method in another package, the server.Stats →
+// kstmd pattern: the target resolves (no unknown-target finding) but never
+// references this struct's field.
+//
+//kstmvet:statsfold kstm/internal/core.Executor.Stats
+type mirror struct {
+	Completed int // want `field mirror.Completed is not folded in kstm/internal/core.Executor.Stats`
+}
+
+//kstmvet:statsfold foldCounters
+type scalar int // want `statsfold directive on non-struct type scalar`
+
+//kstmvet:statsfold
+type bare struct { // want `statsfold requires at least one target function`
+	n int
+}
+
+//kstmvet:statsfold foldPartial
+type partial struct {
+	seen int
+	skew int //kstmvet:ignore skew is derived at read time by design, not folded
+}
+
+func foldPartial(p partial) int { return p.seen }
+
+// keep the otherwise-unused fields and funcs referenced
+var _ = []any{foldCounters, foldAll, mirrorAll, rebuild, foldPartial, orphan{}, mirror{}, scalar(0), bare{}}

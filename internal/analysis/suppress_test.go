@@ -73,7 +73,7 @@ func TestRunPackageMarksSuppressed(t *testing.T) {
 			return nil
 		},
 	}
-	diags, err := RunPackage(fset, Sizes(), pkg, []*Analyzer{probe})
+	diags, err := RunPackage(fset, Sizes(), nil, pkg, []*Analyzer{probe})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,11 @@ var (
 	// cancellation of the Start context) before a worker executed them.
 	ErrStopped = errors.New("core: executor stopped before task executed")
 )
+
+// backgroundCtx is the shared fallback for nil submission contexts, hoisted
+// to package scope so the fallback costs a pointer copy on the submission
+// path instead of an escaping context.Background() call per task.
+var backgroundCtx = context.Background()
 
 // Backpressure selects what Submit does when the target worker's queue is
 // at its depth bound.
@@ -301,6 +307,7 @@ func (env *envelope) settle(res TaskResult) {
 // to every counter the worker loop touches.
 //
 //kstmvet:padalign
+//kstmvet:statsfold Executor.Stats
 type workerCounters struct {
 	completed atomic.Uint64
 	cancelled atomic.Uint64
@@ -475,7 +482,7 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 // submission closes and queued tasks complete with ErrStopped.
 func (e *Executor) Start(ctx context.Context) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = backgroundCtx
 	}
 	if !e.state.CompareAndSwap(stateNew, stateRunning) {
 		return ErrAlreadyStarted
@@ -522,12 +529,14 @@ func (e *Executor) Start(ctx context.Context) error {
 // Future.Wait) or is abandoned by its worker before execution and counted
 // under ExecStats.Cancelled. Callers that must know the outcome should use
 // SubmitAsync and keep the Future.
+//
+//kstmvet:hotpath
 func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {
 	fut, err := e.SubmitAsync(ctx, t)
 	if err != nil {
 		return TaskResult{}, err
 	}
-	return fut.Wait(ctx)
+	return fut.Wait(ctx) //kstmvet:ignore Submit is the synchronous form: waiting for the result is its contract, not overhead
 }
 
 // SubmitAsync dispatches one task and returns its Future. Under
@@ -536,9 +545,11 @@ func (e *Executor) Submit(ctx context.Context, t Task) (TaskResult, error) {
 //
 // The Future comes from a pool: it is single-consumer, and the Wait/WaitValue
 // call that returns the task's result recycles it (see Future).
+//
+//kstmvet:hotpath
 func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = backgroundCtx
 	}
 	// Count the submission in flight BEFORE the state check: atomics are
 	// sequentially consistent, so either this submitter observes a
@@ -552,7 +563,7 @@ func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 		return nil, ErrNotRunning
 	}
 	fut := newFuture()
-	env := envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)}
+	env := envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)} //kstmvet:ignore the one clock read per submission the latency accounting budgets for (DESIGN.md §5)
 	if err := e.dispatch(env, ctx); err != nil {
 		// Never shared: the envelope did not reach a queue, so the shell
 		// can go straight back to the pool.
@@ -573,12 +584,14 @@ func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 // NOT block: park the result on your own queue and return. Acceptance errors
 // (ErrQueueFull, ErrNotRunning, ctx.Err) return from SubmitFunc itself, in
 // which case done will never be called.
+//
+//kstmvet:hotpath
 func (e *Executor) SubmitFunc(ctx context.Context, t Task, done func(TaskResult)) error {
 	if done == nil {
 		return fmt.Errorf("core: SubmitFunc requires a non-nil callback")
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = backgroundCtx
 	}
 	e.inflight.Add(1)
 	if e.state.Load() != stateRunning {
@@ -587,7 +600,7 @@ func (e *Executor) SubmitFunc(ctx context.Context, t Task, done func(TaskResult)
 	}
 	fut := newFuture()
 	fut.cb = done
-	if err := e.dispatch(envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)}, ctx); err != nil {
+	if err := e.dispatch(envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)}, ctx); err != nil { //kstmvet:ignore the one clock read per submission the latency accounting budgets for (DESIGN.md §5)
 		fut.cb = nil
 		fut.discard()
 		return err
@@ -611,28 +624,30 @@ func (e *Executor) SubmitFunc(ctx context.Context, t Task, done func(TaskResult)
 // task executes (or with ErrStopped if the executor halts first) — so
 // callers must still Wait them; dropping them leaks no resources but loses
 // those tasks' results.
+//
+//kstmvet:hotpath
 func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = backgroundCtx
 	}
 	if e.migr != nil || e.split != nil {
 		// Fence/split-table ordering (pick under the subsystem's read gate)
 		// is per-task; batch grouping would route around an installing fence
 		// or a split key's hold queue. Keep the gated path exact and
 		// amortize only the clock read.
-		return e.submitAllGated(ctx, tasks)
+		return e.submitAllGated(ctx, tasks) //kstmvet:ignore gated path: the position-aligned futs slice is the one amortized allocation per batch
 	}
 	if len(tasks) == 1 {
 		// Degenerate batch: the grouping machinery would cost more than it
 		// amortizes.
 		fut, err := e.SubmitAsync(ctx, tasks[0])
 		if err != nil {
-			return []*Future{nil}, err
+			return []*Future{nil}, err //kstmvet:ignore degenerate single-task batch: the result slice is the per-batch allocation the API shape requires
 		}
-		return []*Future{fut}, nil
+		return []*Future{fut}, nil //kstmvet:ignore degenerate single-task batch: the result slice is the per-batch allocation the API shape requires
 	}
 	e.inflight.Add(int64(len(tasks)))
 	if e.state.Load() != stateRunning {
@@ -643,7 +658,7 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 	// index per slot (for the position-aligned result and for nil-ing out
 	// unsubmitted slots on failure), and per-worker counts/cursors.
 	nW := len(e.queues)
-	idx := make([]int, 2*len(tasks)+2*nW)
+	idx := make([]int, 2*len(tasks)+2*nW) //kstmvet:ignore one index block amortized across the whole batch (§5: per-task cost is the queue append)
 	workerOf := idx[:len(tasks)]
 	origIdx := idx[len(tasks) : 2*len(tasks)]
 	counts := idx[2*len(tasks) : 2*len(tasks)+nW]
@@ -660,9 +675,9 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 	// Scatter into contiguous per-worker segments of one backing array;
 	// cursor[w] ends at each segment's END, so segment w is
 	// envs[cursor[w]-counts[w] : cursor[w]].
-	envs := make([]envelope, len(tasks))
-	futs := make([]*Future, len(tasks))
-	now := time.Since(e.base) // one enq stamp for the whole batch
+	envs := make([]envelope, len(tasks)) //kstmvet:ignore the batch's scatter buffer, amortized across its tasks
+	futs := make([]*Future, len(tasks))  //kstmvet:ignore the position-aligned result slice SubmitAll's contract returns
+	now := time.Since(e.base)            //kstmvet:ignore one enq stamp for the whole batch — the amortization SubmitAll exists for
 	for i := range tasks {
 		w := workerOf[i]
 		fut := newFuture()
@@ -980,9 +995,11 @@ const drainBatch = 32
 // executes them in one pass, threading a single clock read from each task's
 // settle into the next task's service start. With SortBatch set the batch
 // executes in ascending key order (§2's buffer-reordering capability).
+//
+//kstmvet:hotpath
 func (e *Executor) worker(i int) {
 	sh := &e.shards[e.shardOf(i)]
-	th := sh.stm.NewThread()
+	th := sh.stm.NewThread() //kstmvet:ignore one transactional thread per worker lifetime, not per task
 	wc := &e.wstats[i]
 	// SortBatch, when set, bounds the drain exactly (its contract is "drain
 	// up to n and key-order them"); otherwise drain the default batch.
@@ -990,7 +1007,7 @@ func (e *Executor) worker(i int) {
 	if e.cfg.sortBatch > 1 {
 		capN = e.cfg.sortBatch
 	}
-	batch := make([]envelope, 0, capN)
+	batch := make([]envelope, 0, capN) //kstmvet:ignore one drain buffer per worker lifetime, reused across every poll
 	var idle backoff
 	for {
 		// Check the state before taking more work so that Stop abandons
@@ -1047,7 +1064,7 @@ func (e *Executor) worker(i int) {
 			batch = append(batch, more)
 		}
 		if e.cfg.sortBatch > 1 && len(batch) > 1 {
-			sort.Slice(batch, func(a, b int) bool { return batch[a].task.Key < batch[b].task.Key })
+			slices.SortFunc(batch, func(a, b envelope) int { return cmp.Compare(a.task.Key, b.task.Key) })
 		}
 		e.execBatch(i, sh, th, wc, batch)
 		if barrier != nil {
@@ -1063,6 +1080,8 @@ func (e *Executor) worker(i int) {
 // task (a batched worker must not delay Stop by up to a batch) and threading
 // the settle-side clock read of task k into the service start of task k+1 —
 // one time.Now per result-carrying task in steady state instead of two.
+//
+//kstmvet:hotpath
 func (e *Executor) execBatch(i int, sh *shardState, th *stm.Thread, wc *workerCounters, batch []envelope) {
 	var now time.Duration
 	for k := range batch {
@@ -1079,6 +1098,8 @@ func (e *Executor) execBatch(i int, sh *shardState, th *stm.Thread, wc *workerCo
 // when non-zero, is a read taken after the previous task settled — it IS
 // this task's service start; execOne returns its own settle-side read for
 // the next task (zero when it read no clock).
+//
+//kstmvet:hotpath
 func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCounters, env *envelope, start time.Duration) time.Duration {
 	// Abandoned before execution? Settle without running the transaction.
 	// This is cancellation, not completion: the task never executed, so it
@@ -1124,7 +1145,7 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 		}
 		if _, err := sh.workload.Execute(th, env.task); err != nil {
 			wc.failed.Add(1)
-			e.fail(err)
+			e.fail(err) //kstmvet:ignore hard-failure path: fail latches the first workload error once, not per task
 			e.inflight.Add(-1)
 			return 0 // an unclocked stretch: invalidate the chain
 		}
@@ -1132,7 +1153,7 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 		return 0
 	}
 	if start == 0 {
-		start = time.Since(e.base)
+		start = time.Since(e.base) //kstmvet:ignore first task of a batch: the service-start read the settle chain amortizes away for the rest
 	}
 	var val any
 	var err error
@@ -1147,7 +1168,7 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 	if err != nil {
 		wc.failed.Add(1)
 	}
-	end := time.Since(e.base)
+	end := time.Since(e.base) //kstmvet:ignore the settle-side clock read threaded into the next task's service start: one read per result-carrying task
 	wait, exec := start-env.enq, end-start
 	e.waitHist[i].Observe(wait)
 	e.execHist[i].Observe(exec)
@@ -1165,6 +1186,8 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 // finish updates completion accounting and settles the submitter's plumbing.
 // It is reached only for tasks that actually executed; tasks abandoned
 // before execution go through abandon instead.
+//
+//kstmvet:hotpath
 func (e *Executor) finish(i int, wc *workerCounters, env *envelope, res TaskResult) {
 	wc.completed.Add(1)
 	env.settle(res)
@@ -1359,6 +1382,11 @@ type ShardStats struct {
 
 // ExecStats is a live snapshot of executor state and counters; Stats may be
 // called at any time, including mid-run from other goroutines.
+//
+// Every field must be populated by Stats — the statsfold directive makes
+// "added a counter, forgot the fold" a build break (DESIGN.md §8.7).
+//
+//kstmvet:statsfold Executor.Stats
 type ExecStats struct {
 	// State is the lifecycle state: new, running, draining or stopped.
 	State string

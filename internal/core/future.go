@@ -71,17 +71,23 @@ var futurePool = sync.Pool{
 }
 
 // newFuture returns a pending shell from the pool.
+//
+//kstmvet:hotpath
 func newFuture() *Future { return futurePool.Get().(*Future) }
 
 // discard returns a shell that was never shared (dispatch failed before
 // enqueue) straight to the pool. Only legal while no other goroutine can
 // hold a reference.
+//
+//kstmvet:hotpath
 func (f *Future) discard() { futurePool.Put(f) }
 
 // complete resolves the future; the executor invokes it exactly once per
 // settled task. After publishing the result and waking waiters it plays its
 // half of the recycle handshake: if the consumer already took the result,
 // the settler is the last to touch the shell and recycles it.
+//
+//kstmvet:hotpath
 func (f *Future) complete(res TaskResult) {
 	if cb := f.cb; cb != nil {
 		// Callback shell: the settler is the sole owner (SubmitFunc never
@@ -109,6 +115,8 @@ func (f *Future) complete(res TaskResult) {
 
 // consume is the waiter's half of the handshake, called after the result has
 // been copied out. Whichever side finishes second recycles.
+//
+//kstmvet:hotpath
 func (f *Future) consume() {
 	if f.state.CompareAndSwap(futReleased, futConsumed) {
 		f.recycle()
@@ -122,6 +130,8 @@ func (f *Future) consume() {
 
 // recycle resets the shell and returns it to the pool. Reached only when
 // both the settler and the consumer are done with it.
+//
+//kstmvet:hotpath
 func (f *Future) recycle() {
 	f.res = TaskResult{}
 	f.cb = nil

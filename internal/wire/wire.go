@@ -170,6 +170,8 @@ const (
 
 // AppendRequest appends req as one frame to dst and returns the extended
 // slice; it never fails.
+//
+//kstmvet:hotpath
 func AppendRequest(dst []byte, req Request) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+requestSize))
 	dst = append(dst, Version, TypeRequest)
@@ -182,6 +184,8 @@ func AppendRequest(dst []byte, req Request) []byte {
 
 // AppendBatchRequest appends reqs as one TypeBatchRequest frame to dst. It
 // fails only on an empty batch or one above MaxBatch (split those).
+//
+//kstmvet:hotpath
 func AppendBatchRequest(dst []byte, reqs []Request) ([]byte, error) {
 	if len(reqs) == 0 {
 		return dst, fmt.Errorf("%w: empty batch", ErrBadBody)
@@ -206,6 +210,8 @@ func AppendBatchRequest(dst []byte, reqs []Request) ([]byte, error) {
 // the count consumed; callers loop until the batch is drained. Values must
 // already be wire-encodable (CheckValue) — an unencodable value aborts the
 // frame with ErrBadValue and consumed 0.
+//
+//kstmvet:hotpath
 func AppendBatchResponses(dst []byte, resps []Response) (out []byte, consumed int, err error) {
 	if len(resps) == 0 {
 		return dst, 0, fmt.Errorf("%w: empty batch", ErrBadBody)
@@ -244,6 +250,8 @@ func AppendBatchResponses(dst []byte, resps []Response) (out []byte, consumed in
 
 // appendResponseBody appends one response body (no frame header) to dst,
 // rolling back on an unencodable value. Messages truncate to the u16 bound.
+//
+//kstmvet:hotpath
 func appendResponseBody(dst []byte, resp Response) ([]byte, error) {
 	start := len(dst)
 	dst = binary.BigEndian.AppendUint64(dst, resp.ID)
@@ -288,6 +296,8 @@ func CheckValue(v any) error {
 // AppendResponse appends resp as one frame to dst. It fails only on a value
 // outside the tagged-scalar vocabulary or an oversized payload; messages are
 // truncated to the u16 bound rather than rejected.
+//
+//kstmvet:hotpath
 func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 	val, err := appendValue(nil, resp.Value)
 	if err != nil {
@@ -314,6 +324,8 @@ func AppendResponse(dst []byte, resp Response) ([]byte, error) {
 }
 
 // appendValue encodes a task value as a tagged scalar.
+//
+//kstmvet:hotpath
 func appendValue(dst []byte, v any) ([]byte, error) {
 	switch x := v.(type) {
 	case nil:
@@ -342,6 +354,7 @@ func appendValue(dst []byte, v any) ([]byte, error) {
 	}
 }
 
+//kstmvet:hotpath
 func appendBytesValue(dst, b []byte) ([]byte, error) {
 	if len(b) > maxValueLen || len(b) > maxMsgLen {
 		return dst, ErrFrameTooLarge
@@ -414,27 +427,38 @@ type Frame struct {
 // grows it as needed and writes the growth back, so a long-lived read loop
 // stops allocating once it has seen its largest frame. Pass nil for one-off
 // reads.
+//
+//kstmvet:hotpath
 func ReadFrame(r io.Reader, scratch *[]byte) (Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// The length prefix is read through the scratch buffer too — a local
+	// [4]byte array would escape into io.ReadFull's interface call and cost
+	// one heap allocation per frame.
+	var buf []byte
+	if scratch != nil {
+		buf = *scratch
+	}
+	if cap(buf) < 4 {
+		buf = make([]byte, 4) //kstmvet:ignore grow-once: the scratch pointer retains the buffer across frames
+		if scratch != nil {
+			*scratch = buf
+		}
+	}
+	buf = buf[:4]
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			return Frame{}, io.EOF
 		}
 		return Frame{}, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(buf)
 	if n > MaxFrame {
 		return Frame{}, ErrFrameTooLarge
 	}
 	if n < headerSize {
 		return Frame{}, ErrFrameTooSmall
 	}
-	var buf []byte
-	if scratch != nil {
-		buf = *scratch
-	}
 	if cap(buf) < int(n) {
-		buf = make([]byte, n)
+		buf = make([]byte, n) //kstmvet:ignore grow-once: the scratch pointer retains the buffer at the high-water mark
 		if scratch != nil {
 			*scratch = buf
 		}
@@ -449,6 +473,8 @@ func ReadFrame(r io.Reader, scratch *[]byte) (Frame, error) {
 // DecodeFrame decodes one frame payload (the bytes after the length field).
 // It is the fuzz entry point: any input must return a Frame or an error,
 // never panic, and never retain b.
+//
+//kstmvet:hotpath
 func DecodeFrame(b []byte) (Frame, error) {
 	if len(b) < headerSize {
 		return Frame{}, ErrFrameTooSmall
@@ -472,7 +498,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 			Arg: binary.BigEndian.Uint32(body[17:21]),
 		}}, nil
 	case TypeResponse:
-		resp, rest, err := decodeResponseBody(body)
+		resp, rest, err := decodeResponseBody(body) //kstmvet:ignore decoded values and messages are fresh by contract: DecodeFrame never retains b
 		if err != nil {
 			return Frame{}, err
 		}
@@ -494,7 +520,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 		if len(body) != n*requestSize {
 			return Frame{}, fmt.Errorf("%w: batch body %d bytes, %d requests want %d", ErrBadBody, len(body), n, n*requestSize)
 		}
-		reqs := make([]Request, n)
+		reqs := make([]Request, n) //kstmvet:ignore the decoded batch is the caller's result; one slice per frame, bounded by MaxFrame
 		for i := range reqs {
 			b := body[i*requestSize:]
 			reqs[i] = Request{
@@ -519,9 +545,9 @@ func DecodeFrame(b []byte) (Frame, error) {
 		if n*(respFixed+3) > len(body) {
 			return Frame{}, fmt.Errorf("%w: %d responses cannot fit %d bytes", ErrBadBody, n, len(body))
 		}
-		resps := make([]Response, 0, n)
+		resps := make([]Response, 0, n) //kstmvet:ignore the decoded batch is the caller's result; one slice per frame, bounded by MaxFrame
 		for i := 0; i < n; i++ {
-			resp, rest, err := decodeResponseBody(body)
+			resp, rest, err := decodeResponseBody(body) //kstmvet:ignore decoded values and messages are fresh by contract: DecodeFrame never retains b
 			if err != nil {
 				return Frame{}, err
 			}

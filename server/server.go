@@ -37,6 +37,12 @@ import (
 
 // Stats are the server's own counters, one step above ExecStats: what came
 // in over the network and how it was answered.
+//
+// The statsfold contract (kstmvet, DESIGN.md §8): every field must be
+// folded by Stats() below and surfaced on the kstmd operator stats line —
+// a counter that is incremented but never reported is a bug.
+//
+//kstmvet:statsfold Server.Stats kstm/cmd/kstmd.logStats
 type Stats struct {
 	// Conns counts connections accepted; OpenConns is the current number.
 	Conns, OpenConns uint64
