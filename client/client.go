@@ -109,8 +109,30 @@ type Client struct {
 	// the LAST writer in the burst flush once — auto-coalescing that turns N
 	// concurrent DoAsync calls into one syscall without any timer.
 	pend      atomic.Int64
-	needFlush bool // buffered frames awaiting the burst's last writer
+	needFlush bool // buffered frames awaiting a flush (last writer or ack)
 	nextID    atomic.Uint64
+
+	// inflight counts registered-but-unsettled calls; with unflushed (the
+	// requests sitting in bw since the last Flush, guarded by wmu) it gives
+	// the burst's last writer the observed wire depth:
+	// inflight - unflushed ≥ coalesceMinWire means enough responses are
+	// still due that the reader's ack-flush (flushPending) will move these
+	// frames soon — so the writer skips its syscall and lets arriving acks
+	// clock the flushes, adaptively batching sequential pipelined senders
+	// the pend burst counter cannot see. The writer re-checks the depth
+	// AFTER setting flushPending (store-then-recheck) against the reader's
+	// decrement-then-load in settleResp: one side always sees the other, so
+	// a deferred flush can never strand.
+	inflight     atomic.Int64
+	unflushed    int
+	flushPending atomic.Bool
+	// flushTimer is the deferral's escape hatch, armed once per defer cycle
+	// (guarded by wmu): a server may legitimately withhold every response
+	// until it has seen a LATER request (batch semantics), which would
+	// starve a purely ack-clocked flush — the Nagle/delayed-ack interlock.
+	// The timer bounds how long a deferred frame can sit at
+	// coalesceMaxDelay regardless of the peer's behavior.
+	flushTimer *time.Timer
 
 	mu      sync.Mutex
 	pending map[uint64]*Call
@@ -163,6 +185,7 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 		return nil, err
 	}
 	c.pending[call.id] = call
+	c.inflight.Add(1)
 	c.mu.Unlock()
 
 	c.pend.Add(1)
@@ -185,7 +208,7 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 	c.scratch = wire.AppendRequest(c.scratch[:0], wire.Request{
 		ID: call.id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg,
 	})
-	err := c.writeLocked(ctx, c.scratch) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
+	err := c.writeLocked(ctx, c.scratch, 1) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(call.id)
@@ -228,7 +251,10 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 	forgetAll := func() {
 		c.mu.Lock()
 		for _, call := range calls {
-			delete(c.pending, call.id)
+			if _, ok := c.pending[call.id]; ok {
+				delete(c.pending, call.id)
+				c.inflight.Add(-1)
+			}
 		}
 		c.mu.Unlock()
 	}
@@ -241,6 +267,7 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 	for _, call := range calls {
 		c.pending[call.id] = call
 	}
+	c.inflight.Add(int64(len(calls)))
 	c.mu.Unlock()
 
 	c.pend.Add(1)
@@ -261,7 +288,7 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 		c.scratch, _ = wire.AppendBatchRequest(c.scratch, rest[:n])
 		rest = rest[n:]
 	}
-	err := c.writeLocked(ctx, c.scratch) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
+	err := c.writeLocked(ctx, c.scratch, len(tasks)) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
 	c.wmu.Unlock()
 	if err != nil {
 		forgetAll()
@@ -274,14 +301,36 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 	return calls, nil
 }
 
-// writeLocked writes buf into the connection's buffered writer under wmu,
-// poisoning the socket write if ctx fires mid-write, and flushes — unless
-// another sender has already declared intent (c.pend), in which case the
-// flush is deferred to the burst's last writer: back-to-back pipelined
-// sends coalesce into one syscall with no timer and no added latency,
-// because the last writer always flushes before releasing wmu to a reader
-// of its result.
-func (c *Client) writeLocked(ctx context.Context, buf []byte) error {
+// Adaptive-coalescing thresholds: a burst's last writer defers its flush to
+// the reader's ack-clock only while at least coalesceMinWire responses are
+// still due (so an ack that triggers the flush is guaranteed to arrive) and
+// at most coalesceMaxUnflushed requests sit buffered (bounding the latency
+// a deferred frame can accrue behind a slow server).
+const (
+	coalesceMinWire      = 2
+	coalesceMaxUnflushed = 64
+	// coalesceMaxDelay bounds the extra latency a deferred flush can add
+	// when the expected ack never comes (see Client.flushTimer). At a few
+	// loopback RTTs it is invisible in the pipelined steady state the
+	// deferral targets, where acks flush far sooner.
+	coalesceMaxDelay = 200 * time.Microsecond
+)
+
+// writeLocked writes buf (carrying n requests) into the connection's
+// buffered writer under wmu, poisoning the socket write if ctx fires
+// mid-write, and flushes — unless the flush can be safely deferred:
+//
+//   - another sender has already declared intent (c.pend): the LAST writer
+//     of the burst flushes once for everyone — concurrent senders coalesce
+//     with no timer and no added latency;
+//   - the observed wire depth (inflight - unflushed) is at least
+//     coalesceMinWire: enough responses are still due that the reader's
+//     ack-flush will carry these frames, so sequential pipelined senders —
+//     invisible to the pend burst counter — coalesce too, clocked by acks.
+//
+// The deferral re-checks the wire depth after publishing flushPending; see
+// the field comment for why that makes a stranded flush impossible.
+func (c *Client) writeLocked(ctx context.Context, buf []byte, n int) error {
 	var poisoned chan struct{}
 	var stop func() bool
 	if ctx.Done() != nil {
@@ -293,10 +342,32 @@ func (c *Client) writeLocked(ctx context.Context, buf []byte) error {
 	}
 	_, err := c.bw.Write(buf)
 	if err == nil {
+		c.unflushed += n
 		if c.pend.Add(-1) > 0 {
 			c.needFlush = true
+		} else if c.inflight.Load()-int64(c.unflushed) >= coalesceMinWire &&
+			c.unflushed <= coalesceMaxUnflushed {
+			c.needFlush = true
+			if !c.flushPending.Swap(true) {
+				if c.flushTimer == nil {
+					c.flushTimer = time.AfterFunc(coalesceMaxDelay, c.timerFlush)
+				} else {
+					c.flushTimer.Reset(coalesceMaxDelay)
+				}
+			}
+			if c.inflight.Load()-int64(c.unflushed) < coalesceMinWire {
+				// Store-then-recheck lost: the outstanding responses raced
+				// in before the flag was visible. Their readers may have
+				// missed it, so nobody would ever ack-flush — do it now.
+				c.flushPending.Store(false)
+				c.needFlush = false
+				c.unflushed = 0
+				err = c.bw.Flush()
+			}
 		} else {
 			c.needFlush = false
+			c.flushPending.Store(false)
+			c.unflushed = 0
 			err = c.bw.Flush()
 		}
 	} else {
@@ -324,7 +395,66 @@ func (c *Client) abandonWriteLocked() error {
 		return nil
 	}
 	c.needFlush = false
+	c.flushPending.Store(false)
+	c.unflushed = 0
 	return c.bw.Flush()
+}
+
+// ackFlush is the reader-side half of adaptive coalescing: each arriving
+// response checks whether a writer deferred its flush to the ack-clock and,
+// if so, performs it. Flushing whatever has accumulated (not
+// one-frame-per-ack) keeps the pipeline self-clocking — every response
+// batch pushes the full backlog, so throughput never stop-and-goes waiting
+// for the wire to drain. The fast path — nothing deferred — is one atomic
+// load.
+//
+// TryLock, never Lock: the reader must stay available to drain the socket
+// even while a writer holds wmu blocked in a Flush the peer has yet to
+// absorb — a blocking acquire here closes a deadlock cycle (writer waits on
+// peer read, peer waits on our read, reader waits on wmu). A failed try is
+// safe to skip: the writer holding wmu either flushes before releasing or
+// re-defers with its depth recheck, which (running after this response's
+// decrement) guarantees more responses — and so more ackFlush attempts —
+// are still due.
+func (c *Client) ackFlush() {
+	if !c.flushPending.Load() {
+		return
+	}
+	if !c.wmu.TryLock() {
+		return
+	}
+	c.flushDeferredLocked()
+}
+
+// timerFlush is flushTimer's callback: the deferral's bounded escape hatch
+// when the ack-clock stalls. Unlike the reader it may block on wmu — it
+// runs on its own goroutine, so it cannot close the reader's deadlock
+// cycle.
+func (c *Client) timerFlush() {
+	if !c.flushPending.Load() {
+		return
+	}
+	c.wmu.Lock()
+	c.flushDeferredLocked()
+}
+
+// flushDeferredLocked performs (and disarms) a deferred flush; the caller
+// holds wmu, which is released here.
+func (c *Client) flushDeferredLocked() {
+	c.flushPending.Store(false)
+	if c.flushTimer != nil {
+		c.flushTimer.Stop()
+	}
+	var err error
+	if c.needFlush {
+		c.needFlush = false
+		c.unflushed = 0
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
 }
 
 // Doer runs one task to completion: *Client and *Pool both implement it,
@@ -378,10 +508,15 @@ func DoRetry(ctx context.Context, d Doer, t kstm.Task) (Result, error) {
 	}
 }
 
-// forget drops a call that was registered but never sent.
+// forget drops a call that was registered but never sent. The inflight
+// decrement is conditional on the entry still being present — a response
+// that raced in already settled (and decremented) it.
 func (c *Client) forget(id uint64) {
 	c.mu.Lock()
-	delete(c.pending, id)
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		c.inflight.Add(-1)
+	}
 	c.mu.Unlock()
 }
 
@@ -471,12 +606,18 @@ func (c *Client) readLoop() {
 	}
 }
 
-// settleResp completes the pending call a response answers.
+// settleResp completes the pending call a response answers. The inflight
+// decrement precedes the ackFlush flag load — the reader's half of the
+// store-then-recheck pairing with writeLocked's deferral.
 func (c *Client) settleResp(resp wire.Response) {
 	c.mu.Lock()
 	call := c.pending[resp.ID]
-	delete(c.pending, resp.ID)
+	if call != nil {
+		delete(c.pending, resp.ID)
+		c.inflight.Add(-1)
+	}
 	c.mu.Unlock()
+	c.ackFlush()
 	if call == nil {
 		// A response for a call we no longer track — a server bug
 		// or duplicate; drop it rather than kill the connection.

@@ -66,7 +66,7 @@ func run(args []string) error {
 		asJSON     = fs.Bool("json", false, "emit one machine-readable JSON document instead of text tables")
 		trend      = fs.Bool("trend", false, "fold -json snapshot files (args or globs) into a perf-trajectory table")
 		gate       = fs.Float64("gate", 0, "with -trend: fail when a gated experiment's series drops more than this percent vs the previous snapshot (0 = off)")
-		gateExps   = fs.String("gate-experiments", "sharding,batching,contention", "with -trend -gate: comma-separated experiment IDs the gate applies to")
+		gateExps   = fs.String("gate-experiments", "sharding,batching,contention,wake-latency", "with -trend -gate: comma-separated experiment IDs the gate applies to")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

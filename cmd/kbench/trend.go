@@ -247,14 +247,16 @@ func gateCheck(gatePct float64, gateExps string, order []string, deltaOf map[str
 	return nil
 }
 
-// metricColumn picks the series to trend: the column named "throughput".
+// metricColumn picks the series to trend: the column named "throughput",
+// or another higher-is-better rate column (wake-latency reports
+// round_trips_per_sec precisely so its regressions read as drops here).
 // Tables without one are skipped — their first data column is typically a
 // second config axis (e.g. tr-contention's structure×dist rows), which
 // would both trend a meaningless value and collide row labels built from
 // the first column alone.
 func metricColumn(cols []string) (string, int) {
 	for i, c := range cols {
-		if c == "throughput" {
+		if c == "throughput" || c == "round_trips_per_sec" {
 			return c, i
 		}
 	}

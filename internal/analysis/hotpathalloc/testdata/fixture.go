@@ -120,6 +120,43 @@ func suppressed(n int) []int {
 	return make([]int, n) //kstmvet:ignore fixture demonstrates suppression carries an auditable reason
 }
 
+// wakeSpine mirrors the executor's enqueue→wake spine (core/wake.go
+// tryWake): a CAS-guarded NON-blocking token send into a reusable cap-1
+// channel. This is the legal allocation-free shape — the select has a
+// default, so neither a blocking diagnostic nor an allocation fires.
+//
+//kstmvet:hotpath
+func wakeSpine(idle *uint32, token chan struct{}) bool {
+	if *idle == 0 {
+		return false
+	}
+	*idle = 0
+	select {
+	case token <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// wakeSpineAlloc plants the regression this fixture exists to prove caught:
+// building the wake token ON the wake path instead of reusing the
+// per-worker channel — exactly the bug that would silently turn every
+// targeted wake into a heap allocation.
+//
+//kstmvet:hotpath
+func wakeSpineAlloc(idle *uint32) chan struct{} {
+	if *idle == 0 {
+		return nil
+	}
+	*idle = 0
+	token := make(chan struct{}, 1) // want `hot path heap allocation: make`
+	select {
+	case token <- struct{}{}:
+	default:
+	}
+	return token
+}
+
 // drain keeps the goroutine fixture honest.
 func drain(ch chan int) {
 	for range ch {

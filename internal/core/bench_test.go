@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"kstm/internal/stm"
@@ -38,6 +39,30 @@ func BenchmarkSubmit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ex.Submit(ctx, Task{Key: uint64(i) & 65535, Op: OpNoop}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWakeLatency measures the synchronous round trip against a PARKED
+// worker — the targeted-wake path event-driven dispatch introduced
+// (DESIGN.md §5.4), where the old poll+park loop charged up to a full 100µs
+// sleep quantum before the first poll. Each iteration waits off the clock
+// for the worker to park, then times one Submit; contrast with
+// BenchmarkSubmit, which keeps the worker hot. Pinned in CI next to the
+// AllocsPerRun gates (TestWakeLatencyBudget is the hard assert).
+func BenchmarkWakeLatency(b *testing.B) {
+	ex := benchExecutor(b, 1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for ex.parked.Load() == 0 {
+			runtime.Gosched()
+		}
+		b.StartTimer()
+		if _, err := ex.Submit(ctx, Task{Key: 1, Op: OpNoop}); err != nil {
 			b.Fatal(err)
 		}
 	}

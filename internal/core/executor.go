@@ -241,6 +241,14 @@ type Executor struct {
 	shutdown chan struct{} // closed once on halt, releases the context watcher
 	haltOnce sync.Once
 
+	// wakes holds the per-worker park/wake state (wake.go); parked counts
+	// workers currently marked idleParked, gating the enqueue-side wake to
+	// one atomic load when the executor is busy; drainWake carries the
+	// in-flight-reached-zero event to a blocked Drain.
+	wakes     []workerWake
+	parked    atomic.Int32
+	drainWake chan struct{}
+
 	startMu   sync.Mutex // guards started/stoppedAt/shard baselines against concurrent Stats
 	started   time.Time
 	stoppedAt time.Time
@@ -458,6 +466,7 @@ func NewExecutor(opts ...Option) (*Executor, error) {
 		shutdown: make(chan struct{}),
 		base:     time.Now(),
 	}
+	e.initWakes(cfg.workers)
 	if migr != nil {
 		migr.e = e
 	}
@@ -559,7 +568,7 @@ func (e *Executor) SubmitAsync(ctx context.Context, t Task) (*Future, error) {
 	// abandon a task whose Submit call reported acceptance.
 	e.inflight.Add(1)
 	if e.state.Load() != stateRunning {
-		e.inflight.Add(-1)
+		e.decInflight(1)
 		return nil, ErrNotRunning
 	}
 	fut := newFuture()
@@ -595,7 +604,7 @@ func (e *Executor) SubmitFunc(ctx context.Context, t Task, done func(TaskResult)
 	}
 	e.inflight.Add(1)
 	if e.state.Load() != stateRunning {
-		e.inflight.Add(-1)
+		e.decInflight(1)
 		return ErrNotRunning
 	}
 	fut := newFuture()
@@ -651,7 +660,7 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 	}
 	e.inflight.Add(int64(len(tasks)))
 	if e.state.Load() != stateRunning {
-		e.inflight.Add(int64(-len(tasks)))
+		e.decInflight(int64(len(tasks)))
 		return nil, ErrNotRunning
 	}
 	// One index block serves the whole scatter: worker per task, original
@@ -701,7 +710,7 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 				futs[origIdx[lo+n+j]] = nil
 				unsub[j].fut.discard()
 			}
-			e.inflight.Add(int64(-len(unsub)))
+			e.decInflight(int64(len(unsub)))
 			if errors.Is(err, ErrQueueFull) {
 				e.rejected.Add(uint64(len(unsub)))
 			}
@@ -714,11 +723,13 @@ func (e *Executor) SubmitAll(ctx context.Context, tasks []Task) ([]*Future, erro
 // enqueueGroup appends a contiguous batch onto one worker's queue, honouring
 // the depth bound per group: block mode feeds the queue in as-big-as-fits
 // chunks, reject mode returns ErrQueueFull with the count already enqueued.
-// The caller has counted the whole group in flight.
+// The caller has counted the whole group in flight. Each spliced chunk
+// issues ONE wake — the single-wake-per-group half of SubmitAll's
+// amortization (an uncontended batch is one PutAll, one stat update, one
+// wake check).
 func (e *Executor) enqueueGroup(w int, group []envelope, ctx context.Context) (int, error) {
 	q := e.queues[w]
 	put := 0
-	var b backoff
 	for put < len(group) {
 		free := len(group) - put
 		if e.cfg.maxDepth > 0 {
@@ -735,7 +746,7 @@ func (e *Executor) enqueueGroup(w int, group []envelope, ctx context.Context) (i
 					return put, ctx.Err()
 				default:
 				}
-				b.wait()
+				e.waitSpace(w, ctx)
 				continue
 			}
 			if free > len(group)-put {
@@ -744,6 +755,7 @@ func (e *Executor) enqueueGroup(w int, group []envelope, ctx context.Context) (i
 		}
 		q.PutAll(group[put : put+free])
 		e.submitted.Add(uint64(free))
+		e.wakeWorker(w)
 		put += free
 	}
 	return put, nil
@@ -759,7 +771,7 @@ func (e *Executor) submitAllGated(ctx context.Context, tasks []Task) ([]*Future,
 	for i, t := range tasks {
 		e.inflight.Add(1)
 		if e.state.Load() != stateRunning {
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			return futs, ErrNotRunning
 		}
 		fut := newFuture()
@@ -812,27 +824,27 @@ func (e *Executor) dispatch(env envelope, ctx context.Context) error {
 	w := e.pick(env.task.Key)
 	if e.cfg.maxDepth > 0 && e.queues[w].Len() >= e.cfg.maxDepth {
 		if e.cfg.backpressure == BackpressureReject {
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			e.rejected.Add(1)
 			return ErrQueueFull
 		}
-		var b backoff
 		for e.queues[w].Len() >= e.cfg.maxDepth {
 			if e.state.Load() == stateStopped {
-				e.inflight.Add(-1)
+				e.decInflight(1)
 				return ErrStopped
 			}
 			select {
 			case <-ctx.Done():
-				e.inflight.Add(-1)
+				e.decInflight(1)
 				return ctx.Err()
 			default:
 			}
-			b.wait()
+			e.waitSpace(w, ctx)
 		}
 	}
 	e.queues[w].Put(env)
 	e.submitted.Add(1)
+	e.wakeWorker(w)
 	return nil
 }
 
@@ -882,31 +894,42 @@ func (e *Executor) dispatchGated(env envelope, ctx context.Context) error {
 			e.queues[w].Put(env)
 			e.migr.gate.RUnlock()
 			e.submitted.Add(1)
+			e.wakeWorker(w)
 			return nil
 		}
 		e.migr.gate.RUnlock()
 		if e.cfg.backpressure == BackpressureReject {
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			e.rejected.Add(1)
 			return ErrQueueFull
 		}
 		if e.state.Load() == stateStopped {
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			return ErrStopped
 		}
 		select {
 		case <-ctx.Done():
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			return ctx.Err()
 		default:
 		}
-		b.wait()
+		if fenced {
+			// Space on a fenced range comes from a migration release, not a
+			// worker dequeue — the space event cannot see it, so this (rare,
+			// mid-hand-off) wait keeps the timed backoff.
+			b.wait()
+		} else {
+			e.waitSpace(w, ctx)
+		}
 	}
 }
 
-// backoff yields for the first spins and then parks in short sleeps, so a
-// sustained wait (a saturated queue, a long drain) does not burn a core
-// that the workers need to make the very progress being waited on.
+// backoff yields for the first spins and then parks in short sleeps. Since
+// event-driven dispatch (wake.go) it survives only on waits with no event
+// source to block on: halt's final sweep (post-stop straggler Puts cannot
+// wake dead workers, so the sweep must poll) and the fenced/hold-queue-full
+// backpressure cases, where space comes from a migration or split release
+// rather than a worker dequeue.
 type backoff int
 
 // backoffSpins is how many Gosched-only iterations precede sleeping; short
@@ -939,23 +962,23 @@ func (e *Executor) inject(t Task, count bool) bool {
 	// Same increment-then-recheck ordering as SubmitAsync: never enqueue
 	// into an executor whose halt has already settled.
 	if e.state.Load() == stateStopped {
-		e.inflight.Add(-1)
+		e.decInflight(1)
 		return false
 	}
 	if e.cfg.maxDepth > 0 {
-		var b backoff
 		for e.queues[w].Len() >= e.cfg.maxDepth {
 			if e.state.Load() == stateStopped {
-				e.inflight.Add(-1)
+				e.decInflight(1)
 				return false
 			}
-			b.wait()
+			e.waitSpace(w, nil)
 		}
 	}
 	e.queues[w].Put(envelope{task: t})
 	if count {
 		e.submitted.Add(1)
 	}
+	e.wakeWorker(w)
 	return true
 }
 
@@ -1008,7 +1031,7 @@ func (e *Executor) worker(i int) {
 		capN = e.cfg.sortBatch
 	}
 	batch := make([]envelope, 0, capN) //kstmvet:ignore one drain buffer per worker lifetime, reused across every poll
-	var idle backoff
+	spins := 0
 	for {
 		// Check the state before taking more work so that Stop abandons
 		// queued tasks (halt settles them) instead of racing to finish
@@ -1025,22 +1048,35 @@ func (e *Executor) worker(i int) {
 			case stateStopped:
 				return
 			case stateDraining:
-				// Drain: other queues may still hold work; exit
-				// only when every accepted task has finished.
+				// Drain: other queues (or blocked submitters) may still
+				// produce work for this one; exit only when every accepted
+				// task has finished. Parking is event-driven — the last
+				// finisher's decInflight broadcasts, and any enqueue (a
+				// split release, a migration unpark, a submitter clearing
+				// backpressure) wakes the owner directly.
 				if e.inflight.Load() == 0 {
 					return
 				}
-				idle.wait()
-				continue
+				env, ok = e.parkWorker(i, wc)
 			default:
-				// Park after a sustained empty streak: a long-lived
-				// idle executor must not pin a core per worker.
+				// Empty poll: yield through a short spin window (cheap gaps
+				// in a steady stream stay futex-free), then park on the wake
+				// token — a fully idle executor blocks instead of waking
+				// every backoffPark per worker.
 				wc.empty.Add(1)
-				idle.wait()
+				if spins < parkSpins {
+					spins++
+					runtime.Gosched()
+					continue
+				}
+				env, ok = e.parkWorker(i, wc)
+			}
+			if !ok {
 				continue
 			}
 		}
-		idle = 0
+		spins = 0
+		e.signalSpace(i)
 		if env.barrier != nil {
 			// Migration drain point: everything enqueued before it has
 			// executed; tell the migrator and move on.
@@ -1140,13 +1176,16 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 		// Pool accounting the harness results are built on.
 		if localAcc != nil {
 			localAcc.acc.Apply(i, localKind, env.task.Arg)
+			// Nudge AFTER Apply: a deep-idle coordinator's recheck either
+			// sees this slot dirty, or this load sees the idle flag.
+			e.split.nudgeIdle()
 			e.finish(i, wc, env, TaskResult{})
 			return 0
 		}
 		if _, err := sh.workload.Execute(th, env.task); err != nil {
 			wc.failed.Add(1)
 			e.fail(err) //kstmvet:ignore hard-failure path: fail latches the first workload error once, not per task
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			return 0 // an unclocked stretch: invalidate the chain
 		}
 		e.finish(i, wc, env, TaskResult{})
@@ -1162,6 +1201,7 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 		// return nil values on the STM path too, so the settle below is
 		// indistinguishable from a transactional completion.
 		localAcc.acc.Apply(i, localKind, env.task.Arg)
+		e.split.nudgeIdle()
 	} else {
 		val, err = sh.workload.Execute(th, env.task)
 	}
@@ -1191,7 +1231,7 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 func (e *Executor) finish(i int, wc *workerCounters, env *envelope, res TaskResult) {
 	wc.completed.Add(1)
 	env.settle(res)
-	e.inflight.Add(-1)
+	e.decInflight(1)
 	if e.onDone != nil {
 		e.onDone()
 	}
@@ -1205,7 +1245,7 @@ func (e *Executor) finish(i int, wc *workerCounters, env *envelope, res TaskResu
 func (e *Executor) abandon(i int, env envelope, err error) {
 	e.wstats[i].cancelled.Add(1)
 	env.settle(TaskResult{Task: env.task, Worker: i, Err: err})
-	e.inflight.Add(-1)
+	e.decInflight(1)
 	if e.onDone != nil {
 		e.onDone()
 	}
@@ -1235,6 +1275,7 @@ func (e *Executor) steal(i int, wc *workerCounters) (envelope, bool) {
 		}
 		if env, ok := e.queues[j].Get(); ok {
 			wc.steals.Add(1)
+			e.signalSpace(j) // the space freed belongs to the victim's queue
 			return env, true
 		}
 	}
@@ -1283,9 +1324,18 @@ func (e *Executor) Drain() error {
 	if !e.state.CompareAndSwap(stateRunning, stateDraining) {
 		return ErrNotRunning
 	}
-	var b backoff
+	// Broadcast the state change: workers parked under stateRunning must
+	// re-check it (a fully idle executor drains by exiting, not by waiting
+	// out a sleep quantum).
+	e.wakeAll()
+	// Event-driven drain barrier: the decrement that takes in-flight to zero
+	// (decInflight) signals drainWake; the loop re-checks because a failing
+	// post-drain submission can bounce the count through zero more than once.
 	for e.inflight.Load() > 0 && e.state.Load() == stateDraining {
-		b.wait()
+		select {
+		case <-e.drainWake:
+		case <-e.stopped:
+		}
 	}
 	e.halt()
 	return e.Err()

@@ -289,6 +289,7 @@ func (m *migrator) migrate(f *fence, start time.Time) {
 	for w, ch := range barriers {
 		done := ch
 		e.queues[w].Put(envelope{barrier: func() { close(done) }})
+		e.wakeWorker(w)
 	}
 	for _, ch := range barriers {
 		select {
@@ -390,9 +391,13 @@ func (m *migrator) migrate(f *fence, start time.Time) {
 	held := f.take()
 	m.fence.Store(nil)
 	for i, envs := range held {
+		if len(envs) == 0 {
+			continue
+		}
 		for _, env := range envs {
 			e.queues[f.ranges[i].to].Put(env)
 		}
+		e.wakeWorker(f.ranges[i].to)
 	}
 	m.gate.Unlock()
 	m.pauseNs.Add(uint64(time.Since(start)))

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -214,17 +213,18 @@ func (p *Pool) execute(d time.Duration, count int64) (Result, error) {
 			ex.halt()
 			return Result{}, err
 		}
+		ev := newInboxEvents()
 		for i := 0; i < p.cfg.Producers; i++ {
 			producers.Add(1)
 			go func(i int) {
 				defer producers.Done()
-				p.centralProducer(ex, q, i, inbox)
+				p.centralProducer(ex, q, i, inbox, ev)
 			}(i)
 		}
 		producers.Add(1)
 		go func() {
 			defer producers.Done()
-			p.dispatcher(ex, inbox)
+			p.dispatcher(ex, inbox, ev)
 		}()
 	}
 
@@ -301,8 +301,39 @@ func (p *Pool) parallelProducer(ex *Executor, q *quota, i int) {
 	}
 }
 
-// centralProducer feeds the shared inbox (Figure 1b).
-func (p *Pool) centralProducer(ex *Executor, q *quota, i int, inbox queue.Queue[Task]) {
+// inboxEvents is the central model's park/wake pair: items wakes the
+// dispatcher after a producer Put, space wakes a depth-blocked producer
+// after a dispatcher Get. Both are reusable one-token channels (the
+// Future.sem discipline) and both waits are level-triggered — the waiter
+// re-checks its condition, so a stale token costs one re-check and a
+// missed token is re-sent by the other side's next operation. Every Put
+// and every Get signals unconditionally: a non-blocking send into a full
+// cap-1 channel is free, and it removes any window between the waiter's
+// condition check and its block.
+type inboxEvents struct {
+	items chan struct{}
+	space chan struct{}
+}
+
+func newInboxEvents() *inboxEvents {
+	return &inboxEvents{
+		items: make(chan struct{}, 1),
+		space: make(chan struct{}, 1),
+	}
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// centralProducer feeds the shared inbox (Figure 1b). At the depth bound it
+// blocks on the space event instead of spinning: the dispatcher signals
+// after every Get, admitting one producer per freed slot; ex.Stopped()
+// unblocks everyone at shutdown.
+func (p *Pool) centralProducer(ex *Executor, q *quota, i int, inbox queue.Queue[Task], ev *inboxEvents) {
 	src := p.cfg.NewSource(i)
 	for !ex.stopping() {
 		if !q.claim() {
@@ -311,26 +342,36 @@ func (p *Pool) centralProducer(ex *Executor, q *quota, i int, inbox queue.Queue[
 		t := src.Next()
 		if p.maxDepth > 0 {
 			for inbox.Len() >= p.maxDepth && !ex.stopping() {
-				runtime.Gosched()
+				select {
+				case <-ev.space:
+				case <-ex.Stopped():
+				}
 			}
 		}
 		inbox.Put(t)
 		ex.submitted.Add(1)
+		signal(ev.items)
 	}
 }
 
 // dispatcher is the centralized executor thread (Figure 1b); the inbox
-// already counted these tasks, so inject does not count them again.
-func (p *Pool) dispatcher(ex *Executor, inbox queue.Queue[Task]) {
+// already counted these tasks, so inject does not count them again. An
+// empty inbox parks on the items event — producers Put before they signal,
+// so either this Get observes the task or the signal lands after it.
+func (p *Pool) dispatcher(ex *Executor, inbox queue.Queue[Task], ev *inboxEvents) {
 	for {
 		t, ok := inbox.Get()
 		if !ok {
 			if ex.stopping() {
 				return
 			}
-			runtime.Gosched()
+			select {
+			case <-ev.items:
+			case <-ex.Stopped():
+			}
 			continue
 		}
+		signal(ev.space)
 		if !ex.inject(t, false) {
 			return
 		}

@@ -294,6 +294,14 @@ type splitRunner struct {
 	// the two never install merges concurrently.
 	started atomic.Bool
 	done    chan struct{}
+	// idle is the coordinator's deep-idle flag: set (by the coordinator)
+	// after splitIdleTicks consecutive quiescent epochs, at which point the
+	// epoch ticker stops and the coordinator blocks on wake alone. Workers
+	// clear it with a CAS-guarded nudge (nudgeIdle) on the first sample or
+	// absorb that arrives — so a quiescent executor costs zero coordinator
+	// wakeups, and resuming traffic pays one atomic load per task while
+	// active.
+	idle atomic.Bool
 
 	// low counts consecutive below-demote-share folds per split key
 	// (coordinator-only state).
@@ -402,6 +410,19 @@ func (s *splitRunner) requestMerge() {
 	}
 }
 
+// nudgeIdle wakes a deep-idle coordinator. The common case (coordinator
+// ticking, or already nudged) is one atomic load; the CAS makes the nudge
+// once-per-idle-period. Paired with the coordinator's store-then-recheck in
+// loop(): either the worker's Apply/Sample is visible to the recheck, or
+// the worker sees the idle flag and nudges — dirt can never strand.
+//
+//kstmvet:hotpath
+func (s *splitRunner) nudgeIdle() {
+	if s.idle.Load() && s.idle.CompareAndSwap(true, false) {
+		s.requestMerge()
+	}
+}
+
 // splitAction is the worker-side routing decision for a dequeued envelope.
 type splitAction int
 
@@ -424,6 +445,7 @@ func (s *splitRunner) route(worker int, t Task) (splitAction, *splitKey, splitph
 	sk := s.lookup(t.Key)
 	if sk == nil {
 		s.det.Sample(worker, t.Key)
+		s.nudgeIdle() // new traffic must restart detector folding
 		return splitActExec, nil, splitphase.KindNone
 	}
 	if sk.demoting.Load() {
@@ -481,27 +503,42 @@ func (e *Executor) dispatchSplit(env envelope, ctx context.Context) error {
 			e.queues[w].Put(env)
 			s.gate.RUnlock()
 			e.submitted.Add(1)
+			e.wakeWorker(w)
 			return nil
 		}
 		s.gate.RUnlock()
 		if e.cfg.backpressure == BackpressureReject {
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			e.rejected.Add(1)
 			return ErrQueueFull
 		}
 		if e.state.Load() == stateStopped {
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			return ErrStopped
 		}
 		select {
 		case <-ctx.Done():
-			e.inflight.Add(-1)
+			e.decInflight(1)
 			return ctx.Err()
 		default:
 		}
-		b.wait()
+		if full {
+			// Hold-queue bound: space comes from the coordinator's next
+			// capture, not a worker dequeue — the space event would never
+			// fire. Keep the timed backoff here.
+			b.wait()
+		} else {
+			e.waitSpace(w, ctx)
+		}
 	}
 }
+
+// splitIdleTicks is how many consecutive quiescent epochs the coordinator
+// tolerates before entering deep idle (ticker stopped, blocked on wake
+// alone). Small enough that a quiescent executor stops ticking within ~10
+// epochs; large enough that trickle traffic does not thrash the
+// idle/resume transition.
+const splitIdleTicks = 8
 
 // loop is the epoch-merge coordinator: it folds the detector and merges
 // accumulators every epoch interval, and sooner when a parked task wakes it
@@ -509,41 +546,98 @@ func (e *Executor) dispatchSplit(env envelope, ctx context.Context) error {
 // It keeps running through the draining state — parked tasks count in
 // flight, so Drain completes only after the coordinator releases them — and
 // exits when the executor stops.
+//
+// After splitIdleTicks consecutive quiescent epochs it enters deep idle:
+// the ticker stops and the coordinator blocks on the wake channel, so a
+// quiescent executor burns no epoch wakeups at all. Parks already
+// requestMerge; samples and local absorbs nudge through the idle flag
+// (nudgeIdle). The store-then-recheck below closes the race with a worker
+// that absorbed between this loop's last tick and the flag store: either
+// the recheck sees the dirt, or the worker sees the flag and nudges.
 func (s *splitRunner) loop() {
 	defer close(s.done)
 	e := s.e
 	ticker := time.NewTicker(s.cfg.epoch)
 	defer ticker.Stop()
+	quiet := 0
 	for {
-		select {
-		case <-e.stopped:
-			return
-		case <-s.wake:
-			if s.cfg.coalesce > 0 {
-				t := time.NewTimer(s.cfg.coalesce)
+		if quiet >= splitIdleTicks {
+			quiet = 0
+			s.idle.Store(true)
+			if s.busyCheck() {
+				s.idle.Store(false)
+			} else {
+				ticker.Stop()
 				select {
 				case <-e.stopped:
-					t.Stop()
 					return
-				case <-t.C:
+				case <-s.wake:
+				}
+				s.idle.Store(false)
+				ticker.Reset(s.cfg.epoch)
+				if !s.coalesce() {
+					return
 				}
 			}
-		case <-ticker.C:
+		} else {
+			select {
+			case <-e.stopped:
+				return
+			case <-s.wake:
+				if !s.coalesce() {
+					return
+				}
+			case <-ticker.C:
+			}
 		}
-		s.tick()
+		if s.tick() {
+			quiet = 0
+		} else {
+			quiet++
+		}
 	}
+}
+
+// coalesce delays a wake-triggered merge by the configured window so a burst
+// of parkers shares one epoch; false means the executor stopped meanwhile.
+func (s *splitRunner) coalesce() bool {
+	if s.cfg.coalesce <= 0 {
+		return true
+	}
+	t := time.NewTimer(s.cfg.coalesce)
+	select {
+	case <-s.e.stopped:
+		t.Stop()
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// busyCheck reports whether a merge epoch would find work right now —
+// the deep-idle entry recheck.
+func (s *splitRunner) busyCheck() bool {
+	tbl := s.table.Load()
+	for _, sk := range tbl.keys {
+		if sk.demoting.Load() {
+			return true
+		}
+	}
+	return s.pending(tbl)
 }
 
 // tick runs one coordinator epoch: fold the detector (promotions and demote
 // marks), capture the hold queues, drain every worker queue behind a
 // barrier, fold the accumulators into the owning shards' stores, then
-// demote marked keys and release the captured tasks to their owners.
-func (s *splitRunner) tick() {
+// demote marked keys and release the captured tasks to their owners. The
+// return reports whether the epoch found work — loop()'s deep-idle counter
+// feeds on consecutive false returns.
+func (s *splitRunner) tick() bool {
 	e := s.e
 	s.refold()
 	tbl := s.table.Load()
 	if len(tbl.keys) == 0 {
-		return
+		return false
 	}
 	demotePending := false
 	for _, sk := range tbl.keys {
@@ -553,7 +647,7 @@ func (s *splitRunner) tick() {
 		}
 	}
 	if !demotePending && !s.pending(tbl) {
-		return // quiescent epoch: nothing held, nothing dirty
+		return false // quiescent epoch: nothing held, nothing dirty
 	}
 	start := time.Now()
 	// Capture one hold-queue generation per key under the write gate: every
@@ -572,7 +666,7 @@ func (s *splitRunner) tick() {
 	// executed, locally absorbed, or parked into the next generation.
 	if !s.barrierAll() {
 		s.abortCaptured(captured)
-		return
+		return true
 	}
 	// Deterministic stop re-check: halt's sweep signals unexecuted barriers
 	// too, so the waits above may have been satisfied by a stopping
@@ -581,7 +675,7 @@ func (s *splitRunner) tick() {
 	select {
 	case <-e.stopped:
 		s.abortCaptured(captured)
-		return
+		return true
 	default:
 	}
 	// Merge: fold each key's accumulators and install into the owning
@@ -606,7 +700,7 @@ func (s *splitRunner) tick() {
 	select {
 	case <-e.stopped:
 		s.abortCaptured(captured)
-		return
+		return true
 	default:
 	}
 	// Finalize under the write gate: demote marked keys (their residual
@@ -643,11 +737,13 @@ func (s *splitRunner) tick() {
 		for _, env := range envs {
 			e.queues[owner].Put(env)
 		}
+		e.wakeWorker(owner)
 	}
 	s.gate.Unlock()
 	s.demoted.Add(uint64(demoted))
 	s.mergedEpochs.Add(1)
 	s.mergeNs.Add(uint64(time.Since(start)))
+	return true
 }
 
 // pending reports whether the table holds any work a merge epoch would
@@ -735,6 +831,7 @@ func (s *splitRunner) barrierAll() bool {
 		done := make(chan struct{})
 		chans[i] = done
 		e.queues[i].Put(envelope{barrier: func() { close(done) }})
+		e.wakeWorker(i)
 	}
 	for _, ch := range chans {
 		select {

@@ -192,6 +192,12 @@ func Experiments() []Experiment {
 			Paper: "beyond the paper: split-phase execution for contended keys (ROADMAP)",
 			Run:   runContentionSplit,
 		},
+		Experiment{
+			ID:    "wake-latency",
+			Title: "Submit round trip against a parked vs. hot executor",
+			Paper: "beyond the paper: event-driven dispatch (ROADMAP)",
+			Run:   runWakeLatency,
+		},
 	)
 	return exps
 }

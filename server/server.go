@@ -227,6 +227,44 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// connState bundles one connection's buffers — the inflight slot semaphore,
+// the response queue, both bufio halves, and the encode/decode scratch —
+// so steady-state connection churn recycles them through connPool instead
+// of growing per-conn garbage (the semaphore alone is a 1 KiB channel, the
+// bufio pair 64 KiB).
+type connState struct {
+	inflight chan struct{}
+	out      *outQueue
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	scratch  []byte          // frame-decode buffer (read loop)
+	encBuf   []byte          // frame-encode buffer (writer)
+	batch    []wire.Response // writer's take() swap buffer
+}
+
+var connPool = sync.Pool{New: func() any {
+	return &connState{
+		inflight: make(chan struct{}, maxInflightPerConn),
+		out:      newOutQueue(),
+		br:       bufio.NewReaderSize(nil, 32*1024),
+		bw:       bufio.NewWriterSize(nil, 32*1024),
+		scratch:  make([]byte, 256),
+		encBuf:   make([]byte, 0, 4096),
+	}
+}}
+
+// recycle returns a quiesced connState to the pool. The caller must have
+// proven no task callback can still touch it — see handle's slot-accounting
+// argument.
+func (cs *connState) recycle() {
+	cs.out.reset()
+	for i := range cs.batch {
+		cs.batch[i] = wire.Response{} // don't pin response values across conns
+	}
+	cs.batch = cs.batch[:0]
+	connPool.Put(cs)
+}
+
 // handle runs one connection with exactly TWO goroutines regardless of
 // pipelining depth: this read loop, which decodes requests and submits them
 // through the executor's callback API (SubmitFunc — no Future, no bridge
@@ -251,8 +289,9 @@ func (s *Server) handle(conn net.Conn) {
 	// that pipelines but never reads fills the writer's queue up to this
 	// bound, then the read loop blocks here and TCP backpressure reaches
 	// the sender — the buffer cannot grow without limit.
-	inflight := make(chan struct{}, maxInflightPerConn)
-	out := newOutQueue()
+	cs := connPool.Get().(*connState)
+	inflight := cs.inflight
+	out := cs.out
 	// batchOK flips once the peer sends a batch frame: only then may the
 	// writer coalesce responses into TypeBatchResponse frames (older
 	// clients would drop the connection on an unknown frame type).
@@ -261,14 +300,13 @@ func (s *Server) handle(conn net.Conn) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		s.writeLoop(conn, out, inflight, &batchOK, cancel)
+		s.writeLoop(conn, cs, &batchOK, cancel)
 	}()
 
-	br := bufio.NewReaderSize(conn, 32*1024)
-	scratch := make([]byte, 256)
+	cs.br.Reset(conn)
 readLoop:
 	for {
-		frame, err := wire.ReadFrame(br, &scratch)
+		frame, err := wire.ReadFrame(cs.br, &cs.scratch)
 		if err != nil {
 			// Only undecodable CONTENT is a protocol error. A clean EOF,
 			// a local cancellation, or a mid-frame disconnect
@@ -311,6 +349,15 @@ readLoop:
 	out.close()
 	writerWG.Wait()
 	conn.Close()
+	// Recycle only when every slot has been released. A slot is held from
+	// decode until its task's LAST touch of this connState — the writer
+	// releases after writing (post-Wait, the writer is gone), and a
+	// dead-connection callback's own release is its final statement — so an
+	// empty semaphore proves no straggler can still reach out or inflight.
+	// Otherwise the state leaks to the GC, exactly the pre-pool behavior.
+	if len(cs.inflight) == 0 {
+		cs.recycle()
+	}
 }
 
 // maxInflightPerConn bounds one connection's outstanding requests (slots
@@ -399,6 +446,20 @@ func (q *outQueue) push(resp wire.Response) {
 	}
 }
 
+// reset readies a quiesced queue for the next connection: clear the closed
+// mark, drop buffered (never-taken) responses, and drain a stale notify
+// token so the next writer does not wake spuriously.
+func (q *outQueue) reset() {
+	q.mu.Lock()
+	q.closed = false
+	q.buf = q.buf[:0]
+	q.mu.Unlock()
+	select {
+	case <-q.notify:
+	default:
+	}
+}
+
 // close marks the end of traffic; the writer drains what is buffered and
 // exits. Callbacks MAY still push afterwards (the handler closes without
 // waiting for in-flight tasks to settle): such pushes land on the orphaned
@@ -441,10 +502,17 @@ func (q *outQueue) take(into []wire.Response) ([]wire.Response, bool) {
 // burst either way. A write failure cancels the connection (the read loop
 // and pending callbacks then unwind) and the loop keeps draining — slots
 // must keep flowing back so the handler's semaphore reclaim terminates.
-func (s *Server) writeLoop(conn net.Conn, out *outQueue, inflight <-chan struct{}, batchOK *atomic.Bool, cancel context.CancelFunc) {
-	bw := bufio.NewWriterSize(conn, 32*1024)
-	buf := make([]byte, 0, 4096)
-	var batch []wire.Response
+func (s *Server) writeLoop(conn net.Conn, cs *connState, batchOK *atomic.Bool, cancel context.CancelFunc) {
+	out, inflight := cs.out, cs.inflight
+	bw := cs.bw
+	bw.Reset(conn)
+	buf := cs.encBuf
+	batch := cs.batch
+	defer func() {
+		// Hand the (possibly grown) scratch buffers back for reuse by the
+		// next connection this state serves.
+		cs.encBuf, cs.batch = buf, batch
+	}()
 	dead := false
 	for {
 		var closed bool
