@@ -1,0 +1,136 @@
+package client
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position (DESIGN.md §10.3).
+type BreakerState int32
+
+const (
+	// BreakerClosed: the connection is healthy; calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive transport failures tripped the breaker;
+	// calls are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe call is
+	// in flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker trip/cooldown tuning. Three consecutive transport errors trip it —
+// one reset is weather, three is a dead peer. The cooldown starts near a
+// redial's cost and doubles per consecutive trip (a peer that fails its
+// probe is likelier to fail the next one) up to a cap that keeps recovery
+// detection under a second; jitter desynchronizes a fleet's probes.
+const (
+	breakerThreshold    = 3
+	breakerBaseCooldown = 10 * time.Millisecond
+	breakerMaxCooldown  = time.Second
+)
+
+// breaker is a per-connection circuit breaker: closed (healthy) → open after
+// breakerThreshold consecutive transport failures → half-open when the
+// cooldown elapses, granting exactly one probe whose outcome decides between
+// closed and open-with-longer-cooldown. All methods are safe for concurrent
+// use; the zero value is a closed (healthy) breaker.
+type breaker struct {
+	state    atomic.Int32 // BreakerState
+	fails    atomic.Int32 // consecutive transport failures while closed
+	trips    atomic.Int64 // consecutive trips (decides cooldown doubling)
+	openedAt atomic.Int64 // trip time, ns since start of process-arbitrary epoch
+	cooldown atomic.Int64 // current cooldown, ns
+	tripped  atomic.Uint64
+}
+
+// breakerEpoch anchors the breaker's monotonic clock; only differences of
+// time.Since(breakerEpoch) values are ever used.
+var breakerEpoch = time.Now()
+
+// allow reports whether a call may proceed. In the open state it flips to
+// half-open — claiming the single probe slot — once the cooldown has
+// elapsed; every other caller is refused until the probe settles.
+func (b *breaker) allow() bool {
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // a probe is already in flight
+	default: // BreakerOpen
+		if time.Since(breakerEpoch).Nanoseconds()-b.openedAt.Load() < b.cooldown.Load() {
+			return false
+		}
+		// CAS claims the probe: exactly one caller wins the transition.
+		return b.state.CompareAndSwap(int32(BreakerOpen), int32(BreakerHalfOpen))
+	}
+}
+
+// recordSuccess reports a call that completed without a transport error
+// (server statuses like ErrBusy count as success here: the CONNECTION
+// worked). It fully resets the breaker.
+func (b *breaker) recordSuccess() {
+	b.fails.Store(0)
+	b.trips.Store(0)
+	b.state.Store(int32(BreakerClosed))
+}
+
+// recordFailure reports a transport failure (isTransport). A half-open
+// probe's failure re-opens immediately; in the closed state the breaker
+// trips after breakerThreshold consecutive failures.
+func (b *breaker) recordFailure() {
+	if BreakerState(b.state.Load()) == BreakerHalfOpen {
+		b.trip()
+		return
+	}
+	if b.fails.Add(1) >= breakerThreshold {
+		b.trip()
+	}
+}
+
+// trip opens the breaker with a cooldown doubled per consecutive trip, plus
+// up to 25% jitter so a fleet's probes spread out.
+func (b *breaker) trip() {
+	n := b.trips.Add(1)
+	cd := breakerBaseCooldown << min(n-1, 30)
+	if cd > breakerMaxCooldown || cd <= 0 {
+		cd = breakerMaxCooldown
+	}
+	cd += time.Duration(rand.Int64N(int64(cd)/4 + 1))
+	b.cooldown.Store(int64(cd))
+	b.openedAt.Store(time.Since(breakerEpoch).Nanoseconds())
+	b.fails.Store(0)
+	b.tripped.Add(1)
+	b.state.Store(int32(BreakerOpen))
+}
+
+// snapshot reads the breaker for Pool.Stats.
+func (b *breaker) snapshot() BreakerStats {
+	return BreakerStats{
+		State:   BreakerState(b.state.Load()),
+		Tripped: b.tripped.Load(),
+	}
+}
+
+// BreakerStats is one pool slot's breaker, as reported by Pool.Stats.
+type BreakerStats struct {
+	// State is the breaker's position at the snapshot.
+	State BreakerState
+	// Tripped counts closed/half-open → open transitions over the slot's
+	// lifetime.
+	Tripped uint64
+}

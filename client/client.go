@@ -20,7 +20,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -46,12 +45,35 @@ var (
 	// protocol error); pending calls settle with it, wrapped around the
 	// underlying cause.
 	ErrClosed = errors.New("client: connection closed")
+	// ErrDeadlineExpired: the request's propagated deadline expired while
+	// the task sat in the server's queue; it was shed without executing.
+	// Retrying with the same budget is pointless — raise the deadline or
+	// treat the work as abandoned.
+	ErrDeadlineExpired = errors.New("client: deadline expired in server queue")
+	// ErrNoHealthyConn: every pool connection is down with its circuit
+	// breaker open (no probe due yet). Fail-fast analogue of ErrBusy for
+	// transport health; retryable, since a probe may revive a slot any
+	// moment.
+	ErrNoHealthyConn = errors.New("client: no healthy connection (breaker open)")
 )
 
 // ServerError is a workload hard error relayed from the server.
 type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// BusyError is the rich form of ErrBusy carrying the server's retry-after
+// hint (admission control answers StatusBusy with the time until the next
+// token). errors.Is(err, ErrBusy) matches it, so existing busy handling
+// keeps working; DoRetry uses the hint as its backoff floor.
+type BusyError struct{ RetryAfter time.Duration }
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("client: server busy (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBusy) succeed for BusyError values.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
 
 // Result is one completed task's payload.
 type Result struct {
@@ -139,6 +161,11 @@ type Client struct {
 	closed  bool
 	err     error // settled cause, wrapped in ErrClosed
 
+	// budget is the connection's shared retry budget (DoRetry spends it;
+	// successes refund it). A Client created by a Pool shares the POOL's
+	// budget instead, so a fleet of striped connections throttles as one.
+	budget *retryBudget
+
 	readerDone chan struct{}
 }
 
@@ -162,10 +189,35 @@ func NewClient(conn net.Conn) *Client {
 		conn:       conn,
 		bw:         bufio.NewWriterSize(conn, 32*1024),
 		pending:    make(map[uint64]*Call),
+		budget:     newRetryBudget(),
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
+}
+
+// retrySpend / retryRefund implement retryBudgeter over the client's budget.
+func (c *Client) retrySpend() bool { return c.budget.retrySpend() }
+func (c *Client) retryRefund()     { c.budget.retryRefund() }
+
+// RetryStats reports the client's retry-budget activity.
+func (c *Client) RetryStats() RetryStats { return c.budget.stats() }
+
+// reqDeadline derives the wire deadline from the caller's context: the
+// remaining budget, as relative nanoseconds, so the server can shed the task
+// if it is still queued past it (DESIGN.md §10.1). Contexts without a
+// deadline propagate none. A context already past its deadline returns
+// expired=true — the caller bails with ctx.Err() before touching the wire.
+func reqDeadline(ctx context.Context) (ns uint64, expired bool) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	rem := time.Until(d)
+	if rem <= 0 {
+		return 0, true
+	}
+	return uint64(rem), false
 }
 
 // DoAsync sends one task and returns its pending Call. ctx bounds only the
@@ -173,9 +225,18 @@ func NewClient(conn net.Conn) *Client {
 // while the frame is mid-write (a full send buffer under a stalled server),
 // the connection is torn down — a partially written frame is unrecoverable
 // on a length-prefixed stream — and pending calls settle with ErrClosed.
+//
+// When ctx carries a deadline, its remaining budget rides with the request
+// (DESIGN.md §10.1): a server whose queue outlives the budget sheds the task
+// without executing it (the call settles with ErrDeadlineExpired) instead of
+// burning a worker on a result nobody is waiting for.
 func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	deadlineNS, expired := reqDeadline(ctx)
+	if expired {
+		return nil, context.DeadlineExceeded
 	}
 	call := &Call{id: c.nextID.Add(1), done: make(chan struct{})}
 	c.mu.Lock()
@@ -207,6 +268,7 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 	}
 	c.scratch = wire.AppendRequest(c.scratch[:0], wire.Request{
 		ID: call.id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg,
+		DeadlineNS: deadlineNS,
 	})
 	err := c.writeLocked(ctx, c.scratch, 1) //kstmvet:ignore socket writes serialize under wmu by design; the write-poison handshake bounds the wait
 	c.wmu.Unlock()
@@ -235,6 +297,11 @@ func (c *Client) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
 // Talking batch also invites the server to coalesce ITS responses into
 // batch frames on this connection, shrinking the return path's syscalls
 // symmetrically.
+//
+// A ctx deadline propagates to every task in the batch (they share the one
+// context, so the budget is all-or-none); deadline-carrying batch frames hold
+// fewer entries (wire.MaxBatchDeadline), which only changes where the chunk
+// boundaries fall.
 func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error) {
 	if len(tasks) == 0 {
 		return nil, nil
@@ -242,11 +309,18 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	deadlineNS, expired := reqDeadline(ctx)
+	if expired {
+		return nil, context.DeadlineExceeded
+	}
 	calls := make([]*Call, len(tasks))
 	reqs := make([]wire.Request, len(tasks))
 	for i, t := range tasks {
 		calls[i] = &Call{id: c.nextID.Add(1), done: make(chan struct{})}
-		reqs[i] = wire.Request{ID: calls[i].id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg}
+		reqs[i] = wire.Request{
+			ID: calls[i].id, Key: t.Key, Op: uint8(t.Op), Arg: t.Arg,
+			DeadlineNS: deadlineNS,
+		}
 	}
 	forgetAll := func() {
 		c.mu.Lock()
@@ -282,9 +356,13 @@ func (c *Client) DoBatch(ctx context.Context, tasks []kstm.Task) ([]*Call, error
 		return nil, err
 	}
 	c.scratch = c.scratch[:0]
+	chunk := wire.MaxBatch
+	if deadlineNS != 0 {
+		chunk = wire.MaxBatchDeadline // wider entries, smaller frames
+	}
 	for rest := reqs; len(rest) > 0; {
-		n := min(len(rest), wire.MaxBatch)
-		// Cannot fail: the chunk is non-empty and within MaxBatch.
+		n := min(len(rest), chunk)
+		// Cannot fail: the chunk is non-empty and within the type's bound.
 		c.scratch, _ = wire.AppendBatchRequest(c.scratch, rest[:n])
 		rest = rest[n:]
 	}
@@ -457,57 +535,6 @@ func (c *Client) flushDeferredLocked() {
 	}
 }
 
-// Doer runs one task to completion: *Client and *Pool both implement it,
-// so helpers like DoRetry work over a single connection or a striped pool.
-type Doer interface {
-	Do(ctx context.Context, t kstm.Task) (Result, error)
-}
-
-// Retry backoff bounds: full-jitter exponential, doubling from base to cap.
-// The base sits just above a loopback RTT so the first retry is nearly
-// free; the cap keeps a persistently busy server from parking callers for
-// long stretches of their deadline.
-const (
-	retryBaseDelay = 500 * time.Microsecond
-	retryMaxDelay  = 50 * time.Millisecond
-)
-
-// DoRetry runs one task, retrying ErrBusy — shed load, the one status that
-// MEANS "try again" — with jittered exponential backoff until the context
-// expires. Every other outcome (success, workload error, ErrStopped,
-// ErrCancelled, connection failure) returns immediately: retrying those
-// either cannot help or is the caller's policy decision. On a context with
-// no deadline DoRetry keeps trying for as long as the server keeps
-// shedding.
-//
-// This is the loop every busy-aware handler hand-rolled (see DESIGN.md §5.2
-// on shed-vs-deadline): shed ≠ dead — back off and try again; retire only
-// on your own deadline.
-func DoRetry(ctx context.Context, d Doer, t kstm.Task) (Result, error) {
-	delay := retryBaseDelay
-	for {
-		res, err := d.Do(ctx, t)
-		if !errors.Is(err, ErrBusy) {
-			return res, err
-		}
-		// Full jitter over [delay/2, delay]: desynchronizes a fleet of
-		// shed clients so their retries don't arrive as one thundering
-		// herd exactly when the queue drained.
-		wait := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
-		select {
-		case <-time.After(wait):
-		case <-ctx.Done():
-			return Result{}, ctx.Err()
-		}
-		if delay < retryMaxDelay {
-			delay *= 2
-			if delay > retryMaxDelay {
-				delay = retryMaxDelay
-			}
-		}
-	}
-}
-
 // forget drops a call that was registered but never sent. The inflight
 // decrement is conditional on the entry still being present — a response
 // that raced in already settled (and decremented) it.
@@ -638,11 +665,17 @@ func statusError(resp wire.Response) error {
 	case wire.StatusOK:
 		return nil
 	case wire.StatusBusy:
+		if resp.WaitNS != 0 {
+			// Admission control's retry-after hint rides in WaitNS.
+			return &BusyError{RetryAfter: time.Duration(resp.WaitNS)}
+		}
 		return ErrBusy
 	case wire.StatusCancelled:
 		return ErrCancelled
 	case wire.StatusStopped:
 		return ErrStopped
+	case wire.StatusDeadline:
+		return ErrDeadlineExpired
 	case wire.StatusBadRequest:
 		if resp.Msg != "" {
 			return fmt.Errorf("%w: %s", ErrBadRequest, resp.Msg)

@@ -171,13 +171,28 @@ func TestPoolReconnects(t *testing.T) {
 	if _, err := p.Do(ctx, kstm.Task{Key: 1}); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a reset on both slots; every subsequent call must succeed
-	// via lazy redial.
-	p.slots[0].c.fail(errors.New("simulated reset"))
-	p.slots[1].c.fail(errors.New("simulated reset"))
+	// Simulate a reset on both slots. Dead connections are ejected and
+	// redialed by background probes — callers fail fast (ErrNoHealthyConn)
+	// instead of blocking on the dial — so poll until the pool recovers.
+	p.slots[0].c.Load().fail(errors.New("simulated reset"))
+	p.slots[1].c.Load().fail(errors.New("simulated reset"))
+	recoverDeadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := p.Do(ctx, kstm.Task{Key: 2})
+		if err == nil {
+			break
+		}
+		if !isRetryable(err) {
+			t.Fatalf("call after reset: %v, want nil or a retryable error", err)
+		}
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("pool did not recover: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
 	for i := 0; i < 4; i++ {
 		if _, err := p.Do(ctx, kstm.Task{Key: uint64(i)}); err != nil {
-			t.Fatalf("call %d after reset: %v", i, err)
+			t.Fatalf("call %d after recovery: %v", i, err)
 		}
 	}
 	// After Close, calls fail and no redial happens.

@@ -2,7 +2,6 @@ package client
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 
 	"kstm"
@@ -10,26 +9,38 @@ import (
 
 // Pool stripes calls over a fixed set of connections to one server:
 // pipelining gives concurrency within a connection, the pool adds it across
-// connections (more TCP buffers, more server-side handler goroutines). A
-// connection that dies (server restart, network reset) is redialed lazily
-// the next time its stripe comes up, so one transient failure does not
-// poison 1/size of all future calls. All methods are safe for concurrent
-// use.
+// connections (more TCP buffers, more server-side handler goroutines).
+//
+// Each slot carries a circuit breaker (DESIGN.md §10.3): transport failures
+// trip it, and a tripped slot is skipped by pick — callers ride the healthy
+// stripes while a single background probe redials the dead one after a
+// jittered cooldown. Callers are never parked behind a redial. When every
+// slot is down with its breaker open, calls fail fast with ErrNoHealthyConn
+// (retryable — a probe may revive a slot any moment).
+//
+// All connections share one retry budget, so DoRetry through the pool
+// throttles as one fleet. All methods are safe for concurrent use.
 type Pool struct {
 	addr string
 	opts []Option
 
-	// Each slot has its own lock, so a redial (which can take a full dial
-	// timeout) stalls only callers striped onto the dead slot — never the
-	// healthy connections.
 	slots  []poolSlot
+	budget *retryBudget
 	closed atomic.Bool
 	next   atomic.Uint64
 }
 
 type poolSlot struct {
-	mu sync.Mutex
-	c  *Client
+	// c is nil while the slot is down and awaiting a successful probe; it
+	// only ever swings nil → fresh client (probe) or live → nil (ejection),
+	// so a caller either sees a client that was healthy at publication or
+	// skips the slot.
+	c  atomic.Pointer[Client]
+	br breaker
+	// probing single-flights the redial: the CAS winner dials on its own
+	// goroutine (never holding any lock), so a full dial timeout stalls no
+	// caller.
+	probing atomic.Bool
 }
 
 // DialPool opens size connections to addr. On any dial failure the already-
@@ -38,14 +49,20 @@ func DialPool(addr string, size int, opts ...Option) (*Pool, error) {
 	if size <= 0 {
 		size = 1
 	}
-	p := &Pool{addr: addr, opts: opts, slots: make([]poolSlot, size)}
+	p := &Pool{
+		addr:   addr,
+		opts:   opts,
+		slots:  make([]poolSlot, size),
+		budget: newRetryBudget(),
+	}
 	for i := range p.slots {
 		c, err := Dial(addr, opts...)
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		p.slots[i].c = c
+		c.budget = p.budget // pooled connections throttle as one fleet
+		p.slots[i].c.Store(c)
 	}
 	return p, nil
 }
@@ -53,64 +70,158 @@ func DialPool(addr string, size int, opts ...Option) (*Pool, error) {
 // Size returns the connection count.
 func (p *Pool) Size() int { return len(p.slots) }
 
-// pick round-robins the next connection, redialing a slot whose client has
-// failed (single-flight per slot). A redial failure returns the error; the
-// slot keeps its dead client and the next pick retries.
-func (p *Pool) pick() (*Client, error) {
-	s := &p.slots[p.next.Add(1)%uint64(len(p.slots))]
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// retrySpend / retryRefund implement retryBudgeter over the pool's shared
+// budget.
+func (p *Pool) retrySpend() bool { return p.budget.retrySpend() }
+func (p *Pool) retryRefund()     { p.budget.retryRefund() }
+
+// pick round-robins across healthy slots, skipping any whose breaker is open
+// or whose client is down; a slot observed broken is ejected (and its probe
+// kicked) in passing. When no slot is usable the call fails fast with
+// ErrNoHealthyConn rather than parking the caller behind a redial.
+func (p *Pool) pick() (*Client, *poolSlot, error) {
 	if p.closed.Load() {
-		if s.c == nil {
-			return nil, ErrClosed
-		}
-		return s.c, nil // fails with the client's own ErrClosed
+		return nil, nil, ErrClosed
 	}
-	if s.c == nil || s.c.broken() {
-		fresh, err := Dial(p.addr, p.opts...)
-		if err != nil {
-			return nil, err
+	n := uint64(len(p.slots))
+	start := p.next.Add(1)
+	for i := uint64(0); i < n; i++ {
+		s := &p.slots[(start+i)%n]
+		c := s.c.Load()
+		if c != nil && c.broken() {
+			// The connection died between calls (reader saw EOF). Eject it
+			// so later picks skip straight past, and count the death toward
+			// the breaker — without this, a quietly-reset idle conn would
+			// need fresh caller-visible failures to trip it.
+			p.eject(s, c)
+			c = nil
 		}
-		if s.c != nil {
-			s.c.Close() //kstmvet:ignore redial path: teardown under the slot lock keeps pick from handing out a half-closed client
+		if c == nil {
+			s.maybeProbe(p)
+			continue
 		}
-		s.c = fresh
+		if !s.br.allow() {
+			continue
+		}
+		return c, s, nil
 	}
-	return s.c, nil
+	return nil, nil, ErrNoHealthyConn
 }
 
-// Do runs one task on the next connection.
+// eject removes a dead client from its slot (live → nil only; a racing probe
+// that already installed a fresh client is left alone) and records the
+// transport failure.
+func (p *Pool) eject(s *poolSlot, dead *Client) {
+	if s.c.CompareAndSwap(dead, nil) {
+		dead.Close() //kstmvet:ignore ejection: the CAS guarantees exactly one closer for the dead client
+		s.br.recordFailure()
+	}
+}
+
+// maybeProbe starts the slot's single-flight background redial if the
+// breaker grants a probe. The dial runs on its own goroutine: callers that
+// found the slot down have already moved on to healthy stripes.
+func (s *poolSlot) maybeProbe(p *Pool) {
+	if p.closed.Load() || !s.br.allow() {
+		return
+	}
+	if !s.probing.CompareAndSwap(false, true) {
+		// Lost the race — but allow() above may have claimed the half-open
+		// probe slot for a flight that will never happen. Re-opening via
+		// recordFailure would double the cooldown unfairly, and this window
+		// (two callers hitting a cooldown expiry at once) is narrow enough
+		// that letting the in-flight probe decide the state is correct: its
+		// success resets everything, its failure re-opens.
+		return
+	}
+	go func() {
+		defer s.probing.Store(false)
+		fresh, err := Dial(p.addr, p.opts...)
+		if err != nil {
+			s.br.recordFailure() // re-opens with a doubled cooldown
+			return
+		}
+		fresh.budget = p.budget
+		if p.closed.Load() || !s.c.CompareAndSwap(nil, fresh) {
+			// Pool closed mid-dial, or another path revived the slot.
+			fresh.Close() //kstmvet:ignore probe lost its install race; the fresh dial must not leak
+			return
+		}
+		s.br.recordSuccess()
+		if p.closed.Load() && s.c.CompareAndSwap(fresh, nil) {
+			// Close ran between its own sweep and our install: whoever wins
+			// this CAS (us or a concurrent Close) closes the orphan.
+			fresh.Close() //kstmvet:ignore shutdown race: the CAS guarantees exactly one closer
+		}
+	}()
+}
+
+// record feeds a call's outcome into the slot's breaker: transport failures
+// (isTransport) trip it and eject the connection; anything else — success or
+// a server status like ErrBusy — proves the CONNECTION healthy and resets
+// it.
+func (p *Pool) record(s *poolSlot, c *Client, err error) {
+	if isTransport(err) {
+		p.eject(s, c)
+		return
+	}
+	s.br.recordSuccess()
+}
+
+// Do runs one task on the next healthy connection.
 func (p *Pool) Do(ctx context.Context, t kstm.Task) (Result, error) {
-	c, err := p.pick()
+	c, s, err := p.pick()
 	if err != nil {
 		return Result{}, err
 	}
-	return c.Do(ctx, t)
+	res, err := c.Do(ctx, t)
+	p.record(s, c, err)
+	return res, err
 }
 
-// DoAsync starts one task on the next connection.
+// DoAsync starts one task on the next healthy connection. Only the send's
+// outcome feeds the slot's breaker — the response may settle long after, on
+// whatever error the Call's waiter alone sees.
 func (p *Pool) DoAsync(ctx context.Context, t kstm.Task) (*Call, error) {
-	c, err := p.pick()
+	c, s, err := p.pick()
 	if err != nil {
 		return nil, err
 	}
-	return c.DoAsync(ctx, t)
+	call, err := c.DoAsync(ctx, t)
+	p.record(s, c, err)
+	return call, err
+}
+
+// PoolStats is a snapshot of the pool's health.
+type PoolStats struct {
+	// Slots holds each connection's breaker, in slot order.
+	Slots []BreakerStats
+	// Retry is the pool's shared retry-budget activity.
+	Retry RetryStats
+}
+
+// Stats snapshots every slot's breaker and the shared retry budget.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{
+		Slots: make([]BreakerStats, len(p.slots)),
+		Retry: p.budget.stats(),
+	}
+	for i := range p.slots {
+		st.Slots[i] = p.slots[i].br.snapshot()
+	}
+	return st
 }
 
 // Close closes every connection; pending calls settle with ErrClosed.
 // It always returns nil (Client.Close cannot fail); the error return keeps
-// the io.Closer shape. closed is set before the slot locks are taken, so a
-// pick mid-redial either observes it or has its fresh connection closed
-// right here.
+// the io.Closer shape. closed is set first, so a probe completing mid-close
+// either observes it or loses its install CAS to the nil swap here.
 func (p *Pool) Close() error {
 	p.closed.Store(true)
 	for i := range p.slots {
-		s := &p.slots[i]
-		s.mu.Lock()
-		if s.c != nil {
-			s.c.Close() //kstmvet:ignore pool shutdown: closing under the slot lock serializes with pick's redial
+		if c := p.slots[i].c.Swap(nil); c != nil {
+			c.Close() //kstmvet:ignore pool shutdown: the Swap guarantees exactly one closer per slot
 		}
-		s.mu.Unlock()
 	}
 	return nil
 }

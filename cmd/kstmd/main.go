@@ -59,8 +59,11 @@ func run(args []string) error {
 		threshold = fs.Int("threshold", 10000, "adaptive sample threshold (the paper's 10000)")
 		migrate   = fs.Bool("migrate", false, "move shard state on re-partition (requires -sharding perworker); keeps read-your-writes across adaptations")
 		readapt   = fs.Bool("readapt", false, "re-estimate the key distribution every threshold samples instead of adapting once")
-		split     = fs.Bool("split", false, "split-phase execution for contended keys (requires -structure counters)")
-		statsEach = fs.Duration("stats", 0, "periodic stats line interval (0 = off)")
+		split      = fs.Bool("split", false, "split-phase execution for contended keys (requires -structure counters)")
+		statsEach  = fs.Duration("stats", 0, "periodic stats line interval (0 = off)")
+		admitRate  = fs.Float64("admit-rate", 0, "per-connection admission rate, requests/sec (0 = no admission control)")
+		admitBurst = fs.Int("admit-burst", 1, "per-connection admission burst above the steady rate")
+		drainTO    = fs.Duration("drain-timeout", 0, "bound on graceful drain at shutdown; on expiry queued tasks are force-stopped (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +98,9 @@ func run(args []string) error {
 	sopts := []server.Option{
 		server.WithMaxOp(maxOp),
 		server.WithKeyMask(keyMask),
+	}
+	if *admitRate > 0 {
+		sopts = append(sopts, server.WithAdmission(*admitRate, *admitBurst))
 	}
 	if *migrate {
 		// Hand-off ranges live in the masked dispatch space: an Arg above
@@ -143,7 +149,7 @@ func run(args []string) error {
 	// finishes and connected clients see StatusStopped for new requests,
 	// then sever connections and stop accepting.
 	log.Printf("kstmd: signal received, draining")
-	if err := ex.Drain(); err != nil {
+	if err := drain(ex, *drainTO); err != nil {
 		log.Printf("kstmd: drain: %v", err)
 	}
 	srv.Close()
@@ -240,6 +246,29 @@ func buildExecutor(structure string, mode kstm.ShardMode, workers, depth, thresh
 	return core.NewExecutor(opts...)
 }
 
+// drain runs a graceful executor drain bounded by timeout (0 = unbounded).
+// On expiry it forces Stop: in-flight transactions still finish (workers
+// exit after their current task), but the queued backlog settles with
+// ErrStopped and lands under ExecStats.Cancelled — a wedged or slow-drained
+// backlog cannot hold shutdown hostage (DESIGN.md §10.2).
+func drain(ex *kstm.Executor, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- ex.Drain() }()
+	if timeout <= 0 {
+		return <-done
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		log.Printf("kstmd: drain exceeded %v, forcing stop", timeout)
+		ex.Stop()
+		return <-done
+	}
+}
+
 // logStats prints one operator line: executor counters (with the corrected
 // Completed/Cancelled split) plus the server's own view. It is a statsfold
 // target of server.Stats: every server counter must appear here, so the
@@ -248,9 +277,11 @@ func buildExecutor(structure string, mode kstm.ShardMode, workers, depth, thresh
 func logStats(ex *kstm.Executor, srv *server.Server) {
 	st := ex.Stats()
 	ss := srv.Stats()
-	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d/%d busy=%d failed=%d/%d stopped=%d badreq=%d proto_err=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v split=%dkeys/%depochs/%dparked/%v",
+	log.Printf("kstmd: state=%s conns=%d/%d req=%d resp=%d completed=%d cancelled=%d/%d busy=%d deadline=%d/%d admitted=%d admit_rej=%d failed=%d/%d stopped=%d badreq=%d proto_err=%d imbalance=%.2f wait_p95=%v svc_p95=%v migrations=%d/%dkeys/%v split=%dkeys/%depochs/%dparked/%v",
 		st.State, ss.OpenConns, ss.Conns, ss.Requests, ss.Responses,
-		st.Completed, st.Cancelled, ss.Cancelled, ss.Busy, st.Failed, ss.Failed,
+		st.Completed, st.Cancelled, ss.Cancelled, ss.Busy,
+		st.DeadlineExpired, ss.Deadline, ss.Admitted, ss.AdmitRejected,
+		st.Failed, ss.Failed,
 		ss.Stopped, ss.BadRequest, ss.ProtocolErrors,
 		st.LoadImbalance(), st.Wait.P95, st.Service.P95,
 		ss.Migrations.Epochs, ss.Migrations.KeysMoved, time.Duration(ss.Migrations.PauseNs),

@@ -3,8 +3,11 @@ package main
 import (
 	"context"
 	"testing"
+	"time"
 
 	"kstm"
+	"kstm/internal/core"
+	"kstm/internal/stm"
 	"kstm/internal/txds"
 )
 
@@ -111,5 +114,54 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-split", "-addr", "127.0.0.1:0"}); err == nil {
 		t.Error("-split without -structure counters accepted by run")
+	}
+}
+
+// TestDrainTimeoutBounded: -drain-timeout bounds graceful shutdown. A deep
+// backlog of slow tasks (which would drain naturally for many seconds) is
+// force-stopped when the timer fires: drain returns promptly, the in-flight
+// task finishes, and the queued remainder settles under Cancelled — a
+// wedged or slow-drained backlog cannot hold shutdown hostage.
+func TestDrainTimeoutBounded(t *testing.T) {
+	ex, err := core.NewExecutor(
+		core.WithWorkers(1),
+		core.WithBackpressure(core.BackpressureReject),
+		core.WithQueueDepth(1024),
+		core.WithWorkload(core.WorkloadFunc(func(_ *stm.Thread, _ core.Task) (any, error) {
+			time.Sleep(20 * time.Millisecond)
+			return nil, nil
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// ~200 tasks x 20ms on one worker = ~4s of natural drain.
+	const backlog = 200
+	submitted := 0
+	for i := 0; i < backlog; i++ {
+		if err := ex.SubmitFunc(ctx, core.Task{Key: uint64(i)}, func(core.TaskResult) {}); err != nil {
+			break
+		}
+		submitted++
+	}
+	if submitted < 10 {
+		t.Fatalf("only %d tasks queued; cannot exercise the timeout", submitted)
+	}
+	start := time.Now()
+	drain(ex, 50*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v; timeout did not bound it", elapsed)
+	}
+	st := ex.Stats()
+	if st.Cancelled == 0 {
+		t.Error("forced stop settled no queued tasks as cancelled")
+	}
+	if st.Completed+st.Cancelled != uint64(submitted) {
+		t.Errorf("completed(%d)+cancelled(%d) != submitted(%d)",
+			st.Completed, st.Cancelled, submitted)
 	}
 }

@@ -31,6 +31,11 @@ var (
 	// ErrStopped is the completion error of tasks abandoned by Stop (or by
 	// cancellation of the Start context) before a worker executed them.
 	ErrStopped = errors.New("core: executor stopped before task executed")
+	// ErrDeadlineExpired is the completion error of tasks shed because their
+	// submission deadline (SubmitFuncTimed) expired while they sat queued —
+	// the worker dequeued them after the deadline and settled without
+	// executing. Counted under ExecStats.DeadlineExpired, never Completed.
+	ErrDeadlineExpired = errors.New("core: task deadline expired in queue")
 )
 
 // backgroundCtx is the shared fallback for nil submission contexts, hoisted
@@ -322,7 +327,8 @@ type workerCounters struct {
 	failed    atomic.Uint64
 	empty     atomic.Uint64
 	steals    atomic.Uint64
-	_         [24]byte
+	deadline  atomic.Uint64
+	_         [16]byte
 }
 
 // shardState is one partition of the executor's transactional state: the
@@ -611,6 +617,45 @@ func (e *Executor) SubmitFunc(ctx context.Context, t Task, done func(TaskResult)
 	fut.cb = done
 	if err := e.dispatch(envelope{task: t, fut: fut, ctx: ctx, enq: time.Since(e.base)}, ctx); err != nil { //kstmvet:ignore the one clock read per submission the latency accounting budgets for (DESIGN.md §5)
 		fut.cb = nil
+		fut.discard()
+		return err
+	}
+	return nil
+}
+
+// SubmitFuncTimed is SubmitFunc with a queue deadline: if budget elapses
+// before a worker reaches the task, the worker sheds it without executing —
+// done receives ErrDeadlineExpired and the task counts under
+// ExecStats.DeadlineExpired (DESIGN.md §10.1). A non-positive budget means
+// no deadline (identical to SubmitFunc). The deadline applies to QUEUE time
+// only: once execution begins the task runs to completion.
+//
+// The deadline rides in the pooled Future shell, so the submission stays at
+// SubmitFunc's cost — no extra allocation and no timer; expiry is detected
+// by the dequeuing worker against a clock read it was already paying for.
+//
+//kstmvet:hotpath
+func (e *Executor) SubmitFuncTimed(ctx context.Context, t Task, budget time.Duration, done func(TaskResult)) error {
+	if done == nil {
+		return fmt.Errorf("core: SubmitFuncTimed requires a non-nil callback")
+	}
+	if ctx == nil {
+		ctx = backgroundCtx
+	}
+	e.inflight.Add(1)
+	if e.state.Load() != stateRunning {
+		e.decInflight(1)
+		return ErrNotRunning
+	}
+	fut := newFuture()
+	fut.cb = done
+	enq := time.Since(e.base) //kstmvet:ignore the one clock read per submission the latency accounting budgets for (DESIGN.md §5)
+	if budget > 0 {
+		fut.deadline = enq + budget
+	}
+	if err := e.dispatch(envelope{task: t, fut: fut, ctx: ctx, enq: enq}, ctx); err != nil {
+		fut.cb = nil
+		fut.deadline = 0
 		fut.discard()
 		return err
 	}
@@ -1149,6 +1194,20 @@ func (e *Executor) execOne(i int, sh *shardState, th *stm.Thread, wc *workerCoun
 		default:
 		}
 	}
+	// Queue-deadline shed: a task whose SubmitFuncTimed budget expired while
+	// it sat queued is doomed — its client has given up — so executing it
+	// only steals service time from live work. Only deadline-carrying shells
+	// pay the check, and the clock read it needs doubles as this (or the
+	// next) task's service-start read, so deadline-less traffic is untouched.
+	if env.fut != nil && env.fut.deadline != 0 {
+		if start == 0 {
+			start = time.Since(e.base) //kstmvet:ignore deadline-carrying tasks only: the read is reused as the service-start stamp below
+		}
+		if start > env.fut.deadline {
+			e.shed(i, *env)
+			return start
+		}
+	}
 	// Split-phase routing: a dequeued split-key envelope is absorbed into
 	// this worker's local accumulator slot (commutative op), parked until
 	// the next epoch merge (non-commutative straggler, or demote window), or
@@ -1245,6 +1304,19 @@ func (e *Executor) finish(i int, wc *workerCounters, env *envelope, res TaskResu
 func (e *Executor) abandon(i int, env envelope, err error) {
 	e.wstats[i].cancelled.Add(1)
 	env.settle(TaskResult{Task: env.task, Worker: i, Err: err})
+	e.decInflight(1)
+	if e.onDone != nil {
+		e.onDone()
+	}
+}
+
+// shed settles a task whose queue deadline expired before execution. Like
+// abandon it never ran the workload, but it gets its own counter: deadline
+// sheds are a load signal (the queue is running hotter than client budgets),
+// not a client decision, and overload dashboards need the two separated.
+func (e *Executor) shed(i int, env envelope) {
+	e.wstats[i].deadline.Add(1)
+	env.settle(TaskResult{Task: env.task, Worker: i, Err: ErrDeadlineExpired})
 	e.decInflight(1)
 	if e.onDone != nil {
 		e.onDone()
@@ -1462,6 +1534,11 @@ type ExecStats struct {
 	Cancelled uint64
 	// Failed counts tasks whose workload returned a hard error.
 	Failed uint64
+	// DeadlineExpired counts tasks shed because their SubmitFuncTimed queue
+	// deadline expired before a worker reached them. Like Cancelled they
+	// never executed, but they are counted apart: sheds measure overload
+	// (queue time exceeding client budgets), not client intent.
+	DeadlineExpired uint64
 	// InFlight is the current accepted-but-unfinished count.
 	InFlight int64
 	// PerWorker holds per-worker completion counts.
@@ -1556,6 +1633,7 @@ func (e *Executor) Stats() ExecStats {
 		s.Completed += s.PerWorker[i]
 		s.Cancelled += wc.cancelled.Load()
 		s.Failed += wc.failed.Load()
+		s.DeadlineExpired += wc.deadline.Load()
 		s.EmptyPolls += wc.empty.Load()
 		s.Steals += wc.steals.Load()
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Future lifecycle states. The state word carries both the "result is
@@ -53,6 +54,11 @@ type Future struct {
 	// class — the envelope is copied into a node on every enqueue.
 	cb  func(TaskResult)
 	res TaskResult
+	// deadline, when non-zero, is the task's queue deadline as a monotonic
+	// offset from the executor's base instant (SubmitFuncTimed). It rides in
+	// the pooled shell — not the envelope — for the same size-class reason
+	// as cb: the envelope must stay in the 64-byte node class.
+	deadline time.Duration
 }
 
 // doneChan pairs the broadcast channel with a close-once guard: both the
@@ -93,6 +99,7 @@ func (f *Future) complete(res TaskResult) {
 		// Callback shell: the settler is the sole owner (SubmitFunc never
 		// exposed it), so no handshake — run the callback, recycle.
 		f.cb = nil
+		f.deadline = 0
 		cb(res)
 		futurePool.Put(f)
 		return
@@ -135,6 +142,7 @@ func (f *Future) consume() {
 func (f *Future) recycle() {
 	f.res = TaskResult{}
 	f.cb = nil
+	f.deadline = 0
 	f.done.Store(nil)
 	select {
 	case <-f.sem: // drain a wake-up token the consumer never received

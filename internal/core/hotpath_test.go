@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,44 @@ func TestSubmitSteadyStateAllocs(t *testing.T) {
 	})
 	if avg > 1 {
 		t.Fatalf("pooled Submit allocates %.2f objects/op, want <= 1 (the queue node)", avg)
+	}
+}
+
+// TestSubmitFuncTimedAllocs holds the deadline-carrying submission to the
+// same hot-path budget as SubmitFunc: the budget rides in the pooled future
+// shell, so attaching one must not allocate beyond the queue node.
+func TestSubmitFuncTimedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	ex := hotpathExecutor(t, 1)
+	ctx := context.Background()
+	var done atomic.Int64
+	cb := func(TaskResult) { done.Add(1) }
+	var want int64
+	for i := 0; i < 256; i++ {
+		if err := ex.SubmitFuncTimed(ctx, Task{Key: uint64(i), Op: OpNoop}, time.Minute, cb); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	waitFor(t, "warmup settled", func() bool { return done.Load() == want })
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	avg := testing.AllocsPerRun(500, func() {
+		// Wait out each completion so shell recycling keeps pace with
+		// submission — the steady state the gate is about; an unbounded
+		// burst legitimately grows the future pool.
+		before := done.Load()
+		if err := ex.SubmitFuncTimed(ctx, Task{Key: 7, Op: OpNoop}, time.Minute, cb); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		for done.Load() == before {
+			runtime.Gosched()
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("SubmitFuncTimed allocates %.2f objects/op, want <= 1 (the queue node)", avg)
 	}
 }
 

@@ -1,0 +1,279 @@
+// Package fault is a seeded, rule-driven fault injector for the serving
+// stack: net.Conn/net.Listener wrappers that corrupt the transport in
+// controlled ways (drop after N bytes, stall for a duration, partial writes,
+// read truncation, dial refusal) plus executor-side hooks (task slowdown,
+// worker stall). Every decision derives from a fixed seed and a per-
+// connection index, so a chaos test that fails replays byte-for-byte with
+// the same seed — the injector is the reproducible substrate under the
+// chaos e2e matrix and the `faults` harness experiment (DESIGN.md §10.4).
+//
+// An Injector holds an ordered rule list. Each accepted (or dialed)
+// connection gets a monotonically increasing index; the first rule whose
+// selector matches the index arms that connection with the rule's faults.
+// Connections no rule matches pass traffic through untouched. Rule grammar:
+//
+//	Rule{Every: 3}                      // match conns 0, 3, 6, ...
+//	Rule{Every: 4, Offset: 1}           // match conns 1, 5, 9, ...
+//	Rule{Every: 1, DropAfter: 512}      // every conn dies after 512 bytes out
+//	Rule{Every: 2, Stall: 5ms, StallAfter: 100}
+//	Rule{Every: 1, WriteChunk: 3, ReadChunk: 7}
+//	Rule{Every: 5, RefuseDial: true}    // Dial returns ECONNREFUSED-like error
+//
+// DropAfter counts bytes written by this side; once exceeded the connection
+// is closed mid-write, so the peer observes a reset/EOF at an arbitrary
+// frame boundary. WriteChunk/ReadChunk bound the bytes moved per Write/Read
+// call, forcing every io.ReadFull and bufio flush through short-read/short-
+// write paths. Stall sleeps once, after StallAfter bytes have been written,
+// simulating a wedged peer.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm/internal/rng"
+)
+
+// ErrInjected marks failures the injector manufactured, so tests can tell a
+// deliberate fault from a genuine bug in the stack under test.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ErrDialRefused is returned by Dial when a RefuseDial rule matches; it
+// wraps ErrInjected and reads like a connection refusal.
+var ErrDialRefused = fmt.Errorf("%w: dial refused", ErrInjected)
+
+// Rule describes one fault pattern and which connections it applies to.
+// Zero-valued fault fields are inert, so a Rule can combine any subset.
+type Rule struct {
+	// Every/Offset select connections by index: a rule matches connection i
+	// when Every > 0 and i % Every == Offset. The first matching rule in the
+	// injector's list wins.
+	Every  int
+	Offset int
+
+	// DropAfter, when > 0, force-closes the connection once this many bytes
+	// have been written through it (the excess write returns ErrInjected).
+	DropAfter int64
+
+	// Stall, when > 0, makes the connection sleep once for this duration
+	// after StallAfter bytes have been written (0 = stall on first write).
+	Stall      time.Duration
+	StallAfter int64
+
+	// WriteChunk, when > 0, splits each Write into chunks of at most this
+	// many bytes on the underlying connection: a large buffered flush
+	// becomes many small segments landing at arbitrary frame boundaries on
+	// the peer. The wrapper still honors the io.Writer contract (full
+	// delivery or an error), so bufio on top keeps working.
+	WriteChunk int
+
+	// ReadChunk, when > 0, caps the bytes returned per Read call, driving
+	// every decoder through its short-read path.
+	ReadChunk int
+
+	// RefuseDial, when set, makes Dial fail for matching connection indexes
+	// without touching the network.
+	RefuseDial bool
+
+	// Jitter, when > 0, perturbs DropAfter/StallAfter per connection by a
+	// seeded amount in [0, Jitter) bytes, so repeated connections fault at
+	// different (but reproducible) points.
+	Jitter int64
+}
+
+func (r Rule) matches(index int) bool {
+	return r.Every > 0 && index%r.Every == r.Offset%r.Every
+}
+
+// Injector hands out faulty connections according to its rules. The zero
+// value injects nothing; use New.
+type Injector struct {
+	rules []Rule
+	seed  uint64
+	next  atomic.Int64 // next connection index
+}
+
+// New returns an injector with the given seed and rules. Rules are checked
+// in order per connection; the first match arms the connection.
+func New(seed uint64, rules ...Rule) *Injector {
+	return &Injector{rules: rules, seed: seed}
+}
+
+// index allocates the next connection index.
+func (in *Injector) index() int { return int(in.next.Add(1) - 1) }
+
+// armed returns the matched rule (with per-connection jitter resolved) for
+// a connection index, or ok=false when no rule matches.
+func (in *Injector) armed(index int) (Rule, bool) {
+	for _, r := range in.rules {
+		if !r.matches(index) {
+			continue
+		}
+		if r.Jitter > 0 {
+			// Derive the jitter from (seed, index) only — independent of
+			// scheduling, so reruns fault at identical byte offsets.
+			g := rng.New(in.seed ^ uint64(index)*0x9e3779b97f4a7c15)
+			j := int64(g.Uint64n(uint64(r.Jitter)))
+			if r.DropAfter > 0 {
+				r.DropAfter += j
+			}
+			if r.Stall > 0 {
+				r.StallAfter += j
+			}
+		}
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// Conn wraps c with the faults selected for the next connection index.
+// Connections no rule matches are returned untouched.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	r, ok := in.armed(in.index())
+	if !ok || (r.DropAfter == 0 && r.Stall == 0 && r.WriteChunk == 0 && r.ReadChunk == 0) {
+		return c
+	}
+	return &conn{Conn: c, rule: r}
+}
+
+// Listen wraps l so every accepted connection passes through Conn.
+func (in *Injector) Listen(l net.Listener) net.Listener {
+	return &listener{Listener: l, in: in}
+}
+
+// Dial connects like net.Dial but counts a connection index and applies
+// RefuseDial rules before touching the network; successful dials are wrapped
+// like accepted connections.
+func (in *Injector) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	idx := in.index()
+	r, ok := in.armed(idx)
+	if ok && r.RefuseDial {
+		return nil, ErrDialRefused
+	}
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || (r.DropAfter == 0 && r.Stall == 0 && r.WriteChunk == 0 && r.ReadChunk == 0) {
+		return c, nil
+	}
+	return &conn{Conn: c, rule: r}, nil
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// conn applies one armed rule to a real connection. The mutex serializes
+// the byte counters against concurrent Read/Write (the server writes from
+// its writeLoop while the read loop owns Read, and net.Conn must tolerate
+// that).
+type conn struct {
+	net.Conn
+	rule Rule
+
+	mu      sync.Mutex
+	written int64
+	stalled bool
+	dropped bool
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	if n := c.rule.ReadChunk; n > 0 && len(b) > n {
+		b = b[:n]
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.dropped {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if c.rule.Stall > 0 && !c.stalled && c.written >= c.rule.StallAfter {
+		c.stalled = true
+		d := c.rule.Stall
+		c.mu.Unlock()
+		time.Sleep(d)
+		c.mu.Lock()
+	}
+	total := 0
+	for {
+		chunk := b[total:]
+		if n := c.rule.WriteChunk; n > 0 && len(chunk) > n {
+			chunk = chunk[:n]
+		}
+		if d := c.rule.DropAfter; d > 0 {
+			remaining := d - c.written
+			if remaining <= 0 {
+				c.dropped = true
+				c.mu.Unlock()
+				c.Conn.Close()
+				return total, ErrInjected
+			}
+			if int64(len(chunk)) > remaining {
+				// Deliver the last allowed bytes, then kill the connection:
+				// the peer sees a clean prefix and then a reset mid-frame.
+				n, _ := c.Conn.Write(chunk[:remaining])
+				c.written += int64(n)
+				total += n
+				c.dropped = true
+				c.mu.Unlock()
+				c.Conn.Close()
+				return total, ErrInjected
+			}
+		}
+		n, err := c.Conn.Write(chunk)
+		c.written += int64(n)
+		total += n
+		if err != nil {
+			c.mu.Unlock()
+			return total, err
+		}
+		if total == len(b) {
+			c.mu.Unlock()
+			return total, nil
+		}
+	}
+}
+
+// Hooks are executor-side fault points: a harness installs them where the
+// transport wrappers cannot reach (inside task execution). Both are
+// optional; nil hooks are inert.
+type Hooks struct {
+	// TaskDelay, when > 0, is slept inside every faulted task execution,
+	// simulating slow storage or a contended lock under the workload.
+	TaskDelay time.Duration
+	// TaskEvery selects which tasks TaskDelay applies to (every Nth call;
+	// 0 means every call when TaskDelay > 0).
+	TaskEvery int
+
+	calls atomic.Int64
+}
+
+// OnTask is called by an instrumented workload at the top of each task
+// execution; it sleeps when the hook's selector matches this call.
+func (h *Hooks) OnTask() {
+	if h == nil || h.TaskDelay <= 0 {
+		return
+	}
+	n := h.calls.Add(1) - 1
+	if h.TaskEvery > 1 && n%int64(h.TaskEvery) != 0 {
+		return
+	}
+	time.Sleep(h.TaskDelay)
+}

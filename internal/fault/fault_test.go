@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConn returns both ends of an in-memory connection.
+func pipeConn() (net.Conn, net.Conn) { return net.Pipe() }
+
+// TestRuleSelector pins the Every/Offset grammar.
+func TestRuleSelector(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		hits []int
+		miss []int
+	}{
+		{Rule{Every: 1}, []int{0, 1, 2, 7}, nil},
+		{Rule{Every: 3}, []int{0, 3, 6}, []int{1, 2, 4, 5}},
+		{Rule{Every: 4, Offset: 1}, []int{1, 5, 9}, []int{0, 2, 3, 4}},
+		{Rule{}, nil, []int{0, 1, 2}}, // Every 0: matches nothing
+	}
+	for _, c := range cases {
+		for _, i := range c.hits {
+			if !c.rule.matches(i) {
+				t.Errorf("%+v should match %d", c.rule, i)
+			}
+		}
+		for _, i := range c.miss {
+			if c.rule.matches(i) {
+				t.Errorf("%+v should not match %d", c.rule, i)
+			}
+		}
+	}
+}
+
+// TestDropAfterCutsMidStream: the writer side sees ErrInjected once the
+// byte budget is spent, and the reader sees a clean prefix then EOF/reset —
+// never corrupted bytes.
+func TestDropAfterCutsMidStream(t *testing.T) {
+	in := New(1, Rule{Every: 1, DropAfter: 10})
+	a, b := pipeConn()
+	fc := in.Conn(a)
+
+	got := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(b)
+		got <- data
+	}()
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	n, err := fc.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past budget: n=%d err=%v, want ErrInjected", n, err)
+	}
+	if n != 10 {
+		t.Fatalf("delivered %d bytes before the cut, want 10", n)
+	}
+	data := <-got
+	if !bytes.Equal(data, payload[:10]) {
+		t.Fatalf("peer read %x, want the clean 10-byte prefix", data)
+	}
+	// The connection stays dead: later writes fail without touching the net.
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after drop: %v, want ErrInjected", err)
+	}
+}
+
+// TestChunkingCapsTransfers: WriteChunk segments delivery on the underlying
+// connection (the peer sees <= chunk bytes per segment) while still honoring
+// the io.Writer contract — one Write call delivers everything. ReadChunk
+// bounds bytes returned per Read. Data survives both intact.
+func TestChunkingCapsTransfers(t *testing.T) {
+	in := New(1, Rule{Every: 1, WriteChunk: 3})
+	a, b := pipeConn()
+	fc := in.Conn(a)
+
+	payload := []byte("0123456789abcdef")
+	go func() {
+		n, err := fc.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Errorf("chunked write = %d, %v; want full delivery", n, err)
+		}
+		fc.Close()
+	}()
+	// net.Pipe preserves write boundaries: each Read consumes at most one
+	// underlying segment, so a 3-byte WriteChunk shows up as <= 3 bytes per
+	// read even with a larger buffer. Wrap the read side to exercise
+	// ReadChunk's cap too.
+	rc := New(1, Rule{Every: 1, ReadChunk: 2}).Conn(b)
+	var got []byte
+	buf := make([]byte, 8)
+	for {
+		n, err := rc.Read(buf)
+		if n > 2 {
+			t.Fatalf("read moved %d bytes, chunk is 2", n)
+		}
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled %q, want %q", got, payload)
+	}
+}
+
+// TestStallSleepsOnce: the first write past StallAfter blocks for the stall
+// duration; later writes are full speed.
+func TestStallSleepsOnce(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	in := New(1, Rule{Every: 1, Stall: stall})
+	a, b := pipeConn()
+	fc := in.Conn(a)
+	go io.Copy(io.Discard, b)
+
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("first write took %v, want >= %v", d, stall)
+	}
+	start = time.Now()
+	if _, err := fc.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > stall {
+		t.Fatalf("second write took %v; the stall must fire once", d)
+	}
+}
+
+// TestJitterDeterministic: with Jitter set, the armed DropAfter varies per
+// connection index but is a pure function of (seed, index) — two injectors
+// with the same seed arm identical rules; a different seed diverges.
+func TestJitterDeterministic(t *testing.T) {
+	base := Rule{Every: 1, DropAfter: 100, Jitter: 1000}
+	armA := func(seed uint64, idx int) int64 {
+		r, ok := New(seed, base).armed(idx)
+		if !ok {
+			t.Fatalf("rule must match index %d", idx)
+		}
+		return r.DropAfter
+	}
+	var diverged bool
+	for idx := 0; idx < 16; idx++ {
+		a, b := armA(7, idx), armA(7, idx)
+		if a != b {
+			t.Fatalf("index %d: same seed armed %d and %d", idx, a, b)
+		}
+		if a < 100 || a >= 1100 {
+			t.Fatalf("index %d: DropAfter %d outside [100, 1100)", idx, a)
+		}
+		if armA(8, idx) != a {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 7 and 8 armed identical jitter at every index")
+	}
+}
+
+// TestRefuseDialAndIndexing: the first matching rule wins per connection
+// index, and RefuseDial fails without a network round trip.
+func TestRefuseDialAndIndexing(t *testing.T) {
+	in := New(1,
+		Rule{Every: 2, RefuseDial: true}, // conns 0, 2, 4...
+		Rule{Every: 1},                   // everything else: pass-through
+	)
+	// Index 0 matches the refusal rule.
+	if _, err := in.Dial("tcp", "127.0.0.1:1", time.Second); !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("dial 0: %v, want ErrDialRefused", err)
+	}
+	// Index 1 falls through to the inert rule and really dials; use a
+	// listener so it succeeds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept()
+	c, err := in.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	c.Close()
+	if !errors.Is(ErrDialRefused, ErrInjected) {
+		t.Error("ErrDialRefused must wrap ErrInjected")
+	}
+}
+
+// TestHooksSelector: TaskEvery gates the delay to every Nth call; nil hooks
+// are inert.
+func TestHooksSelector(t *testing.T) {
+	var nilHooks *Hooks
+	nilHooks.OnTask() // must not panic
+
+	h := &Hooks{TaskDelay: 10 * time.Millisecond, TaskEvery: 4}
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		h.OnTask() // one in four sleeps
+	}
+	elapsed := time.Since(start)
+	if elapsed < 10*time.Millisecond || elapsed > 35*time.Millisecond {
+		t.Fatalf("4 calls at every=4 slept %v, want ~10ms", elapsed)
+	}
+}

@@ -198,6 +198,12 @@ func Experiments() []Experiment {
 			Paper: "beyond the paper: event-driven dispatch (ROADMAP)",
 			Run:   runWakeLatency,
 		},
+		Experiment{
+			ID:    "faults",
+			Title: "Goodput and visibility under injected transport faults (kstmd serving stack)",
+			Paper: "beyond the paper: fault-tolerant serving (ROADMAP)",
+			Run:   runFaults,
+		},
 	)
 	return exps
 }

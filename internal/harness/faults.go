@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstm/client"
+	"kstm/internal/core"
+	"kstm/internal/fault"
+	"kstm/internal/latency"
+	"kstm/internal/stats"
+	"kstm/internal/txds"
+	"kstm/server"
+)
+
+// FaultsScenario is one transport-fault pattern the faults experiment runs
+// the serving stack under. A zero Rule is the clean baseline.
+type FaultsScenario struct {
+	Name string
+	Rule fault.Rule
+}
+
+// FaultsScenarios returns the experiment's fixed scenario set, in row order.
+func FaultsScenarios() []FaultsScenario {
+	return []FaultsScenario{
+		// Row 0: no injector at all — the goodput ceiling every faulted row
+		// is read against.
+		{Name: "clean"},
+		// Half the connections die after ~600±400 bytes: lost acks
+		// mid-pipeline, pool ejection, breaker probes, redials.
+		{Name: "drop", Rule: fault.Rule{Every: 2, DropAfter: 600, Jitter: 400}},
+		// Half the connections freeze once for 2ms mid-stream: tail latency
+		// without any byte loss.
+		{Name: "stall", Rule: fault.Rule{Every: 2, Stall: 2 * time.Millisecond, StallAfter: 400}},
+		// Every connection moves tiny segments: pure reassembly stress; the
+		// goodput delta against clean is the syscall amplification.
+		{Name: "partial", Rule: fault.Rule{Every: 1, WriteChunk: 3, ReadChunk: 5}},
+	}
+}
+
+// FaultsResult is one faults-experiment configuration's outcome.
+type FaultsResult struct {
+	// Acked counts inserts acknowledged OK during the chaos phase; goodput
+	// only credits those.
+	Acked int
+	// VisErrors counts acked inserts a post-fault lookup could not see.
+	// Anything other than zero is a correctness bug (DESIGN.md §10).
+	VisErrors int
+	// Retry is the pool's shared retry-budget activity over the run.
+	Retry client.RetryStats
+	// RTT is the client-observed latency of acknowledged operations,
+	// retries included — the tail shows what the faults cost callers.
+	RTT latency.Summary
+	// Elapsed is the chaos phase's wall clock.
+	Elapsed time.Duration
+}
+
+// Goodput returns acknowledged operations per wall-clock second.
+func (r FaultsResult) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Acked) / r.Elapsed.Seconds()
+}
+
+// FaultsPoint runs one faults-experiment configuration: a loopback wire
+// server whose accepted connections pass through a seeded fault injector,
+// driven by pool clients inserting unique keys through DoRetry. After the
+// load phase the fault clears and every acknowledged insert is checked for
+// visibility. Exported for the harness tests and kbench.
+func FaultsPoint(o Options, sc FaultsScenario, workers, clients int, seed uint64) (FaultsResult, error) {
+	ex, keyFn, err := NewOpenExecutor(txds.KindHashTable, core.SchedAdaptive, workers, core.WithThreshold(1000))
+	if err != nil {
+		return FaultsResult{}, err
+	}
+	ctx := context.Background()
+	if err := ex.Start(ctx); err != nil {
+		return FaultsResult{}, err
+	}
+
+	// The wrapper injects only while faulting is set; the verification phase
+	// clears it so recovery is the stack's job (breaker probes, redials),
+	// not the injector's mercy.
+	var faulting atomic.Bool
+	inj := fault.New(seed, sc.Rule)
+	faulting.Store(sc.Rule.Every > 0)
+	wrapper := func(c net.Conn) net.Conn {
+		if !faulting.Load() {
+			return c
+		}
+		return inj.Conn(c)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ex.Stop()
+		return FaultsResult{}, err
+	}
+	srv := server.New(ex, server.WithConnWrapper(wrapper))
+	srvDone := make(chan error, 1)
+	go func() { srvDone <- srv.Serve(ctx, ln) }()
+
+	finish := func(res FaultsResult, err error) (FaultsResult, error) {
+		drainErr := ex.Drain()
+		srv.Close()
+		if serveErr := <-srvDone; serveErr != nil && err == nil {
+			err = serveErr
+		}
+		if drainErr != nil && err == nil {
+			err = drainErr
+		}
+		return res, err
+	}
+
+	p, err := client.DialPool(ln.Addr().String(), 2)
+	if err != nil {
+		return finish(FaultsResult{}, err)
+	}
+	defer p.Close()
+
+	// Bound the chaos phase: faulted operations pay retry backoff, so the
+	// point caps at faultsMaxOps even when Options asks for more (noted in
+	// the table).
+	const faultsMaxOps = 4000
+	per := max(1, min(o.RealTasks, faultsMaxOps)/clients)
+
+	ackedLists := make([][]uint64, clients)
+	hists := make([]*latency.Histogram, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		hists[c] = latency.New()
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := uint64(c*per + i + 1)
+				opCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				t0 := time.Now()
+				_, err := client.DoRetry(opCtx, p, core.Task{
+					Key: keyFn(uint32(key)), Op: core.OpInsert, Arg: uint32(key),
+				})
+				cancel()
+				if err == nil {
+					hists[c].Observe(time.Since(t0))
+					ackedLists[c] = append(ackedLists[c], key)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var acked []uint64
+	for _, l := range ackedLists {
+		acked = append(acked, l...)
+	}
+	if len(acked) == 0 {
+		return finish(FaultsResult{}, fmt.Errorf("faults/%s: no insert was ever acknowledged", sc.Name))
+	}
+
+	// Fault clears; wait for the pool to recover before auditing.
+	faulting.Store(false)
+	recoverBy := time.Now().Add(10 * time.Second)
+	for {
+		_, err := client.DoRetry(ctx, p, core.Task{Key: keyFn(1), Op: core.OpLookup, Arg: 1})
+		if err == nil {
+			break
+		}
+		if time.Now().After(recoverBy) {
+			return finish(FaultsResult{}, fmt.Errorf("faults/%s: pool did not recover: %w", sc.Name, err))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Visibility audit: every acknowledged insert must be present.
+	visErrors := 0
+	for _, key := range acked {
+		res, err := client.DoRetry(ctx, p, core.Task{Key: keyFn(uint32(key)), Op: core.OpLookup, Arg: uint32(key)})
+		if err != nil {
+			return finish(FaultsResult{}, fmt.Errorf("faults/%s: lookup of acked key %d: %w", sc.Name, key, err))
+		}
+		if hit, _ := res.Value.(bool); !hit {
+			visErrors++
+		}
+	}
+
+	return finish(FaultsResult{
+		Acked:     len(acked),
+		VisErrors: visErrors,
+		Retry:     p.Stats().Retry,
+		RTT:       latency.Merge(hists...),
+		Elapsed:   elapsed,
+	}, nil)
+}
+
+// runFaults is the fault-tolerance experiment: the loopback serving stack
+// under the seeded fault scenarios, with goodput, retry spend, tail latency,
+// and — the proof obligation — the acked-insert visibility-error count,
+// which must be zero in every row (DESIGN.md §10).
+func runFaults(o Options) ([]*Table, error) {
+	const workers, clients = 4, 4
+	t := &Table{
+		ID: "faults",
+		Title: fmt.Sprintf("Goodput and visibility under injected transport faults, %d workers, %d pool clients (real)",
+			workers, clients),
+		Cols: []string{"scenario", "throughput", "acked", "retries", "rtt_p95_us", "rtt_p99_us", "vis_errors"},
+	}
+	us := func(d time.Duration) float64 { return float64(d.Microseconds()) }
+	for si, sc := range FaultsScenarios() {
+		var thr []float64
+		var last FaultsResult
+		visErrors := 0
+		// One unrecorded warmup run per scenario (TCP stack, adaptive
+		// ramp-up, breaker state pools).
+		if _, err := FaultsPoint(o, sc, workers, clients, o.Seed); err != nil {
+			return nil, err
+		}
+		for r := 0; r < max(1, o.Runs); r++ {
+			res, err := FaultsPoint(o, sc, workers, clients, o.Seed+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			thr = append(thr, res.Goodput())
+			visErrors += res.VisErrors
+			last = res
+		}
+		t.Rows = append(t.Rows, []float64{float64(si), stats.Summarize(thr).Mean,
+			float64(last.Acked), float64(last.Retry.Spent),
+			us(last.RTT.P95), us(last.RTT.P99), float64(visErrors)})
+	}
+	t.Notes = append(t.Notes,
+		"scenario: 0=clean 1=drop (half the conns die after ~600±400B) 2=stall (half freeze 2ms once) 3=partial (3B writes / 5B reads)",
+		"throughput is goodput: only inserts acknowledged OK count; rtt includes retry backoff, so the tail shows what faults cost callers",
+		"vis_errors sums over runs and must be zero: every acked insert must be visible after the fault clears (DESIGN.md §10)",
+		"retries is the shared budget's spent count on the last run; the chaos phase caps at 4000 ops regardless of -tasks")
+	return []*Table{t}, nil
+}

@@ -18,6 +18,18 @@
 //
 //	id u64 | key u64 | op u8 | arg u32
 //
+// Deadline-carrying request body (TypeRequestDeadline, and per-entry in
+// TypeBatchRequestDeadline):
+//
+//	id u64 | key u64 | op u8 | arg u32 | deadline u64 (relative ns, 0 = none)
+//
+// The deadline is RELATIVE (nanoseconds from the moment the server decodes
+// the frame), so client and server clocks never need to agree; the server
+// sheds tasks still queued past it with StatusDeadline (DESIGN.md §10.1).
+// Encoders emit the deadline-less v1 bodies whenever DeadlineNS is zero, so
+// a client that never sets deadlines produces byte-identical traffic to
+// protocol version 1.
+//
 // Response body (TypeResponse):
 //
 //	id u64 | status u8 | wait u64 (ns) | exec u64 (ns) | value | msg
@@ -66,11 +78,22 @@ const (
 	// (proof they speak version-1 batching); plain clients keep receiving
 	// TypeResponse frames.
 	TypeBatchResponse uint8 = 4
+	// TypeRequestDeadline is a request whose body carries a trailing relative
+	// deadline (u64 nanoseconds). Emitted only when the deadline is non-zero,
+	// so deadline-less clients stay wire-compatible with v1 servers.
+	TypeRequestDeadline uint8 = 5
+	// TypeBatchRequestDeadline is TypeBatchRequest with deadline-carrying
+	// entries: u16 count, then count × (request body + deadline u64).
+	TypeBatchRequestDeadline uint8 = 6
 )
 
 // MaxBatch is the most requests one TypeBatchRequest frame can carry; bigger
 // batches must be split across frames.
 const MaxBatch = (MaxFrame - headerSize - 2) / requestSize
+
+// MaxBatchDeadline is the analogous bound for TypeBatchRequestDeadline
+// frames, whose entries are 8 bytes wider.
+const MaxBatchDeadline = (MaxFrame - headerSize - 2) / requestDeadlineSize
 
 // Status codes carried in responses.
 const (
@@ -90,6 +113,11 @@ const (
 	StatusBadRequest uint8 = 4
 	// StatusError: the workload returned a hard error; Msg carries it.
 	StatusError uint8 = 5
+	// StatusDeadline: the request's relative deadline expired while the task
+	// was still queued, so the server shed it without executing (counted
+	// under ExecStats.DeadlineExpired). Retrying is pointless unless the
+	// client also raises the deadline.
+	StatusDeadline uint8 = 6
 )
 
 // StatusName returns a human-readable status label.
@@ -107,6 +135,8 @@ func StatusName(s uint8) string {
 		return "bad-request"
 	case StatusError:
 		return "error"
+	case StatusDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("status(%d)", s)
 	}
@@ -142,6 +172,10 @@ type Request struct {
 	Key uint64
 	Op  uint8
 	Arg uint32
+	// DeadlineNS is the task's relative deadline in nanoseconds from server
+	// receipt; zero means none. Encoders pick the deadline-carrying frame
+	// types only when it is set.
+	DeadlineNS uint64
 }
 
 // Response is one task outcome.
@@ -161,46 +195,78 @@ type Response struct {
 
 // Body sizes.
 const (
-	headerSize  = 2               // version + type, after the length field
-	requestSize = 8 + 8 + 1 + 4   // id + key + op + arg
-	respFixed   = 8 + 1 + 8 + 8   // id + status + wait + exec
-	maxMsgLen   = math.MaxUint16  // msg length field is u16
-	maxValueLen = MaxFrame - 1024 // sanity bound for TagBytes payloads
+	headerSize          = 2               // version + type, after the length field
+	requestSize         = 8 + 8 + 1 + 4   // id + key + op + arg
+	requestDeadlineSize = requestSize + 8 // + deadline
+	respFixed           = 8 + 1 + 8 + 8   // id + status + wait + exec
+	maxMsgLen           = math.MaxUint16  // msg length field is u16
+	maxValueLen         = MaxFrame - 1024 // sanity bound for TagBytes payloads
 )
 
 // AppendRequest appends req as one frame to dst and returns the extended
-// slice; it never fails.
+// slice; it never fails. Requests with a deadline travel as
+// TypeRequestDeadline frames; deadline-less requests stay byte-identical to
+// protocol v1.
 //
 //kstmvet:hotpath
 func AppendRequest(dst []byte, req Request) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+requestSize))
-	dst = append(dst, Version, TypeRequest)
+	if req.DeadlineNS == 0 {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+requestSize))
+		dst = append(dst, Version, TypeRequest)
+	} else {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+requestDeadlineSize))
+		dst = append(dst, Version, TypeRequestDeadline)
+	}
 	dst = binary.BigEndian.AppendUint64(dst, req.ID)
 	dst = binary.BigEndian.AppendUint64(dst, req.Key)
 	dst = append(dst, req.Op)
 	dst = binary.BigEndian.AppendUint32(dst, req.Arg)
+	if req.DeadlineNS != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, req.DeadlineNS)
+	}
 	return dst
 }
 
-// AppendBatchRequest appends reqs as one TypeBatchRequest frame to dst. It
-// fails only on an empty batch or one above MaxBatch (split those).
+// AppendBatchRequest appends reqs as one batch frame to dst: a v1
+// TypeBatchRequest when no request carries a deadline, otherwise a
+// TypeBatchRequestDeadline with every entry widened. It fails only on an
+// empty batch or one above the applicable bound (MaxBatch, or
+// MaxBatchDeadline when any deadline is set — split those).
 //
 //kstmvet:hotpath
 func AppendBatchRequest(dst []byte, reqs []Request) ([]byte, error) {
 	if len(reqs) == 0 {
 		return dst, fmt.Errorf("%w: empty batch", ErrBadBody)
 	}
-	if len(reqs) > MaxBatch {
-		return dst, ErrFrameTooLarge
+	deadline := false
+	for i := range reqs {
+		if reqs[i].DeadlineNS != 0 {
+			deadline = true
+			break
+		}
 	}
-	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+2+len(reqs)*requestSize))
-	dst = append(dst, Version, TypeBatchRequest)
+	if deadline {
+		if len(reqs) > MaxBatchDeadline {
+			return dst, ErrFrameTooLarge
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+2+len(reqs)*requestDeadlineSize))
+		dst = append(dst, Version, TypeBatchRequestDeadline)
+	} else {
+		if len(reqs) > MaxBatch {
+			return dst, ErrFrameTooLarge
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+2+len(reqs)*requestSize))
+		dst = append(dst, Version, TypeBatchRequest)
+	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(reqs)))
 	for _, req := range reqs {
 		dst = binary.BigEndian.AppendUint64(dst, req.ID)
 		dst = binary.BigEndian.AppendUint64(dst, req.Key)
 		dst = append(dst, req.Op)
 		dst = binary.BigEndian.AppendUint32(dst, req.Arg)
+		if deadline {
+			dst = binary.BigEndian.AppendUint64(dst, req.DeadlineNS)
+		}
 	}
 	return dst, nil
 }
@@ -497,6 +563,17 @@ func DecodeFrame(b []byte) (Frame, error) {
 			Op:  body[16],
 			Arg: binary.BigEndian.Uint32(body[17:21]),
 		}}, nil
+	case TypeRequestDeadline:
+		if len(body) != requestDeadlineSize {
+			return Frame{}, fmt.Errorf("%w: deadline request body %d bytes, want %d", ErrBadBody, len(body), requestDeadlineSize)
+		}
+		return Frame{Type: TypeRequestDeadline, Req: Request{
+			ID:         binary.BigEndian.Uint64(body[0:8]),
+			Key:        binary.BigEndian.Uint64(body[8:16]),
+			Op:         body[16],
+			Arg:        binary.BigEndian.Uint32(body[17:21]),
+			DeadlineNS: binary.BigEndian.Uint64(body[21:29]),
+		}}, nil
 	case TypeResponse:
 		resp, rest, err := decodeResponseBody(body) //kstmvet:ignore decoded values and messages are fresh by contract: DecodeFrame never retains b
 		if err != nil {
@@ -531,6 +608,30 @@ func DecodeFrame(b []byte) (Frame, error) {
 			}
 		}
 		return Frame{Type: TypeBatchRequest, Reqs: reqs}, nil
+	case TypeBatchRequestDeadline:
+		if len(body) < 2 {
+			return Frame{}, fmt.Errorf("%w: missing batch count", ErrBadBody)
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if n == 0 {
+			return Frame{}, fmt.Errorf("%w: empty batch", ErrBadBody)
+		}
+		if len(body) != n*requestDeadlineSize {
+			return Frame{}, fmt.Errorf("%w: deadline batch body %d bytes, %d requests want %d", ErrBadBody, len(body), n, n*requestDeadlineSize)
+		}
+		reqs := make([]Request, n) //kstmvet:ignore the decoded batch is the caller's result; one slice per frame, bounded by MaxFrame
+		for i := range reqs {
+			b := body[i*requestDeadlineSize:]
+			reqs[i] = Request{
+				ID:         binary.BigEndian.Uint64(b[0:8]),
+				Key:        binary.BigEndian.Uint64(b[8:16]),
+				Op:         b[16],
+				Arg:        binary.BigEndian.Uint32(b[17:21]),
+				DeadlineNS: binary.BigEndian.Uint64(b[21:29]),
+			}
+		}
+		return Frame{Type: TypeBatchRequestDeadline, Reqs: reqs}, nil
 	case TypeBatchResponse:
 		if len(body) < 2 {
 			return Frame{}, fmt.Errorf("%w: missing batch count", ErrBadBody)

@@ -35,6 +35,64 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDeadlineRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Key: 42, Op: 2, Arg: 7, DeadlineNS: 1},
+		{ID: 2, Key: 9, DeadlineNS: math.MaxUint64},
+	}
+	var buf bytes.Buffer
+	for _, req := range reqs {
+		buf.Write(AppendRequest(nil, req))
+	}
+	for i, want := range reqs {
+		f, err := ReadFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != TypeRequestDeadline || f.Req != want {
+			t.Fatalf("frame %d: type %d, got %+v, want %+v", i, f.Type, f.Req, want)
+		}
+	}
+	// Deadline-less requests must stay byte-identical to protocol v1.
+	v1 := AppendRequest(nil, Request{ID: 3, Key: 4, Op: 1, Arg: 2})
+	if v1[5] != TypeRequest || len(v1) != 4+2+21 {
+		t.Fatalf("deadline-less request changed shape: type %d, %d bytes", v1[5], len(v1))
+	}
+}
+
+func TestDeadlineBatchRoundTrip(t *testing.T) {
+	reqs := make([]Request, 17)
+	for i := range reqs {
+		reqs[i] = Request{ID: uint64(i + 1), Key: uint64(i * 3), Op: uint8(i % 4)}
+	}
+	reqs[5].DeadlineNS = 12345 // one deadline widens every entry
+	b, err := AppendBatchRequest(nil, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != TypeBatchRequestDeadline || !reflect.DeepEqual(frame.Reqs, reqs) {
+		t.Fatalf("round trip mismatch: type %d, %d requests", frame.Type, len(frame.Reqs))
+	}
+	// The widened entries tighten the batch bound.
+	over := make([]Request, MaxBatchDeadline+1)
+	over[0].DeadlineNS = 1
+	if _, err := AppendBatchRequest(nil, over); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized deadline batch: %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated deadline bodies are rejected, not misparsed.
+	single := AppendRequest(nil, Request{ID: 1, DeadlineNS: 9})[4:]
+	if _, err := DecodeFrame(single[:len(single)-1]); !errors.Is(err, ErrBadBody) {
+		t.Errorf("short deadline request: %v, want ErrBadBody", err)
+	}
+	if _, err := DecodeFrame(b[4 : len(b)-1]); !errors.Is(err, ErrBadBody) {
+		t.Errorf("short deadline batch: %v, want ErrBadBody", err)
+	}
+}
+
 func TestResponseRoundTrip(t *testing.T) {
 	resps := []Response{
 		{ID: 1, Status: StatusOK, Value: nil},
@@ -331,6 +389,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	if b, err := AppendBatchRequest(nil, []Request{{ID: 1}, {ID: 2, Key: 3, Op: 1, Arg: 4}}); err == nil {
 		f.Add(b[4:])
 	}
+	f.Add(AppendRequest(nil, Request{ID: 1, Key: 2, Op: 3, Arg: 4, DeadlineNS: 5_000_000})[4:])
+	if b, err := AppendBatchRequest(nil, []Request{{ID: 1, DeadlineNS: 1}, {ID: 2, Key: 3}}); err == nil {
+		f.Add(b[4:])
+	}
 	if b, _, err := AppendBatchResponses(nil, []Response{{ID: 7, Status: StatusOK, Value: 1.5}, {ID: 8, Status: StatusBusy, Msg: "busy"}}); err == nil {
 		f.Add(b[4:])
 	}
@@ -345,7 +407,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		// Whatever decodes must re-encode and decode to the same frame
 		// (requests are fixed-size; responses must round-trip exactly).
 		switch frame.Type {
-		case TypeRequest:
+		case TypeRequest, TypeRequestDeadline:
+			// A decoded deadline frame with DeadlineNS == 0 re-encodes as a
+			// v1 frame; the decoded request must still match.
 			again, err := DecodeFrame(AppendRequest(nil, frame.Req)[4:])
 			if err != nil || again.Req != frame.Req {
 				t.Fatalf("request re-encode mismatch: %v %+v %+v", err, again.Req, frame.Req)
@@ -359,7 +423,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil || !reflect.DeepEqual(again.Resp, frame.Resp) {
 				t.Fatalf("response re-encode mismatch: %v\n got %+v\nwant %+v", err, again.Resp, frame.Resp)
 			}
-		case TypeBatchRequest:
+		case TypeBatchRequest, TypeBatchRequestDeadline:
 			enc, err := AppendBatchRequest(nil, frame.Reqs)
 			if err != nil {
 				t.Fatalf("decoded batch does not re-encode: %v", err)

@@ -388,6 +388,9 @@ var (
 	ErrNotRunning     = core.ErrNotRunning
 	ErrAlreadyStarted = core.ErrAlreadyStarted
 	ErrStopped        = core.ErrStopped
+	// ErrDeadlineExpired is the completion error of tasks shed because their
+	// SubmitFuncTimed queue deadline expired before a worker reached them.
+	ErrDeadlineExpired = core.ErrDeadlineExpired
 )
 
 // Task is a transaction parameter record.

@@ -30,6 +30,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kstm"
 	"kstm/internal/wire"
@@ -56,6 +57,16 @@ type Stats struct {
 	// best-effort, since the cancelling event is usually the connection's
 	// own death.
 	Busy, Cancelled, Stopped, BadRequest, Failed uint64
+	// Deadline counts tasks shed with StatusDeadline: their wire deadline
+	// expired while they sat queued and the executor never ran them
+	// (ExecStats.DeadlineExpired is the executor-side view).
+	Deadline uint64
+	// Admitted and AdmitRejected count requests through the per-connection
+	// token-bucket admission layer (WithAdmission): rejected requests
+	// answer StatusBusy with a retry-after hint BEFORE touching the
+	// executor, ahead of queue backpressure. Both stay zero with admission
+	// off.
+	Admitted, AdmitRejected uint64
 	// ProtocolErrors counts connections dropped for undecodable input.
 	ProtocolErrors uint64
 	// Migrations mirrors the executor's shard-state hand-off counters
@@ -96,13 +107,39 @@ func WithMaxArg(max uint32) Option { return func(s *Server) { s.maxArg = max } }
 // discarding logger in tests).
 func WithLogger(l *log.Logger) Option { return func(s *Server) { s.log = l } }
 
+// WithAdmission enables per-connection token-bucket admission control: each
+// connection may submit at most rate requests/second with bursts up to
+// burst, and requests over budget answer StatusBusy immediately — with the
+// time until the next token in the response's WaitNS as a retry-after hint —
+// WITHOUT touching the executor. Admission runs ahead of queue backpressure
+// (DESIGN.md §10.2): backpressure protects the executor from accepted work,
+// admission protects the executor from ever seeing an abusive client's
+// excess. rate <= 0 disables it (the default); burst < 1 is raised to 1.
+func WithAdmission(rate float64, burst int) Option {
+	return func(s *Server) {
+		s.admitRate = rate
+		s.admitBurst = max(burst, 1)
+	}
+}
+
+// WithConnWrapper interposes w on every accepted connection before the
+// server reads from it — the hook the internal/fault injector uses to
+// corrupt transport behaviour in chaos tests. Production servers leave it
+// nil.
+func WithConnWrapper(w func(net.Conn) net.Conn) Option {
+	return func(s *Server) { s.wrapConn = w }
+}
+
 // Server serves one executor over any number of listeners.
 type Server struct {
-	ex      *kstm.Executor
-	maxOp   uint8
-	maxArg  uint32
-	keyMask uint64
-	log     *log.Logger
+	ex         *kstm.Executor
+	maxOp      uint8
+	maxArg     uint32
+	keyMask    uint64
+	admitRate  float64
+	admitBurst int
+	wrapConn   func(net.Conn) net.Conn
+	log        *log.Logger
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -113,6 +150,7 @@ type Server struct {
 
 	nConns, nOpen, nReq, nResp                 atomic.Uint64
 	nBusy, nCancel, nStopped, nBadReq, nFailed atomic.Uint64
+	nDeadline, nAdmit, nAdmitRej               atomic.Uint64
 	nProtoErr                                  atomic.Uint64
 }
 
@@ -182,6 +220,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.nOpen.Add(1)
 		s.conns.Add(1)
 		s.mu.Unlock()
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
+		}
 		go func() {
 			defer s.conns.Done()
 			defer s.nOpen.Add(^uint64(0))
@@ -221,6 +262,9 @@ func (s *Server) Stats() Stats {
 		Stopped:        s.nStopped.Load(),
 		BadRequest:     s.nBadReq.Load(),
 		Failed:         s.nFailed.Load(),
+		Deadline:       s.nDeadline.Load(),
+		Admitted:       s.nAdmit.Load(),
+		AdmitRejected:  s.nAdmitRej.Load(),
 		ProtocolErrors: s.nProtoErr.Load(),
 		Migrations:     s.ex.MigrationStats(),
 		Split:          s.ex.SplitStats(),
@@ -303,6 +347,14 @@ func (s *Server) handle(conn net.Conn) {
 		s.writeLoop(conn, cs, &batchOK, cancel)
 	}()
 
+	// Admission bucket: single-owner (only this read loop touches it), so
+	// it needs no lock. One bucket per connection — "per client" at the
+	// granularity the server can attribute.
+	var admit *tokenBucket
+	if s.admitRate > 0 {
+		admit = newTokenBucket(s.admitRate, s.admitBurst)
+	}
+
 	cs.br.Reset(conn)
 readLoop:
 	for {
@@ -321,14 +373,14 @@ readLoop:
 			break
 		}
 		switch frame.Type {
-		case wire.TypeRequest:
-			if !s.serveReq(ctx, out, inflight, frame.Req) {
+		case wire.TypeRequest, wire.TypeRequestDeadline:
+			if !s.serveReq(ctx, out, inflight, admit, frame.Req) {
 				break readLoop
 			}
-		case wire.TypeBatchRequest:
+		case wire.TypeBatchRequest, wire.TypeBatchRequestDeadline:
 			batchOK.Store(true)
 			for _, req := range frame.Reqs {
-				if !s.serveReq(ctx, out, inflight, req) {
+				if !s.serveReq(ctx, out, inflight, admit, req) {
 					break readLoop
 				}
 			}
@@ -368,12 +420,28 @@ const maxInflightPerConn = 1024
 // serveReq validates and submits one request, enqueueing the response (or
 // arranging the completion callback to). It returns false only when the
 // connection is being torn down.
-func (s *Server) serveReq(ctx context.Context, out *outQueue, inflight chan struct{}, req wire.Request) bool {
+func (s *Server) serveReq(ctx context.Context, out *outQueue, inflight chan struct{}, admit *tokenBucket, req wire.Request) bool {
 	s.nReq.Add(1)
 	select {
 	case inflight <- struct{}{}:
 	case <-ctx.Done():
 		return false
+	}
+	// Admission runs ahead of everything the executor would charge for:
+	// an over-budget client is answered from the read loop — StatusBusy
+	// with the time to the next token in WaitNS as a retry-after hint —
+	// and its request never contends for a queue slot.
+	if admit != nil {
+		if retryAfter, ok := admit.take(); !ok {
+			s.nAdmitRej.Add(1)
+			out.push(wire.Response{
+				ID: req.ID, Status: wire.StatusBusy,
+				WaitNS: uint64(retryAfter),
+				Msg:    "admission rate exceeded",
+			})
+			return true
+		}
+		s.nAdmit.Add(1)
 	}
 	if req.Op > s.maxOp {
 		s.nBadReq.Add(1)
@@ -397,7 +465,7 @@ func (s *Server) serveReq(ctx context.Context, out *outQueue, inflight chan stru
 	}
 	task := kstm.Task{Key: key, Op: kstm.Op(req.Op), Arg: req.Arg}
 	id := req.ID
-	err := s.ex.SubmitFunc(ctx, task, func(res kstm.TaskResult) {
+	done := func(res kstm.TaskResult) {
 		// Runs on the settling worker: park the response and return. On a
 		// dead connection there is no one left to tell — classify the
 		// task's true fate for the stats (mirroring the executor's own
@@ -406,6 +474,8 @@ func (s *Server) serveReq(ctx context.Context, out *outQueue, inflight chan stru
 			switch {
 			case errors.Is(res.Err, kstm.ErrStopped):
 				s.nStopped.Add(1)
+			case errors.Is(res.Err, kstm.ErrDeadlineExpired):
+				s.nDeadline.Add(1)
 			case errors.Is(res.Err, context.Canceled), errors.Is(res.Err, context.DeadlineExceeded):
 				s.nCancel.Add(1)
 			}
@@ -413,11 +483,53 @@ func (s *Server) serveReq(ctx context.Context, out *outQueue, inflight chan stru
 			return
 		}
 		out.push(s.taskResponse(id, res, res.Err))
-	})
+	}
+	var err error
+	if req.DeadlineNS != 0 {
+		// The wire deadline is RELATIVE to receipt; the executor sheds the
+		// task with ErrDeadlineExpired if it is still queued past it.
+		err = s.ex.SubmitFuncTimed(ctx, task, time.Duration(req.DeadlineNS), done)
+	} else {
+		err = s.ex.SubmitFunc(ctx, task, done)
+	}
 	if err != nil {
 		out.push(s.submitError(id, err))
 	}
 	return true
+}
+
+// tokenBucket is serveReq's per-connection admission meter, in the virtual-
+// scheduling (GCRA) formulation: integer-nanos state owned by one read loop
+// (no locking), two comparisons and a clock read per request.
+type tokenBucket struct {
+	interval time.Duration // ns per token (1e9 / rate)
+	tau      time.Duration // burst tolerance: (burst-1) * interval
+	tat      time.Duration // theoretical arrival time of the next request
+	start    time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	iv := time.Duration(float64(time.Second) / rate)
+	if iv <= 0 {
+		iv = 1
+	}
+	return &tokenBucket{
+		interval: iv,
+		tau:      time.Duration(burst-1) * iv,
+		start:    time.Now(),
+	}
+}
+
+// take spends one token. When the bucket is empty it reports ok=false and
+// how long until the next request would conform — the retry-after hint.
+func (b *tokenBucket) take() (retryAfter time.Duration, ok bool) {
+	now := time.Since(b.start)
+	tat := max(b.tat, now)
+	if tat > now+b.tau {
+		return tat - now - b.tau, false
+	}
+	b.tat = tat + b.interval
+	return 0, true
 }
 
 // outQueue is one connection's response buffer between task callbacks (any
@@ -649,6 +761,12 @@ func (s *Server) taskResponse(id uint64, res kstm.TaskResult, err error) wire.Re
 		s.nStopped.Add(1)
 		resp.Status = wire.StatusStopped
 		resp.Msg = "server stopping"
+	case errors.Is(err, kstm.ErrDeadlineExpired):
+		// The request's wire deadline expired in queue; the executor shed
+		// it without executing (DESIGN.md §10.1).
+		s.nDeadline.Add(1)
+		resp.Status = wire.StatusDeadline
+		resp.Msg = "deadline expired in queue"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Abandoned before execution under the corrected cancellation
 		// accounting: the task never ran.

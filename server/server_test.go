@@ -673,3 +673,108 @@ func TestShardedServer(t *testing.T) {
 		}
 	}
 }
+
+// TestDeadlineShedOverWire drives deadline propagation end to end: a ctx
+// deadline on DoAsync rides the wire as a relative budget, the server sheds
+// the task when the budget expires in queue behind a blocker — answering
+// StatusDeadline without ever executing it — and both the executor's and the
+// server's deadline counters advance.
+func TestDeadlineShedOverWire(t *testing.T) {
+	release := make(chan struct{})
+	var executed atomic.Int64
+	exOpts := []kstm.Option{
+		kstm.WithWorkload(kstm.WorkloadFunc(func(_ *stm.Thread, tk kstm.Task) (any, error) {
+			if tk.Key == 0 {
+				<-release
+				return true, nil
+			}
+			executed.Add(1)
+			return true, nil
+		})),
+		kstm.WithWorkers(1),
+		kstm.WithBackpressure(kstm.BackpressureReject),
+	}
+	ex, srv, addr, shutdown := startServer(t, exOpts)
+	defer shutdown()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	blocker, err := c.DoAsync(context.Background(), kstm.Task{Key: 0, Op: kstm.OpLookup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim pipelines behind the blocker on the same connection and
+	// the same (single) worker queue; its 5ms budget expires while queued.
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	victim, err := c.DoAsync(dctx, kstm.Task{Key: 1, Op: kstm.OpLookup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	cancel()
+
+	if _, err := victim.Wait(context.Background()); !errors.Is(err, client.ErrDeadlineExpired) {
+		t.Fatalf("victim err = %v, want ErrDeadlineExpired", err)
+	}
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatalf("blocker err = %v", err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Fatalf("shed task executed %d times, want 0", n)
+	}
+	if st := ex.Stats(); st.DeadlineExpired != 1 {
+		t.Errorf("ExecStats.DeadlineExpired = %d, want 1", st.DeadlineExpired)
+	}
+	if ss := srv.Stats(); ss.Deadline != 1 {
+		t.Errorf("server Stats.Deadline = %d, want 1", ss.Deadline)
+	}
+}
+
+// TestAdmissionRejectsOverBudget: with WithAdmission(rate, burst) a
+// connection gets burst requests through immediately; the next answers
+// StatusBusy with a retry-after hint — surfaced as BusyError — before the
+// request touches the executor. Buckets are per connection: a fresh conn
+// starts with its own burst.
+func TestAdmissionRejectsOverBudget(t *testing.T) {
+	// 2/s with burst 2: after two instant requests the third would need a
+	// 500ms token — rejected with a sizable retry-after.
+	_, srv, addr, shutdown := startServer(t, dictExecutorOpts(t), server.WithAdmission(2, 2))
+	defer shutdown()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do(ctx, kstm.Task{Key: uint64(i), Op: kstm.OpLookup, Arg: uint32(i)}); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	_, err = c.Do(ctx, kstm.Task{Key: 3, Op: kstm.OpLookup, Arg: 3})
+	if !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("over-budget request: %v, want ErrBusy", err)
+	}
+	var be *client.BusyError
+	if !errors.As(err, &be) || be.RetryAfter <= 0 {
+		t.Fatalf("over-budget request: %v, want BusyError with positive RetryAfter", err)
+	}
+	// A second connection has its own untouched bucket.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Do(ctx, kstm.Task{Key: 9, Op: kstm.OpLookup, Arg: 9}); err != nil {
+		t.Fatalf("fresh connection's first request: %v", err)
+	}
+	ss := srv.Stats()
+	if ss.Admitted < 3 || ss.AdmitRejected < 1 {
+		t.Errorf("Admitted = %d (want >= 3), AdmitRejected = %d (want >= 1)", ss.Admitted, ss.AdmitRejected)
+	}
+}
